@@ -1,0 +1,146 @@
+"""E10 — S2S vs a W4F-style wrapper toolkit (paper §4, related work).
+
+"W4F extracts exclusively from Web pages and the output may be in an XML
+file or a Java interface."  On a web-only corpus both systems extract the
+same fields, so the comparison shows the price of S2S's generality; on the
+mixed corpus W4F simply cannot reach 3 of the 4 source types — the
+coverage argument of the related-work section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CameleonWrapper, W4fWrapper
+from repro.bench import ResultTable, measure
+from repro.workloads import B2BScenario
+
+N_PRODUCTS = 60
+
+
+@pytest.fixture(scope="module")
+def web_world():
+    scenario = B2BScenario(n_sources=6, n_products=N_PRODUCTS,
+                           source_mix=("webpage",))
+    return scenario
+
+
+@pytest.fixture(scope="module")
+def mixed_world():
+    return B2BScenario(n_sources=8, n_products=N_PRODUCTS)
+
+
+def build_w4f(scenario: B2BScenario) -> W4fWrapper:
+    wrapper = W4fWrapper(scenario.web)
+    # W4F rules must be authored per field spelling; give it all of them.
+    spellings = {"brand", "marke", "manufacturer"}
+    for concept in ("brand", "model", "case", "price", "provider"):
+        for org in scenario.organizations:
+            if org.source_type != "webpage":
+                continue
+            native = org.native_fields.get(concept, concept)
+            spellings.add(native)
+    for org in scenario.organizations:
+        if org.source_type != "webpage":
+            continue
+    for concept in sorted({s for s in spellings}):
+        wrapper.add_rule(concept,
+                         rf'<td class="{concept}">([^<]*)</td>')
+    return wrapper
+
+
+def test_e10_web_only_report(web_world):
+    table = ResultTable(
+        f"E10: web-only corpus ({N_PRODUCTS} products, 6 pages)",
+        ["system", "wall_ms", "records", "output"])
+    urls = [org.url for org in web_world.organizations]
+
+    wrapper = build_w4f(web_world)
+    w4f_time = measure(lambda: wrapper.extract_site(urls), repeats=3)
+    w4f_records = sum(
+        max((len(v) for v in page.values()), default=0)
+        for page in wrapper.extract_site(urls))
+    table.add_row("W4F-style wrapper", w4f_time.mean_ms, w4f_records,
+                  "flat XML")
+
+    cameleon = build_cameleon(web_world)
+    cameleon_time = measure(
+        lambda: [cameleon.extract(url) for url in urls], repeats=3)
+    cameleon_records = sum(
+        max((len(v) for v in cameleon.extract(url).values()), default=0)
+        for url in urls)
+    table.add_row("Caméléon-style wrapper", cameleon_time.mean_ms,
+                  cameleon_records, "flat XML")
+
+    s2s = web_world.build_middleware()
+    s2s_time = measure(lambda: s2s.query("SELECT product"), repeats=3)
+    s2s_records = len(s2s.query("SELECT product"))
+    table.add_row("S2S middleware", s2s_time.mean_ms, s2s_records,
+                  "OWL instances")
+    table.print()
+    assert s2s_records == N_PRODUCTS
+
+
+def build_cameleon(scenario: B2BScenario) -> CameleonWrapper:
+    wrapper = CameleonWrapper(web=scenario.web)
+    blocks = []
+    spellings = set()
+    for org in scenario.organizations:
+        if org.source_type != "webpage":
+            continue
+        for concept in ("brand", "model", "case", "price", "provider"):
+            spellings.add(org.native_fields.get(concept, concept))
+    for spelling in sorted(spellings):
+        blocks.append(f"#ATTRIBUTE {spelling}\n"
+                      f'#BEGIN <td class="{spelling}">\n'
+                      f"#END </td>")
+    wrapper.load_spec("\n".join(blocks))
+    return wrapper
+
+
+def test_e10_source_type_coverage_report(mixed_world):
+    table = ResultTable(
+        "E10b: source-type coverage on the mixed corpus",
+        ["system", "database", "xml", "webpage", "textfile",
+         "records_reachable"])
+    per_type = {}
+    for org in mixed_world.organizations:
+        per_type.setdefault(org.source_type, 0)
+        per_type[org.source_type] += len(org.products)
+
+    web_records = per_type.get("webpage", 0)
+    text_records = per_type.get("textfile", 0)
+    total = sum(per_type.values())
+    table.add_row("W4F-style wrapper", "no", "no", "yes", "no", web_records)
+    table.add_row("Caméléon-style wrapper", "no", "no", "yes", "yes",
+                  web_records + text_records)
+    table.add_row("S2S middleware", "yes", "yes", "yes", "yes", total)
+    table.print()
+
+    s2s = mixed_world.build_middleware()
+    assert len(s2s.query("SELECT product")) == total
+
+
+def test_e10_w4f_and_s2s_agree_on_web_data(web_world):
+    """On the pages both can reach, the extracted brands coincide."""
+    wrapper = build_w4f(web_world)
+    w4f_brands: set[str] = set()
+    for org in web_world.organizations:
+        page = wrapper.extract(org.url)
+        for spelling in ("brand", "marke", "manufacturer"):
+            w4f_brands.update(page.get(spelling, []))
+    s2s = web_world.build_middleware()
+    s2s_brands = {e.value("brand")
+                  for e in s2s.query("SELECT product").entities}
+    assert s2s_brands <= w4f_brands
+
+
+def test_e10_w4f_benchmark(benchmark, web_world):
+    wrapper = build_w4f(web_world)
+    urls = [org.url for org in web_world.organizations]
+    benchmark(lambda: wrapper.extract_site(urls))
+
+
+def test_e10_s2s_benchmark(benchmark, web_world):
+    s2s = web_world.build_middleware()
+    benchmark(lambda: s2s.query("SELECT product"))

@@ -1,0 +1,104 @@
+"""E11 — consumer-side semantic processing (paper §1/§5 benefit claim).
+
+"[S2S] enables semantic knowledge processing."  This benchmark plays the
+receiving partner: parse the OWL document a query produced, materialize
+RDFS entailments, and run SPARQL over it — measuring what the semantic
+representation costs and what it buys (the subclass-inference query has
+no non-semantic equivalent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.core.instances.outputs import entities_to_graph
+from repro.rdf import execute_sparql, materialize_rdfs
+from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+from repro.workloads.scaling import record_count_sweep
+
+ENTITY_COUNTS = [10, 100, 1000]
+
+
+@pytest.fixture(scope="module")
+def owl_documents():
+    documents = {}
+    for point in record_count_sweep(ENTITY_COUNTS, n_sources=4):
+        result = point.middleware.query("SELECT product")
+        graph = entities_to_graph(point.middleware.schema, result.entities,
+                                  include_schema=True)
+        documents[point.n_products] = (
+            serialize_rdfxml(graph), point.middleware.ontology.base_iri)
+    return documents
+
+
+def _product_query(base: str) -> str:
+    return (f"PREFIX onto: <{base}>\n"
+            "SELECT DISTINCT ?x WHERE { ?x a onto:product . }")
+
+
+def _join_query(base: str) -> str:
+    return (f"PREFIX onto: <{base}>\n"
+            "SELECT ?brand ?name WHERE {\n"
+            "  ?w a onto:watch . ?w onto:brand ?brand .\n"
+            "  ?w onto:price ?p . ?w onto:hasProvider ?prov .\n"
+            "  ?prov onto:name ?name . FILTER (?p < 500)\n"
+            "} ORDER BY ?brand")
+
+
+def test_e11_report(owl_documents):
+    table = ResultTable(
+        "E11: consumer-side cost (parse OWL -> infer -> SPARQL)",
+        ["entities", "parse_ms", "infer_ms", "inferred_triples",
+         "sparql_join_ms", "sparql_inference_ms"])
+    for count in ENTITY_COUNTS:
+        document, base = owl_documents[count]
+        parse_time = measure(lambda: parse_rdfxml(document), repeats=3)
+        graph = parse_rdfxml(document)
+        infer_time = measure(lambda: materialize_rdfs(graph.copy()),
+                             repeats=3)
+        inferred = materialize_rdfs(graph)
+        join_time = measure(
+            lambda: execute_sparql(graph, _join_query(base)), repeats=3)
+        inference_query_time = measure(
+            lambda: execute_sparql(graph, _product_query(base)), repeats=3)
+        table.add_row(count, parse_time.mean_ms, infer_time.mean_ms,
+                      inferred, join_time.mean_ms,
+                      inference_query_time.mean_ms)
+    table.print()
+
+
+def test_e11_inference_query_finds_all_products(owl_documents):
+    for count in ENTITY_COUNTS:
+        document, base = owl_documents[count]
+        graph = parse_rdfxml(document)
+        # Before inference: nothing is typed 'product' directly.
+        before = execute_sparql(graph, _product_query(base))
+        assert len(before) == 0
+        materialize_rdfs(graph)
+        after = execute_sparql(graph, _product_query(base))
+        assert len(after) == count
+
+
+def test_e11_join_results_match_producer(owl_documents):
+    document, base = owl_documents[100]
+    graph = parse_rdfxml(document)
+    rows = execute_sparql(graph, _join_query(base))
+    assert 0 < len(rows) <= 100
+    # every row has both variables bound
+    assert all(brand is not None and name is not None
+               for brand, name in rows.rows)
+
+
+@pytest.mark.parametrize("count", [100])
+def test_e11_sparql_benchmark(benchmark, owl_documents, count):
+    document, base = owl_documents[count]
+    graph = parse_rdfxml(document)
+    materialize_rdfs(graph)
+    benchmark(lambda: execute_sparql(graph, _join_query(base)))
+
+
+def test_e11_inference_benchmark(benchmark, owl_documents):
+    document, _base = owl_documents[100]
+    graph = parse_rdfxml(document)
+    benchmark(lambda: materialize_rdfs(graph.copy()))

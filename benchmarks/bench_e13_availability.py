@@ -1,0 +1,78 @@
+"""E13 — availability under transient source failures.
+
+B2B integration runs against other organizations' infrastructure, so
+transient failures are the norm, not the exception.  Measures answer
+completeness (records returned / records expected) as the per-call
+transient-failure rate grows, with and without the mediator's retry
+policy — the availability argument for putting retries in the middleware
+rather than in every hand-written integration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.sources.flaky import FlakySource
+from repro.workloads import B2BScenario
+
+FAILURE_RATES = [0.0, 0.2, 0.4, 0.6]
+N_PRODUCTS = 24
+
+
+def flaky_middleware(failure_rate: float, *, retries: int,
+                     seed: int = 7):
+    scenario = B2BScenario(n_sources=4, n_products=N_PRODUCTS, seed=seed)
+    s2s = scenario.build_middleware(retries=retries)
+    for org in scenario.organizations:
+        inner = s2s.source_repository.get(org.source_id)
+        s2s.source_repository.register(
+            FlakySource(inner, failure_rate=failure_rate, seed=org.index),
+            replace=True)
+    return scenario, s2s
+
+
+def completeness(s2s) -> float:
+    result = s2s.query("SELECT product")
+    full_records = sum(
+        1 for entity in result.entities
+        if entity.value("brand") is not None
+        and entity.value("price") is not None)
+    return full_records / N_PRODUCTS
+
+
+def test_e13_report():
+    table = ResultTable(
+        "E13: answer completeness vs transient failure rate "
+        f"({N_PRODUCTS} records, 4 sources)",
+        ["failure_rate", "no_retries", "retries=2", "retries=8",
+         "retry_attempts@8"])
+    for rate in FAILURE_RATES:
+        row = [rate]
+        for retries in (0, 2, 8):
+            _scenario, s2s = flaky_middleware(rate, retries=retries)
+            row.append(completeness(s2s))
+            if retries == 8:
+                attempts = s2s.manager.retry_count
+        row.append(attempts)
+        table.add_row(*row)
+    table.print()
+
+
+def test_e13_retries_restore_completeness():
+    _scenario, without = flaky_middleware(0.4, retries=0)
+    _scenario, with_retries = flaky_middleware(0.4, retries=8)
+    assert completeness(without) < 1.0
+    assert completeness(with_retries) == 1.0
+
+
+def test_e13_healthy_world_needs_no_retries():
+    _scenario, s2s = flaky_middleware(0.0, retries=8)
+    assert completeness(s2s) == 1.0
+    assert s2s.manager.retry_count == 0
+
+
+@pytest.mark.parametrize("retries", [0, 8])
+def test_e13_query_benchmark(benchmark, retries):
+    _scenario, s2s = flaky_middleware(0.3, retries=retries)
+    benchmark(lambda: s2s.query("SELECT product"))

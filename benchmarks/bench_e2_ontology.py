@@ -1,0 +1,93 @@
+"""E2 — ontology schema and instance population (paper Figure 2, §2.2/2.6).
+
+Measures: schema construction, attribute-path indexing, instance
+population throughput vs instance count, and the indexed-triple-store
+ablation (SPO/POS/OSP hash indexes vs a naive list scan) that justifies
+the graph design in DESIGN.md section 7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.ontology import OntologySchema
+from repro.ontology.builders import watch_domain_ontology
+from repro.ontology.owlxml import ontology_to_graph
+from repro.rdf.namespace import RDF, Namespace
+from repro.workloads.catalog import generate_products
+
+COUNTS = [100, 1000, 5000]
+
+
+def populate(count: int):
+    ontology = watch_domain_ontology()
+    for product in generate_products(count):
+        watch = ontology.add_individual(f"w{product.product_id}", "watch", {
+            "brand": product.brand, "model": product.model,
+            "case": product.case, "price": product.price,
+            "water_resistance": product.water_resistance,
+        })
+        provider_id = f"p{product.product_id}"
+        provider = ontology.add_individual(provider_id, "provider",
+                                           {"name": product.provider_name})
+        watch.link("hasProvider", provider)
+    return ontology
+
+
+def naive_match(triples: list, subject=None, predicate=None, obj=None):
+    return [t for t in triples
+            if (subject is None or t.subject == subject)
+            and (predicate is None or t.predicate == predicate)
+            and (obj is None or t.object == obj)]
+
+
+def test_e2_report():
+    table = ResultTable(
+        "E2: instance population and triple-store ablation",
+        ["instances", "populate_ms", "to_graph_ms", "triples",
+         "indexed_lookup_us", "naive_scan_us", "speedup"])
+    for count in COUNTS:
+        populate_time = measure(lambda c=count: populate(c), repeats=3)
+        ontology = populate(count)
+        graph_time = measure(lambda: ontology_to_graph(ontology), repeats=3)
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        triples = list(graph)
+        indexed = measure(
+            lambda: list(graph.triples(None, RDF.type, ns.watch)),
+            repeats=5)
+        naive = measure(
+            lambda: naive_match(triples, None, RDF.type, ns.watch),
+            repeats=5)
+        table.add_row(count, populate_time.mean_ms, graph_time.mean_ms,
+                      len(graph), indexed.mean * 1e6, naive.mean * 1e6,
+                      naive.mean / max(indexed.mean, 1e-12))
+    table.print()
+
+
+def test_e2_schema_path_index():
+    table = ResultTable("E2b: schema construction",
+                        ["operation", "ms"])
+    build = measure(watch_domain_ontology, repeats=10)
+    ontology = watch_domain_ontology()
+    index = measure(lambda: OntologySchema(ontology), repeats=10)
+    table.add_row("build watch ontology", build.mean_ms)
+    table.add_row("index attribute paths", index.mean_ms)
+    table.print()
+
+
+def test_e2_population_benchmark(benchmark):
+    benchmark(lambda: populate(500))
+
+
+def test_e2_graph_pattern_benchmark(benchmark):
+    graph = ontology_to_graph(populate(1000))
+    ns = Namespace(watch_domain_ontology().base_iri)
+    benchmark(lambda: list(graph.triples(None, RDF.type, ns.watch)))
+
+
+def test_e2_owl_export_benchmark(benchmark):
+    ontology = populate(500)
+    from repro.ontology.owlxml import serialize_ontology
+    benchmark(lambda: serialize_ontology(ontology))

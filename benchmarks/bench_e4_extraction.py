@@ -1,0 +1,51 @@
+"""E4 — per-source-type extraction throughput (paper Figure 5, §2.4).
+
+One scenario per source technology (database/SQL, XML/XPath, web/WebL,
+text/regex), identical catalog; measures the full 4-step extraction
+process and reports records/second per technology — showing where the
+mediator's time goes when source types are mixed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.bench.harness import throughput
+from repro.workloads.scaling import single_type_scenarios
+
+N_PRODUCTS = 100
+
+
+@pytest.fixture(scope="module")
+def typed_points():
+    return list(single_type_scenarios(n_products=N_PRODUCTS))
+
+
+def test_e4_report(typed_points):
+    table = ResultTable(
+        f"E4: extraction throughput by source type ({N_PRODUCTS} records)",
+        ["source_type", "extract_ms", "records_per_s", "query_ms"])
+    for point in typed_points:
+        s2s = point.middleware
+        extraction = measure(lambda: s2s.extract_all(), repeats=3)
+        outcome = s2s.extract_all()
+        query = measure(lambda: s2s.query("SELECT product"), repeats=3)
+        table.add_row(point.label, extraction.mean_ms,
+                      throughput(outcome.total_records(), extraction.mean),
+                      query.mean_ms)
+    table.print()
+
+
+def test_e4_all_types_extract_everything(typed_points):
+    for point in typed_points:
+        outcome = point.middleware.extract_all()
+        assert outcome.ok, f"{point.label}: {outcome.problems}"
+        assert outcome.total_records() == N_PRODUCTS
+
+
+@pytest.mark.parametrize("source_type",
+                         ["database", "xml", "webpage", "textfile"])
+def test_e4_extraction_benchmark(benchmark, typed_points, source_type):
+    point = next(p for p in typed_points if p.label == source_type)
+    benchmark(lambda: point.middleware.extract_all())

@@ -1,0 +1,80 @@
+"""E5 — S2SQL parse/plan cost and selectivity sweep (paper §2.5).
+
+Parsing + planning should be negligible next to extraction (the language
+is deliberately tiny); the selectivity sweep shows that query latency is
+dominated by extraction, not by filtering, across the answer-size range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.core.query import QueryPlanner, parse_s2sql
+
+CONDITION_COUNTS = [0, 1, 2, 4, 8]
+THRESHOLDS = [25, 100, 300, 600, 1000]
+
+
+def make_query(n_conditions: int) -> str:
+    conditions = []
+    pool = [('brand', '=', '"Seiko"'), ('case', '=', '"resin"'),
+            ('price', '<', '500'), ('water_resistance', '>=', '30'),
+            ('model', 'LIKE', '"S%"'), ('movement', '=', '"quartz"'),
+            ('name', '!=', '"Acme"'), ('country', '=', '"PT"')]
+    for index in range(n_conditions):
+        attribute, operator, value = pool[index % len(pool)]
+        conditions.append(f"{attribute} {operator} {value}")
+    query = "SELECT product"
+    if conditions:
+        query += " WHERE " + " AND ".join(conditions)
+    return query
+
+
+def test_e5_parse_plan_report(standard_middleware):
+    planner = QueryPlanner(standard_middleware.schema)
+    table = ResultTable("E5: S2SQL parse + plan cost vs #conditions",
+                        ["conditions", "parse_us", "plan_us"])
+    for count in CONDITION_COUNTS:
+        text = make_query(count)
+        parse_time = measure(lambda: parse_s2sql(text), repeats=5)
+        query = parse_s2sql(text)
+        plan_time = measure(lambda: planner.plan(query), repeats=5)
+        table.add_row(count, parse_time.mean * 1e6, plan_time.mean * 1e6)
+    table.print()
+
+
+def test_e5_selectivity_report(standard_scenario, standard_middleware):
+    table = ResultTable(
+        "E5b: query latency vs selectivity (price < threshold)",
+        ["threshold", "matched", "of_total", "latency_ms",
+         "extraction_ms"])
+    total = len(standard_scenario.products)
+    for threshold in THRESHOLDS:
+        query = f"SELECT product WHERE price < {threshold}"
+        result = standard_middleware.query(query)
+        latency = measure(lambda: standard_middleware.query(query),
+                          repeats=3)
+        table.add_row(threshold, len(result), total, latency.mean_ms,
+                      result.extraction_seconds * 1e3)
+    table.print()
+
+
+def test_e5_selectivity_correctness(standard_scenario, standard_middleware):
+    for threshold in THRESHOLDS:
+        result = standard_middleware.query(
+            f"SELECT product WHERE price < {threshold}")
+        expected = standard_scenario.expected_matches(
+            lambda p: p.price < threshold)
+        assert len(result) == len(expected)
+
+
+def test_e5_parse_benchmark(benchmark):
+    text = make_query(4)
+    benchmark(lambda: parse_s2sql(text))
+
+
+def test_e5_plan_benchmark(benchmark, standard_middleware):
+    planner = QueryPlanner(standard_middleware.schema)
+    query = parse_s2sql(make_query(4))
+    benchmark(lambda: planner.plan(query))

@@ -1,0 +1,115 @@
+"""E6 — integration accuracy under heterogeneity (paper §1/§5).
+
+The paper's core argument: syntactic middleware cannot resolve schematic
+and semantic conflicts; ontology-based mapping can.  Three worlds (no
+conflicts / schematic only / schematic+semantic) are queried by S2S and by
+the syntactic baseline, and precision/recall against ground truth are
+reported.  The syntactic baseline is given its best case: it queries every
+field spelling it knows about and unions the results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.workloads.scaling import conflict_scenarios
+
+CASE_VALUE = "stainless-steel"
+CASE_FIELD_SPELLINGS = ("case_material", "gehaeuse", "housing")
+
+
+@pytest.fixture(scope="module")
+def conflict_points():
+    return list(conflict_scenarios(n_sources=6, n_products=60))
+
+
+def accuracy(found_keys: set, truth_keys: set) -> tuple[float, float]:
+    if not found_keys:
+        return (1.0 if not truth_keys else 0.0,
+                0.0 if truth_keys else 1.0)
+    true_positives = len(found_keys & truth_keys)
+    precision = true_positives / len(found_keys)
+    recall = true_positives / len(truth_keys) if truth_keys else 1.0
+    return precision, recall
+
+
+def test_e6_report(conflict_points):
+    table = ResultTable(
+        f'E6: accuracy integrating "case = {CASE_VALUE}" queries',
+        ["conflicts", "system", "found", "truth", "precision", "recall"])
+    for point in conflict_points:
+        scenario = point.scenario
+        truth = {p.key() for p in scenario.expected_matches(
+            lambda p: p.case == CASE_VALUE)}
+
+        s2s_result = point.middleware.query(
+            f'SELECT product WHERE case = "{CASE_VALUE}"')
+        s2s_keys = {(e.value("brand"), e.value("model"))
+                    for e in s2s_result.entities}
+        precision, recall = accuracy(s2s_keys, truth)
+        table.add_row(point.label, "S2S", len(s2s_keys), len(truth),
+                      precision, recall)
+
+        syntactic = scenario.build_syntactic_baseline()
+        syn_keys = set()
+        for field in CASE_FIELD_SPELLINGS:
+            for record in syntactic.query(**{field: CASE_VALUE}):
+                brand = (record.get("brand") or record.get("marke")
+                         or record.get("manufacturer"))
+                model = (record.get("model") or record.get("modell")
+                         or record.get("reference"))
+                syn_keys.add((brand, model))
+        precision, recall = accuracy(syn_keys, truth)
+        table.add_row(point.label, "syntactic", len(syn_keys), len(truth),
+                      precision, recall)
+    table.print()
+
+
+def test_e6_s2s_is_exact_everywhere(conflict_points):
+    for point in conflict_points:
+        truth = {p.key() for p in point.scenario.expected_matches(
+            lambda p: p.case == CASE_VALUE)}
+        result = point.middleware.query(
+            f'SELECT product WHERE case = "{CASE_VALUE}"')
+        found = {(e.value("brand"), e.value("model"))
+                 for e in result.entities}
+        assert found == truth, point.label
+
+
+def test_e6_syntactic_recall_collapses_with_semantics(conflict_points):
+    by_label = {p.label: p for p in conflict_points}
+    # With full conflicts the non-canonical vocabularies are invisible to
+    # raw string matching.
+    full = by_label["schematic+semantic"]
+    truth = {p.key() for p in full.scenario.expected_matches(
+        lambda p: p.case == CASE_VALUE)}
+    syntactic = full.scenario.build_syntactic_baseline()
+    found = sum(len(syntactic.query(**{field: CASE_VALUE}))
+                for field in CASE_FIELD_SPELLINGS)
+    assert found < len(truth)
+
+    # Without any conflicts the baseline recovers.
+    clean = by_label["none"]
+    truth = {p.key() for p in clean.scenario.expected_matches(
+        lambda p: p.case == CASE_VALUE)}
+    syntactic = clean.scenario.build_syntactic_baseline()
+    found = len(syntactic.query(case_material=CASE_VALUE))
+    assert found == len(truth)
+
+
+def test_e6_price_queries_need_unit_normalization(conflict_points):
+    """Numeric comparisons are impossible for the raw baseline: a price
+    published in cents looks 100x bigger."""
+    full = next(p for p in conflict_points
+                if p.label == "schematic+semantic")
+    truth = full.scenario.expected_matches(lambda p: p.price < 100)
+    result = full.middleware.query("SELECT product WHERE price < 100")
+    assert len(result) == len(truth)
+
+
+def test_e6_query_benchmark(benchmark, conflict_points):
+    full = next(p for p in conflict_points
+                if p.label == "schematic+semantic")
+    benchmark(lambda: full.middleware.query(
+        f'SELECT product WHERE case = "{CASE_VALUE}"'))

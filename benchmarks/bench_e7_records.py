@@ -1,0 +1,71 @@
+"""E7 — the 1-record vs n-record source scenarios (paper §2.3).
+
+"Data sources might have one data record (for instance a Web page
+describing a watch) or might have n data records (for instance a database
+of watches)."  Measures extraction cost as records-per-source grows, and
+compares many single-record sources against one n-record source holding
+the same data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.bench.harness import throughput
+from repro.workloads import B2BScenario
+from repro.workloads.scaling import record_count_sweep
+
+RECORD_COUNTS = [10, 100, 1000]
+
+
+def test_e7_records_per_source_report():
+    table = ResultTable(
+        "E7: extraction cost vs records per source (4 mixed sources)",
+        ["records_total", "per_source", "extract_ms", "records_per_s",
+         "query_ms"])
+    for point in record_count_sweep(RECORD_COUNTS, n_sources=4):
+        s2s = point.middleware
+        extraction = measure(lambda: s2s.extract_all(), repeats=3)
+        query = measure(lambda: s2s.query("SELECT product"), repeats=3)
+        table.add_row(point.n_products, point.n_products // 4,
+                      extraction.mean_ms,
+                      throughput(point.n_products, extraction.mean),
+                      query.mean_ms)
+    table.print()
+
+
+def test_e7_single_vs_n_record_sources_report():
+    """Same 24 products: 24 single-record web pages vs 1 database."""
+    table = ResultTable(
+        "E7b: 24 single-record web sources vs one 24-record database",
+        ["layout", "sources", "extract_ms", "entities"])
+    pages = B2BScenario(n_sources=24, n_products=24,
+                        source_mix=("webpage",))
+    database = B2BScenario(n_sources=1, n_products=24,
+                           source_mix=("database",))
+    for label, scenario in (("single-record pages", pages),
+                            ("n-record database", database)):
+        s2s = scenario.build_middleware()
+        extraction = measure(lambda: s2s.extract_all(), repeats=3)
+        entities = len(s2s.query("SELECT product"))
+        table.add_row(label, len(scenario.organizations),
+                      extraction.mean_ms, entities)
+        assert entities == 24
+    table.print()
+
+
+def test_e7_alignment_correct_at_scale():
+    point = list(record_count_sweep([1000], n_sources=4))[0]
+    result = point.middleware.query("SELECT product")
+    truth = {p.key(): p for p in point.scenario.ground_truth()}
+    assert len(result) == 1000
+    for entity in result.entities[::97]:  # spot-check across the range
+        product = truth[(entity.value("brand"), entity.value("model"))]
+        assert entity.value("case") == product.case
+
+
+@pytest.mark.parametrize("count", [10, 1000])
+def test_e7_extraction_benchmark(benchmark, count):
+    point = list(record_count_sweep([count], n_sources=4))[0]
+    benchmark(lambda: point.middleware.extract_all())

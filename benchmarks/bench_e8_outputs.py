@@ -1,0 +1,64 @@
+"""E8 — output serialization cost by format (paper §2.6).
+
+"The S2S middleware supports the output format OWL, but other outputs can
+easily be adapted."  Measures the cost of each output adapter as entity
+count grows, and OWL parse-back cost (the consumer side of a B2B link).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure
+from repro.core.instances.outputs import OUTPUT_FORMATS, render_entities
+from repro.rdf.rdfxml import parse_rdfxml
+from repro.workloads.scaling import record_count_sweep
+
+ENTITY_COUNTS = [10, 100, 1000]
+
+
+@pytest.fixture(scope="module")
+def result_sets():
+    sets = {}
+    for point in record_count_sweep(ENTITY_COUNTS, n_sources=4):
+        result = point.middleware.query("SELECT product")
+        sets[point.n_products] = (point.middleware.schema, result.entities)
+    return sets
+
+
+def test_e8_report(result_sets):
+    table = ResultTable(
+        "E8: serialization cost by output format",
+        ["entities", "format", "ms", "bytes"])
+    for count in ENTITY_COUNTS:
+        schema, entities = result_sets[count]
+        for format in OUTPUT_FORMATS:
+            timing = measure(
+                lambda f=format: render_entities(schema, entities, f),
+                repeats=3)
+            size = len(render_entities(schema, entities, format))
+            table.add_row(count, format, timing.mean_ms, size)
+    table.print()
+
+
+def test_e8_owl_roundtrip_report(result_sets):
+    table = ResultTable("E8b: OWL consumer-side parse cost",
+                        ["entities", "parse_ms", "triples"])
+    for count in ENTITY_COUNTS:
+        schema, entities = result_sets[count]
+        owl = render_entities(schema, entities, "owl")
+        timing = measure(lambda: parse_rdfxml(owl), repeats=3)
+        table.add_row(count, timing.mean_ms, len(parse_rdfxml(owl)))
+    table.print()
+
+
+def test_e8_all_formats_nonempty(result_sets):
+    schema, entities = result_sets[100]
+    for format in OUTPUT_FORMATS:
+        assert render_entities(schema, entities, format).strip()
+
+
+@pytest.mark.parametrize("format", list(OUTPUT_FORMATS))
+def test_e8_serialization_benchmark(benchmark, result_sets, format):
+    schema, entities = result_sets[100]
+    benchmark(lambda: render_entities(schema, entities, format))

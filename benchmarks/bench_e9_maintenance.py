@@ -1,0 +1,86 @@
+"""E9 — mapping maintenance under source-schema drift (paper §2.3).
+
+"Although time consuming, the mapping should not need substantial
+maintenance after being created.  Data sources do not normally change
+their structures (except perhaps Web pages), so few mapping updates should
+be necessary."  Measures, per drift rate: how many mapping entries a field
+rename invalidates (out of the whole repository), what it does to recall
+before repair, and what the repair costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable, measure_value
+from repro.workloads import B2BScenario
+
+DRIFT_FRACTIONS = [0.25, 0.5, 1.0]
+
+
+def fresh_world():
+    scenario = B2BScenario(n_sources=8, n_products=48)
+    return scenario, scenario.build_middleware()
+
+
+def test_e9_report():
+    table = ResultTable(
+        "E9: drift impact and repair cost (8 sources, 48 products)",
+        ["drift_fraction", "entries_total", "entries_invalidated",
+         "recall_before_repair", "repair_entries", "repair_ms",
+         "recall_after_repair"])
+    for fraction in DRIFT_FRACTIONS:
+        scenario, s2s = fresh_world()
+        truth = scenario.expected_matches(lambda p: p.brand == "Seiko")
+        entries_total = len(s2s.attribute_repository)
+
+        events = scenario.drift(fraction=fraction)
+        invalidated = sum(len(e.invalidated_attributes) for e in events)
+        before = len(s2s.query('SELECT product WHERE brand = "Seiko"'))
+        recall_before = before / len(truth) if truth else 1.0
+
+        repair_seconds, repaired = measure_value(
+            lambda: scenario.repair_mapping(s2s, events))
+        after = len(s2s.query('SELECT product WHERE brand = "Seiko"'))
+        recall_after = after / len(truth) if truth else 1.0
+        table.add_row(fraction, entries_total, invalidated, recall_before,
+                      repaired, repair_seconds * 1e3, recall_after)
+        assert recall_after == 1.0
+    table.print()
+
+
+def test_e9_blast_radius_is_one_entry_per_source():
+    """A field rename invalidates exactly the mapping entries that name
+    that field — the rest of the repository is untouched (the locality
+    property behind the paper's low-maintenance claim)."""
+    scenario, s2s = fresh_world()
+
+    def snapshot(middleware):
+        return {(e.attribute_id, e.source_id, e.rule.code)
+                for e in middleware.attribute_repository.all_entries()}
+
+    entries_before = snapshot(s2s)
+    events = scenario.drift(fraction=0.5)
+    scenario.repair_mapping(s2s, events)
+    entries_after = snapshot(s2s)
+    changed = entries_before.symmetric_difference(entries_after)
+    # one removed + one added entry per repaired mapping
+    assert len(changed) == 2 * len(events)
+
+
+def test_e9_other_attributes_survive_drift():
+    scenario, s2s = fresh_world()
+    scenario.drift(fraction=1.0)
+    result = s2s.query('SELECT product WHERE case = "stainless-steel"')
+    expected = scenario.expected_matches(
+        lambda p: p.case == "stainless-steel")
+    assert len(result) == len(expected)
+
+
+def test_e9_repair_benchmark(benchmark):
+    def drift_and_repair():
+        scenario, s2s = fresh_world()
+        events = scenario.drift(fraction=0.5)
+        return scenario.repair_mapping(s2s, events)
+
+    benchmark(drift_and_repair)

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Scenario construction is expensive relative to the measured operations, so
+standard worlds are built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import B2BScenario
+
+
+@pytest.fixture(scope="session")
+def standard_scenario():
+    """4 sources x 10 records with full heterogeneity."""
+    return B2BScenario(n_sources=4, n_products=40)
+
+
+@pytest.fixture(scope="session")
+def standard_middleware(standard_scenario):
+    return standard_scenario.build_middleware()

@@ -1,0 +1,75 @@
+"""Multi-organization B2B integration under heterogeneity.
+
+Eight organizations publish one shared product catalog through four
+different source technologies, with schematic conflicts (``brand`` vs
+``marke`` vs ``manufacturer``) and semantic conflicts (prices in cents /
+thousands, three case-material vocabularies) injected.  The example shows:
+
+1. the S2S middleware answering ground-truth-exact queries across all of
+   it (the mapping transforms normalize the conflicts);
+2. the syntactic baseline missing most of the answer;
+3. source drift breaking one attribute, and the mapping repair restoring
+   it — the maintenance story of paper section 2.3.
+
+Run:  python examples/b2b_supplier_integration.py
+"""
+
+from repro.workloads import B2BScenario, ConflictProfile
+
+
+def main() -> None:
+    scenario = B2BScenario(n_sources=8, n_products=48,
+                           conflicts=ConflictProfile())
+    print(f"world: {len(scenario.organizations)} organizations, "
+          f"{len(scenario.products)} ground-truth products")
+    for org in scenario.organizations:
+        brand_field = org.native_fields.get("brand", "brand")
+        print(f"  {org.source_id:<12} ({org.source_type:<8}) "
+              f"{len(org.products):>2} products, "
+              f"calls 'brand' {brand_field!r}")
+
+    s2s = scenario.build_middleware()
+    print(f"\nmapping coverage: {s2s.mapping_coverage():.0%} "
+          f"({len(s2s.attribute_repository)} entries)")
+
+    query = 'SELECT product WHERE case = "stainless-steel" AND price < 500'
+    truth = scenario.expected_matches(
+        lambda p: p.case == "stainless-steel" and p.price < 500)
+    result = s2s.query(query)
+    print(f"\nS2SQL: {query}")
+    print(f"  S2S answer: {len(result)} products "
+          f"(ground truth: {len(truth)}) — {result.errors.summary()}")
+
+    syntactic = scenario.build_syntactic_baseline()
+    syntactic_hits = sum(
+        len(syntactic.query(**{field: "stainless-steel"}))
+        for field in ("case_material", "gehaeuse", "housing"))
+    print(f"  syntactic baseline (best effort, raw string match over every "
+          f"known field spelling): {syntactic_hits} products — misses the "
+          "non-canonical vocabularies entirely")
+
+    # --- drift and repair -------------------------------------------------
+    print("\ninjecting schema drift into half the organizations "
+          "(brand field renamed)...")
+    events = scenario.drift(fraction=0.5)
+    broken = s2s.query('SELECT product WHERE brand = "Seiko"')
+    print(f"  after drift, brand query finds {len(broken)} products; "
+          f"errors: {broken.errors.summary()}")
+
+    repaired = scenario.repair_mapping(s2s, events)
+    fixed = s2s.query('SELECT product WHERE brand = "Seiko"')
+    seiko_truth = scenario.expected_matches(lambda p: p.brand == "Seiko")
+    print(f"  repaired {repaired} mapping entries "
+          f"(one per drifted source, nothing else touched)")
+    print(f"  brand query now finds {len(fixed)} products "
+          f"(ground truth: {len(seiko_truth)})")
+
+    # --- persistence -------------------------------------------------------
+    dumped = s2s.dump_mapping()
+    print(f"\nmapping persisted to JSON: {len(dumped)} bytes, "
+          f"{len(s2s.attribute_repository)} attribute entries, "
+          f"{len(s2s.source_repository)} sources")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""The consumer side: semantic knowledge processing over S2S output.
+
+The paper's closing claim (§1, §5): because S2S emits OWL, the integrated
+data "can be shared and processed by automated tools as well as by
+people".  This example plays the *receiving* B2B partner: it takes the
+OWL document a query produced, loads it into an RDF graph, materializes
+RDFS entailments, and asks SPARQL questions the original sources could
+never answer individually — including one that relies on subclass
+inference.
+
+Run:  python examples/semantic_processing.py
+"""
+
+from repro.core.instances.outputs import entities_to_graph
+from repro.rdf import execute_sparql, materialize_rdfs
+from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+from repro.workloads import B2BScenario
+
+
+def main() -> None:
+    # --- producer side: integrate and publish OWL -------------------------
+    scenario = B2BScenario(n_sources=6, n_products=30)
+    s2s = scenario.build_middleware()
+    # One partner publishes no provider information — partial data is
+    # normal in B2B integration and shows up as missing links in the OWL.
+    sparse_source = scenario.organizations[0].source_id
+    s2s.attribute_repository.remove("thing.provider.name", sparse_source)
+    s2s.attribute_repository.remove("thing.provider.country", sparse_source)
+    result = s2s.query("SELECT product")
+    graph = entities_to_graph(s2s.schema, result.entities,
+                              include_schema=True)
+    owl_document = serialize_rdfxml(graph)
+    print(f"producer: integrated {len(result)} products into an OWL "
+          f"document of {len(owl_document):,} bytes\n")
+
+    # --- consumer side: parse, infer, query -------------------------------
+    knowledge = parse_rdfxml(owl_document)
+    inferred = materialize_rdfs(knowledge)
+    print(f"consumer: parsed {len(knowledge) - inferred:,} triples, "
+          f"inferred {inferred:,} more (RDFS entailment)\n")
+    base = s2s.ontology.base_iri
+
+    print("Q1 — cheap steel watches, with their providers "
+          "(multi-pattern join + FILTER):")
+    rows = execute_sparql(knowledge, f"""
+PREFIX onto: <{base}>
+SELECT ?brand ?model ?price ?provider WHERE {{
+  ?w a onto:watch .
+  ?w onto:brand ?brand .    ?w onto:model ?model .
+  ?w onto:price ?price .    ?w onto:case "stainless-steel" .
+  ?w onto:hasProvider ?p .  ?p onto:name ?provider .
+  FILTER (?price < 400)
+}} ORDER BY ?price""")
+    for brand, model, price, provider in rows.rows:
+        print(f"  {brand} {model}  {float(price.lexical):8.2f}  "
+              f"from {provider}")
+
+    print("\nQ2 — the subclass-inference question: instances of "
+          "onto:product (no source ever said 'product'):")
+    rows = execute_sparql(knowledge, f"""
+PREFIX onto: <{base}>
+SELECT DISTINCT ?x WHERE {{ ?x a onto:product . }}""")
+    print(f"  {len(rows)} product individuals found via "
+          "rdfs:subClassOf entailment")
+
+    print("\nQ3 — watches missing provider information "
+          "(OPTIONAL + !BOUND finds the data gaps):")
+    rows = execute_sparql(knowledge, f"""
+PREFIX onto: <{base}>
+SELECT ?brand ?model WHERE {{
+  ?w a onto:watch .
+  ?w onto:brand ?brand .
+  ?w onto:model ?model .
+  OPTIONAL {{ ?w onto:hasProvider ?p . }}
+  FILTER (!BOUND(?p))
+}} ORDER BY ?brand""")
+    for brand, model in rows.rows:
+        print(f"  {brand} {model}")
+    print(f"  ({len(rows)} gaps — exactly the records published by the "
+          "partner without provider data)")
+
+    print("\nQ4 — does anyone sell a titanium watch? (ASK)")
+    answer = execute_sparql(knowledge, f"""
+PREFIX onto: <{base}>
+ASK {{ ?w onto:case "titanium" . }}""")
+    print(f"  {answer}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""The paper's running example, end to end.
+
+Three heterogeneous sources describe watches:
+
+* ``wpage_81`` — a product web page (unstructured), wrapped with the
+  paper's own WebL extraction rule;
+* ``DB_ID_45`` — a supplier database (structured), wrapped with SQL;
+* ``XML_7`` — a partner's XML feed (semistructured), wrapped with XPath.
+
+One S2SQL query — the paper's example query — integrates all three, and
+the answer is serialized in every supported output format.
+
+Run:  python examples/watch_catalog_integration.py
+"""
+
+from repro import S2SMiddleware, sql_rule, webl_rule, xpath_rule
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.relational import Database, RelationalDataSource
+from repro.sources.web import SimulatedWeb, WebDataSource
+from repro.sources.xmlstore import XmlDataSource, XmlDocumentStore
+
+PAGE = """<html><head><title>Watch 81</title></head><body>
+<p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+<span id="model">SRPD51</span>
+<span id="case">stainless-steel</span>
+<span class="price">$250.00</span>
+<div id="provider">DiveShop</div>
+</body></html>"""
+
+# The paper's WebL brand rule (section 2.3.1), URL via SourceURL().
+BRAND_WEBL = """
+var P = GetURL(SourceURL());
+var pText = Text(P);
+var regexpr = "<p> <b>" + `[0-9a-zA-Z']+`;
+var St = Str_Search(pText, regexpr);
+var spliter = Str_Split(St[0][0], "<> ");
+var brand = Select(spliter[2], 0, 6);
+"""
+
+
+def span_rule(element_id: str) -> str:
+    return f"""
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<span id="{element_id}">([^<]+)</span>`);
+var v = m[0][1];
+"""
+
+
+def build_middleware() -> S2SMiddleware:
+    web = SimulatedWeb()
+    web.publish("http://www.shop.example/watch81", PAGE)
+
+    db = Database("suppliers")
+    db.executescript("""
+    CREATE TABLE watches (brand TEXT, model TEXT, casing TEXT,
+                          price_cents INTEGER, provider TEXT);
+    INSERT INTO watches (brand, model, casing, price_cents, provider) VALUES
+      ('Seiko', 'SKX007', 'stainless-steel', 19900, 'Acme'),
+      ('Casio', 'F91W', 'resin', 1550, 'WatchCo'),
+      ('Seiko', 'SNK809', 'stainless-steel', 8900, 'Acme');
+    """)
+
+    xml = XmlDocumentStore()
+    xml.put("catalog.xml", """
+<catalog>
+  <watch><brand>Orient</brand><model>Bambino</model>
+    <case>stainless-steel</case><price>180.0</price>
+    <provider>Orient Star</provider></watch>
+  <watch><brand>Seiko</brand><model>SRPE93</model>
+    <case>stainless-steel</case><price>295.0</price>
+    <provider>DiveShop</provider></watch>
+</catalog>""")
+
+    s2s = S2SMiddleware(watch_domain_ontology())
+    s2s.register_source(
+        WebDataSource("wpage_81", web, "http://www.shop.example/watch81"))
+    s2s.register_source(RelationalDataSource("DB_ID_45", db))
+    s2s.register_source(XmlDataSource("XML_7", xml,
+                                      default_document="catalog.xml"))
+
+    # Web page mappings (WebL).
+    s2s.register_attribute(("product", "brand"),
+                           webl_rule(BRAND_WEBL, name="watch.webl"),
+                           "wpage_81")
+    s2s.register_attribute(("product", "model"),
+                           webl_rule(span_rule("model"), name="watch.webl"),
+                           "wpage_81")
+    s2s.register_attribute(("watch", "case"),
+                           webl_rule(span_rule("case"), name="watch.webl"),
+                           "wpage_81")
+    s2s.register_attribute(
+        ("product", "price"),
+        webl_rule("""
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `\\$([0-9.]+)`);
+var price = m[0][1];
+""", name="watch.webl"), "wpage_81")
+    s2s.register_attribute(
+        ("provider", "name"),
+        webl_rule("""
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<div id="provider">([^<]+)</div>`);
+var p = m[0][1];
+""", name="watch.webl"), "wpage_81")
+
+    # Database mappings (SQL) — note the semantic normalization of cents.
+    s2s.register_attribute(("product", "brand"),
+                           sql_rule("SELECT brand FROM watches"), "DB_ID_45")
+    s2s.register_attribute(("product", "model"),
+                           sql_rule("SELECT model FROM watches"), "DB_ID_45")
+    s2s.register_attribute(("watch", "case"),
+                           sql_rule("SELECT casing FROM watches"), "DB_ID_45")
+    s2s.register_attribute(("product", "price"),
+                           sql_rule("SELECT price_cents FROM watches",
+                                    transform="cents_to_units"), "DB_ID_45")
+    s2s.register_attribute(("provider", "name"),
+                           sql_rule("SELECT provider FROM watches"),
+                           "DB_ID_45")
+
+    # XML feed mappings (XPath).
+    for attribute, tag in ((("product", "brand"), "brand"),
+                           (("product", "model"), "model"),
+                           (("watch", "case"), "case"),
+                           (("product", "price"), "price"),
+                           (("provider", "name"), "provider")):
+        s2s.register_attribute(attribute, xpath_rule(f"//watch/{tag}"),
+                               "XML_7")
+    return s2s
+
+
+def main() -> None:
+    s2s = build_middleware()
+    print("Registered mapping entries:")
+    for line in s2s.mapping_lines():
+        print(" ", line)
+
+    query = ('SELECT product WHERE brand = "Seiko" '
+             'AND case = "stainless-steel"')
+    print(f"\nQuery (paper section 2.5): {query}")
+    result = s2s.query(query)
+
+    print(f"-> {len(result)} integrated products from sources "
+          f"{sorted({e.source_id for e in result.entities})}")
+    print(f"-> output classes: {result.output_classes} "
+          "(paper: Product, watch, and Provider)\n")
+    print(result.serialize("text"))
+
+    for format in ("owl", "turtle", "xml", "json"):
+        rendered = result.serialize(format)
+        print(f"--- output as {format} ({len(rendered)} chars) "
+              f"----------------------------")
+        print(rendered[:400].rstrip()
+              + ("\n... [truncated]\n" if len(rendered) > 400 else "\n"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable builds, which require bdist_wheel;
+offline environments that lack `wheel` can fall back to
+`python setup.py develop` via this shim.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — S2S: Semantic Data Extraction for B2B Integration.
+
+A complete, self-contained reproduction of the Syntactic-to-Semantic (S2S)
+middleware of Silva & Cardoso (IWDDS / ICDCS 2006): an ontology-driven
+data integrator that answers a single S2SQL query over heterogeneous data
+sources (relational databases, XML, web pages, plain-text files) and
+returns the integrated answer as OWL ontology instances.
+
+Public entry points:
+
+* :class:`repro.core.S2SMiddleware` — the middleware facade;
+* :mod:`repro.ontology` — build/import the shared ontology schema;
+* :mod:`repro.sources` — data-source substrates and connectors;
+* :mod:`repro.workloads` — synthetic B2B scenario generators;
+* :mod:`repro.baselines` — syntactic comparison systems.
+"""
+
+from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
+                              xpath_rule)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "S2SMiddleware",
+    "sql_rule",
+    "xpath_rule",
+    "webl_rule",
+    "regex_rule",
+    "__version__",
+]

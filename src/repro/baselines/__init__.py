@@ -1,0 +1,26 @@
+"""Comparison systems.
+
+The paper argues (sections 1, 4, 5) that syntactic-only middleware cannot
+resolve schematic/semantic heterogeneity and that wrapper toolkits like
+W4F and Caméléon cover only some source types.  These baselines make that
+comparison measurable:
+
+* :mod:`repro.baselines.syntactic` — a syntactic merge integrator: unions
+  raw records under their native field names, no ontology, no
+  normalization;
+* :mod:`repro.baselines.federated` — a hand-written federated querier: per
+  source, the author writes a record-producing callable and a per-query
+  filter (what an engineer builds without any middleware);
+* :mod:`repro.baselines.w4f` — a W4F-style standalone web wrapper: web
+  pages only, XML output;
+* :mod:`repro.baselines.cameleon` — a Caméléon-style declarative wrapper
+  engine: spec files over web pages and text files, XML output.
+"""
+
+from .syntactic import SyntacticIntegrator
+from .federated import FederatedQuerier
+from .w4f import W4fWrapper
+from .cameleon import CameleonWrapper
+
+__all__ = ["SyntacticIntegrator", "FederatedQuerier", "W4fWrapper",
+           "CameleonWrapper"]

@@ -1,0 +1,100 @@
+"""The syntactic merge integrator.
+
+Models "most current middleware [which] only covers syntactical
+integration" (paper section 5): it can *reach* every source (it reuses the
+same connectors and rule execution as S2S) but it has no ontology — each
+source contributes records under its **native field names**, values stay
+raw strings, and no unit/vocabulary normalization or cross-source schema
+alignment happens.
+
+Queries against it are field=value filters.  When two sources name the
+same concept differently (``brand`` vs ``marke`` vs ``manufacturer``), a
+query can only match the sources that happen to share the queried field
+name — precisely the failure mode the heterogeneity experiment (E6)
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import S2SError
+from ..sources.base import DataSource
+
+
+@dataclass
+class SyntacticMapping:
+    """Field name → extraction rule, per source, using native names."""
+
+    source: DataSource
+    fields: dict[str, str] = field(default_factory=dict)  # name → rule code
+
+
+@dataclass
+class SyntacticRecord:
+    """One merged record: raw field → raw string value, plus provenance."""
+
+    source_id: str
+    fields: dict[str, str | None]
+
+    def get(self, name: str) -> str | None:
+        """Raw value of a native field, or None."""
+        return self.fields.get(name)
+
+
+class SyntacticIntegrator:
+    """Unions per-source records without semantic alignment."""
+
+    def __init__(self) -> None:
+        self._mappings: list[SyntacticMapping] = []
+
+    def add_source(self, source: DataSource,
+                   fields: dict[str, str]) -> None:
+        """Register a source with its native field → rule map."""
+        if not fields:
+            raise S2SError("syntactic mapping requires at least one field")
+        self._mappings.append(SyntacticMapping(source, dict(fields)))
+
+    def materialize(self) -> list[SyntacticRecord]:
+        """Extract every source's records (positional alignment, as S2S)."""
+        records: list[SyntacticRecord] = []
+        for mapping in self._mappings:
+            columns: dict[str, list[str]] = {}
+            for name, rule in mapping.fields.items():
+                try:
+                    columns[name] = mapping.source.execute_rule(rule)
+                except S2SError:
+                    columns[name] = []
+            count = max((len(values) for values in columns.values()),
+                        default=0)
+            for index in range(count):
+                fields = {
+                    name: (values[index] if index < len(values) else None)
+                    for name, values in columns.items()
+                }
+                records.append(SyntacticRecord(mapping.source.source_id,
+                                               fields))
+        return records
+
+    def query(self, **constraints: str) -> list[SyntacticRecord]:
+        """Filter the merged records by exact raw string equality.
+
+        This is the strongest query a syntactic system can offer: it knows
+        neither types (so no numeric comparison) nor synonyms (so a
+        constraint only sees sources sharing the field name)."""
+        results = []
+        for record in self.materialize():
+            if all(record.get(name) == value
+                   for name, value in constraints.items()):
+                results.append(record)
+        return results
+
+    def field_names(self) -> set[str]:
+        """Union of native field names across all sources."""
+        names: set[str] = set()
+        for mapping in self._mappings:
+            names.update(mapping.fields)
+        return names
+
+    def __len__(self) -> int:
+        return len(self._mappings)

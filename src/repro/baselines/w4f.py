@@ -1,0 +1,69 @@
+"""A W4F-style standalone web wrapper.
+
+Models the World Wide Web Wrapper Factory of the paper's related work
+(section 4): "W4F extracts exclusively from Web pages and the output may
+be in an XML file or a Java interface."  The wrapper takes per-field
+regex extraction rules over one page, and emits flat XML — no ontology,
+no typed values, no non-web sources.  E10 compares its coverage and cost
+with the full S2S pipeline.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import S2SError, WebError
+from ..sources.web.site import SimulatedWeb
+from ..xmlkit import Document, Element, serialize_xml
+
+
+class W4fWrapper:
+    """Extraction rules over web pages, XML out."""
+
+    def __init__(self, web: SimulatedWeb) -> None:
+        self.web = web
+        self._rules: dict[str, re.Pattern] = {}
+
+    def add_rule(self, field: str, pattern: str) -> None:
+        """Map an output field to a regex with one capture group."""
+        try:
+            compiled = re.compile(pattern, re.DOTALL)
+        except re.error as exc:
+            raise S2SError(f"invalid W4F rule for {field!r}: {exc}") from exc
+        if compiled.groups < 1:
+            raise S2SError(
+                f"W4F rule for {field!r} needs one capture group")
+        self._rules[field] = compiled
+
+    def extract(self, url: str) -> dict[str, list[str]]:
+        """Run every rule against the page at ``url``."""
+        try:
+            markup = self.web.fetch(url)
+        except WebError:
+            raise
+        return {
+            field: [match.group(1).strip()
+                    for match in pattern.finditer(markup)]
+            for field, pattern in self._rules.items()
+        }
+
+    def extract_xml(self, url: str) -> str:
+        """The W4F deliverable: extraction results as an XML document."""
+        extracted = self.extract(url)
+        count = max((len(values) for values in extracted.values()), default=0)
+        root = Element("w4f-result", {"url": url})
+        for index in range(count):
+            record = root.subelement("record", {"index": str(index)})
+            for field in sorted(extracted):
+                values = extracted[field]
+                if index < len(values):
+                    record.subelement(field, text=values[index])
+        return serialize_xml(Document(root))
+
+    def extract_site(self, urls: list[str]) -> list[dict[str, list[str]]]:
+        """Run the rules against several URLs."""
+        return [self.extract(url) for url in urls]
+
+    def field_names(self) -> list[str]:
+        """Output fields this wrapper extracts, sorted."""
+        return sorted(self._rules)

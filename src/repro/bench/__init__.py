@@ -1,0 +1,6 @@
+"""Benchmark harness utilities: timing, statistics and table printing."""
+
+from .harness import Measurement, measure, measure_value
+from .reporting import ResultTable
+
+__all__ = ["measure", "measure_value", "Measurement", "ResultTable"]

@@ -1,0 +1,79 @@
+"""Measurement helpers.
+
+``pytest-benchmark`` drives the statistically careful runs; these helpers
+cover the *printed series* each benchmark also reports (the rows recorded
+in EXPERIMENTS.md), with simple repeat-and-summarize timing.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Summary statistics of repeated timings (seconds)."""
+
+    label: str
+    repeats: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean in milliseconds."""
+        return self.mean * 1e3
+
+    @property
+    def median_ms(self) -> float:
+        """Median in milliseconds."""
+        return self.median * 1e3
+
+    def __str__(self) -> str:
+        return (f"{self.label}: mean={self.mean_ms:.3f}ms "
+                f"median={self.median_ms:.3f}ms "
+                f"min={self.minimum * 1e3:.3f}ms (n={self.repeats})")
+
+
+def measure(function: Callable[[], object], *, label: str = "",
+            repeats: int = 5, warmup: int = 1) -> Measurement:
+    """Time ``function`` ``repeats`` times after ``warmup`` runs."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        function()
+    samples: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return Measurement(
+        label=label,
+        repeats=repeats,
+        mean=statistics.fmean(samples),
+        median=statistics.median(samples),
+        stdev=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def measure_value(function: Callable[[], object], *, label: str = ""
+                  ) -> tuple[float, object]:
+    """Single timed run returning (seconds, function result)."""
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+def throughput(count: int, seconds: float) -> float:
+    """Items per second, guarding against zero elapsed time."""
+    if seconds <= 0:
+        return float("inf")
+    return count / seconds

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on a self-contained demo world (the deterministic B2B
+scenario generator), so the middleware can be explored without writing
+any code:
+
+* ``demo`` — build a scenario, run the paper's example query, print the
+  integrated answer;
+* ``query`` — run an arbitrary S2SQL query against a scenario;
+* ``mapping`` — print the attribute repository in the paper's
+  ``attr = rule, source`` format;
+* ``plan`` — parse an S2SQL query and show the extraction plan
+  (class closure + required attributes) without executing it;
+* ``ontology`` — print the demo ontology as OWL (RDF/XML) or Turtle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.instances.outputs import OUTPUT_FORMATS
+from .core.query.parser import parse_s2sql
+from .core.query.planner import QueryPlanner
+from .errors import S2SError
+from .ontology.builders import watch_domain_ontology
+from .ontology.owlxml import serialize_ontology
+from .workloads import B2BScenario, ConflictProfile
+
+_CONFLICT_LEVELS = {
+    "none": ConflictProfile(schematic=False, semantic=False),
+    "schematic": ConflictProfile(schematic=True, semantic=False),
+    "full": ConflictProfile(schematic=True, semantic=True),
+}
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sources", type=int, default=4,
+                        help="number of organizations (default 4)")
+    parser.add_argument("--products", type=int, default=20,
+                        help="catalog size (default 20)")
+    parser.add_argument("--conflicts", choices=sorted(_CONFLICT_LEVELS),
+                        default="full",
+                        help="heterogeneity level (default full)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="world seed (default 7)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="extract sources concurrently")
+
+
+def _build(args: argparse.Namespace):
+    scenario = B2BScenario(n_sources=args.sources, n_products=args.products,
+                           conflicts=_CONFLICT_LEVELS[args.conflicts],
+                           seed=args.seed)
+    middleware = scenario.build_middleware(parallel=args.parallel)
+    return scenario, middleware
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario, s2s = _build(args)
+    print(f"world: {args.sources} organizations "
+          f"({', '.join(sorted({o.source_type for o in scenario.organizations}))}), "
+          f"{args.products} products, conflicts={args.conflicts}")
+    query = 'SELECT product WHERE case = "stainless-steel"'
+    print(f"query: {query}\n")
+    result = s2s.query(query)
+    print(result.serialize("text"))
+    print(f"{len(result)} products integrated from "
+          f"{len({e.source_id for e in result.entities})} sources "
+          f"({result.errors.summary()}, "
+          f"{result.elapsed_seconds * 1e3:.1f} ms)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    _scenario, s2s = _build(args)
+    result = s2s.query(args.s2sql,
+                       merge_key=args.merge_key.split(",")
+                       if args.merge_key else None)
+    sys.stdout.write(result.serialize(args.format))
+    if not result.errors.ok:
+        print(f"\n[{result.errors.summary()}]", file=sys.stderr)
+        for entry in result.errors.entries:
+            print(f"  {entry}", file=sys.stderr)
+    return 0
+
+
+def _cmd_mapping(args: argparse.Namespace) -> int:
+    _scenario, s2s = _build(args)
+    for line in s2s.mapping_lines():
+        print(line)
+    print(f"\n{len(s2s.attribute_repository)} entries, "
+          f"coverage {s2s.mapping_coverage():.0%}", file=sys.stderr)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    _scenario, s2s = _build(args)
+    query = parse_s2sql(args.s2sql)
+    plan = QueryPlanner(s2s.schema).plan(query)
+    print(f"query:          {plan.query}")
+    print(f"query class:    {plan.class_name}")
+    print(f"output classes: {', '.join(plan.output_classes)}")
+    print("required attributes:")
+    for path in plan.required_attributes:
+        print(f"  {path}")
+    if plan.conditions:
+        print("conditions:")
+        for condition in plan.conditions:
+            print(f"  {condition.path} {condition.operator} "
+                  f"{condition.value!r} ({condition.property.range})")
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    """Show assisted-mapping suggestions for a fresh (unmapped) world."""
+    from .core.mapping.suggest import MappingSuggester
+    from .ontology.builders import watch_domain_ontology
+    from .core.middleware import S2SMiddleware
+    from .workloads import B2BScenario
+
+    scenario = B2BScenario(n_sources=args.sources,
+                           n_products=args.products,
+                           conflicts=_CONFLICT_LEVELS[args.conflicts],
+                           seed=args.seed)
+    s2s = S2SMiddleware(watch_domain_ontology())
+    for org in scenario.organizations:
+        s2s.register_source(scenario.connector(org))
+    suggester = MappingSuggester(s2s.registrar)
+    for org in scenario.organizations:
+        source = s2s.source_repository.get(org.source_id)
+        print(f"{org.source_id} ({org.source_type}):")
+        suggestions = suggester.suggest_for_source(
+            source, attributes=s2s.registrar.schema.attribute_paths())
+        for suggestion in suggestions:
+            print(f"  {suggestion}")
+        if not suggestions:
+            print("  (no candidates above threshold)")
+    return 0
+
+
+def _cmd_ontology(args: argparse.Namespace) -> int:
+    ontology = watch_domain_ontology()
+    sys.stdout.write(serialize_ontology(
+        ontology, "turtle" if args.format == "turtle" else "rdfxml",
+        include_individuals=False))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S2S middleware demo CLI (Silva & Cardoso, ICDCS 2006 "
+                    "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the demo integration")
+    _add_scenario_arguments(demo)
+    demo.set_defaults(handler=_cmd_demo)
+
+    query = commands.add_parser("query", help="run an S2SQL query")
+    query.add_argument("s2sql", help='e.g. \'SELECT product WHERE '
+                                     'brand = "Seiko"\'')
+    query.add_argument("--format", choices=OUTPUT_FORMATS, default="text")
+    query.add_argument("--merge-key", default="",
+                       help="comma-separated attributes to dedup on, "
+                            "e.g. brand,model")
+    _add_scenario_arguments(query)
+    query.set_defaults(handler=_cmd_query)
+
+    mapping = commands.add_parser("mapping",
+                                  help="print the mapping repository")
+    _add_scenario_arguments(mapping)
+    mapping.set_defaults(handler=_cmd_mapping)
+
+    plan = commands.add_parser("plan", help="show a query's extraction plan")
+    plan.add_argument("s2sql")
+    _add_scenario_arguments(plan)
+    plan.set_defaults(handler=_cmd_plan)
+
+    suggest = commands.add_parser(
+        "suggest", help="show assisted mapping suggestions")
+    _add_scenario_arguments(suggest)
+    suggest.set_defaults(handler=_cmd_suggest)
+
+    ontology = commands.add_parser("ontology",
+                                   help="print the demo ontology as OWL")
+    ontology.add_argument("--format", choices=("rdfxml", "turtle"),
+                          default="rdfxml")
+    ontology.set_defaults(handler=_cmd_ontology)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except S2SError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

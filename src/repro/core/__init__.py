@@ -1,0 +1,18 @@
+"""The S2S middleware — the paper's primary contribution.
+
+Subpackages mirror the architecture of the paper's Figure 1:
+
+* :mod:`repro.core.mapping` — the Mapping Module: attribute repository,
+  data-source repository, 3-step attribute registration;
+* :mod:`repro.core.extractor` — the Extractor Manager: extraction schemas,
+  mediator + per-source-type wrappers, the 4-step extraction process;
+* :mod:`repro.core.query` — the Query Handler and the S2SQL language;
+* :mod:`repro.core.instances` — the Instance Generator: ontology
+  population, output serialization and the error channel;
+* :mod:`repro.core.middleware` — the :class:`S2SMiddleware` facade, the
+  "single point of entry".
+"""
+
+from .middleware import S2SMiddleware
+
+__all__ = ["S2SMiddleware"]

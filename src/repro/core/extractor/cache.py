@@ -1,0 +1,89 @@
+"""Per-source fragment caching.
+
+B2B sources change slowly (the paper: "data sources do not normally
+change their structures"), so repeated queries over the same mapping can
+reuse extracted fragments.  The cache key is the full extraction identity
+— (source, attribute, rule code, transform) — so editing a rule naturally
+misses; *data* changes inside a source are invisible to the middleware,
+which is why invalidation is explicit (`invalidate(source_id)`) and the
+cache is opt-in.
+
+This is the lazy-vs-cached ablation of experiment E1.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..mapping.attributes import MappingEntry
+from .records import RawFragment
+
+
+def _key(entry: MappingEntry) -> tuple[str, str, str, str | None]:
+    return (entry.source_id, entry.attribute_id, entry.rule.code,
+            entry.rule.transform)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), or 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FragmentCache:
+    """Thread-safe cache of extracted fragments keyed by mapping entry."""
+
+    def __init__(self, *, max_entries: int = 10_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._entries: dict[tuple, list[str]] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def get(self, entry: MappingEntry) -> RawFragment | None:
+        """Cached fragment for the entry, or None (counts a miss)."""
+        with self._lock:
+            values = self._entries.get(_key(entry))
+            if values is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return RawFragment(entry.attribute, entry.source_id,
+                               list(values))
+
+    def put(self, entry: MappingEntry, fragment: RawFragment) -> None:
+        """Cache a fragment; resets wholesale when capacity is hit."""
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                # Simple wholesale reset: bounded memory matters more than
+                # eviction precision for this workload.
+                self._entries.clear()
+            self._entries[_key(entry)] = list(fragment.values)
+
+    def invalidate(self, source_id: str | None = None) -> int:
+        """Drop cached fragments for one source, or everything."""
+        with self._lock:
+            if source_id is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                victims = [key for key in self._entries
+                           if key[0] == source_id]
+                for key in victims:
+                    del self._entries[key]
+                removed = len(victims)
+            self.stats.invalidations += removed
+            return removed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,60 @@
+"""Extraction schemas (paper section 2.4.1).
+
+"After processing the query, the system must retrieve data in order to
+answer the query.  The extraction is based on attributes, so this area
+retrieves extraction schemas of the required attributes, thus indicating
+to the extractor how the extraction is executed."
+
+An :class:`ExtractionSchema` is the per-query slice of the attribute
+repository: the mapping entries for the required attributes, grouped by
+data source so each source is visited once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...ids import AttributePath
+from ..mapping.attributes import MappingEntry
+from ..mapping.repository import AttributeRepository
+
+
+@dataclass
+class ExtractionSchema:
+    """Mapping entries for one extraction run, grouped by source."""
+
+    requested: list[AttributePath]
+    by_source: dict[str, list[MappingEntry]] = field(default_factory=dict)
+    missing: list[AttributePath] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, repository: AttributeRepository,
+              attributes: list[AttributePath]) -> "ExtractionSchema":
+        """Collect entries for ``attributes``; unmapped paths are recorded in
+        ``missing`` rather than raising — a query may legitimately touch
+        attributes no source provides, and the instance generator reports
+        them through the error channel."""
+        schema = cls(requested=list(attributes))
+        for path in attributes:
+            entries = repository.try_entries_for(path)
+            if not entries:
+                schema.missing.append(path)
+                continue
+            for entry in entries:
+                schema.by_source.setdefault(entry.source_id, []).append(entry)
+        return schema
+
+    def source_ids(self) -> list[str]:
+        """Sources this extraction must visit, sorted."""
+        return sorted(self.by_source)
+
+    def entry_count(self) -> int:
+        """Total mapping entries in the schema."""
+        return sum(len(entries) for entries in self.by_source.values())
+
+    def attributes_for_source(self, source_id: str) -> list[AttributePath]:
+        """Attribute paths extracted from one source."""
+        return [entry.attribute for entry in self.by_source.get(source_id, [])]
+
+    def __bool__(self) -> bool:
+        return bool(self.by_source)

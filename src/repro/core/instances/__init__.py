@@ -1,0 +1,20 @@
+"""The Instance Generator (paper section 2.6).
+
+"This module serializes the output data format and handles the errors from
+the queries and from the extraction phases."  Three concerns:
+
+* :mod:`repro.core.instances.assembly` — correlating raw per-source
+  records into ontology individuals with object-property links;
+* :mod:`repro.core.instances.generator` — the population pipeline
+  (coercion, validation, optional merge of equivalent individuals);
+* :mod:`repro.core.instances.outputs` — output adapters (OWL/RDF-XML,
+  Turtle, XML, JSON, plain text);
+* :mod:`repro.core.instances.errors` — the error-report channel.
+"""
+
+from .assembly import AssembledEntity, RecordAssembler
+from .errors import ErrorReport
+from .generator import InstanceGenerator
+
+__all__ = ["RecordAssembler", "AssembledEntity", "InstanceGenerator",
+           "ErrorReport"]

@@ -1,0 +1,154 @@
+"""Record-to-individual assembly.
+
+One aligned source record (attribute ID → raw value) may describe several
+related entities at once — the paper's watch page carries the watch's
+``brand``/``case`` *and* its provider's ``name``.  The assembler:
+
+1. resolves each attribute path to its owning ontology class;
+2. clusters classes that lie on one subclass chain into the most specific
+   class (``product`` + ``watch`` attributes → one ``watch`` individual);
+3. creates one individual per cluster, coercing raw strings to the
+   attribute's declared XSD range;
+4. links clusters through the ontology's object properties (the
+   ``hasProvider`` edge of Figure 2).
+
+The cluster containing the query class (or a subclass of it) is the
+*primary* entity — the thing the query's WHERE conditions apply to.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ...errors import InstanceGenerationError, ValidationError
+from ...ids import AttributePath
+from ...ontology.model import Individual
+from ...ontology.reasoner import Reasoner
+from ...ontology.schema import OntologySchema
+
+
+@dataclass
+class AssembledEntity:
+    """A primary individual plus the linked satellites built from one record."""
+
+    primary: Individual
+    satellites: list[Individual] = field(default_factory=list)
+    source_id: str = ""
+    record_index: int = 0
+    coercion_errors: list[str] = field(default_factory=list)
+
+    def all_individuals(self) -> list[Individual]:
+        """Primary + satellites in one list."""
+        return [self.primary, *self.satellites]
+
+    def value(self, attribute: str, default=None):
+        """Attribute lookup across primary and satellites."""
+        if attribute in self.primary.values:
+            return self.primary.values[attribute]
+        for satellite in self.satellites:
+            if attribute in satellite.values:
+                return satellite.values[attribute]
+        return default
+
+
+def _identifier(class_name: str, source_id: str, index: int) -> str:
+    safe_source = re.sub(r"[^A-Za-z0-9_]", "_", source_id)
+    return f"{class_name}_{safe_source}_{index}"
+
+
+class RecordAssembler:
+    """Builds :class:`AssembledEntity` objects for one query class."""
+
+    def __init__(self, schema: OntologySchema, query_class: str) -> None:
+        self.schema = schema
+        self.query_class = query_class
+        self.reasoner = Reasoner(schema.ontology)
+
+    def assemble(self, record: dict[str, str | None], *, source_id: str,
+                 record_index: int) -> AssembledEntity | None:
+        """Assemble one aligned record; returns None when the record holds
+        no attribute belonging to the query class's subtree."""
+        by_class: dict[str, dict[str, str]] = {}
+        for attribute_id, raw in record.items():
+            if raw is None:
+                continue
+            path = AttributePath.parse(attribute_id)
+            owner, _prop = self.schema.resolve(path)
+            by_class.setdefault(owner, {})[path.attribute] = raw
+
+        clusters = self._cluster_classes(list(by_class))
+        primary_cluster = self._primary_cluster(clusters)
+        if primary_cluster is None:
+            return None
+
+        entity: AssembledEntity | None = None
+        individuals: dict[str, Individual] = {}
+        errors: list[str] = []
+        for cluster in clusters:
+            specific = cluster[-1]  # most specific class in the chain
+            values: dict[str, object] = {}
+            for class_name in cluster:
+                for attribute, raw in by_class.get(class_name, {}).items():
+                    try:
+                        values[attribute] = self.reasoner.coerce(
+                            specific, attribute, raw)
+                    except ValidationError as exc:
+                        errors.append(str(exc))
+            individual = Individual(
+                _identifier(specific, source_id, record_index), specific,
+                values)
+            individuals[specific] = individual
+
+        primary = individuals[primary_cluster[-1]]
+        satellites = [ind for cls, ind in individuals.items()
+                      if ind is not primary]
+        self._link(primary, satellites)
+        entity = AssembledEntity(primary, satellites, source_id,
+                                 record_index, errors)
+        return entity
+
+    # ------------------------------------------------------------------
+
+    def _cluster_classes(self, classes: list[str]) -> list[list[str]]:
+        """Group classes lying on one subclass chain; each cluster is
+        ordered general → specific."""
+        remaining = set(classes)
+        clusters: list[list[str]] = []
+        # Sort by lineage depth so specific classes absorb their ancestors.
+        for class_name in sorted(remaining,
+                                 key=lambda c: -len(self.schema.ontology.lineage(c))):
+            if class_name not in remaining:
+                continue
+            chain = [class_name]
+            remaining.discard(class_name)
+            for ancestor in self.schema.ontology.ancestors(class_name):
+                if ancestor in remaining:
+                    chain.insert(0, ancestor)
+                    remaining.discard(ancestor)
+            clusters.append(chain)
+        return clusters
+
+    def _primary_cluster(self, clusters: list[list[str]]) -> list[str] | None:
+        for cluster in clusters:
+            for class_name in cluster:
+                if self.reasoner.is_subclass(class_name, self.query_class):
+                    return cluster
+        return None
+
+    def _link(self, primary: Individual, satellites: list[Individual]) -> None:
+        """Attach satellites through declared object properties."""
+        for satellite in satellites:
+            properties = self.schema.object_properties_between(
+                primary.class_name, satellite.class_name)
+            if not properties:
+                # Also allow satellite → primary direction.
+                reverse = self.schema.object_properties_between(
+                    satellite.class_name, primary.class_name)
+                if reverse:
+                    satellite.link(reverse[0].name, primary)
+                    continue
+                raise InstanceGenerationError(
+                    f"no object property connects {primary.class_name!r} "
+                    f"and {satellite.class_name!r}; cannot assemble record")
+            primary.link(properties[0].name, satellite)

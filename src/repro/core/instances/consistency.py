@@ -1,0 +1,139 @@
+"""Cross-source consistency analysis.
+
+When several organizations publish the same real-world entity, their
+values should agree *after* semantic normalization — and where they do
+not, the disagreement is itself valuable B2B intelligence (a stale feed,
+a price discrepancy, a vocabulary the mapping missed).  This module
+analyses a query result whose entities share a natural key and reports,
+per attribute, how often sources agree.
+
+The paper stops at producing integrated instances; this is the obvious
+downstream check an adopter builds first, so it ships in the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .assembly import AssembledEntity
+
+
+@dataclass(frozen=True)
+class ValueConflict:
+    """Two sources disagreeing on one attribute of one entity."""
+
+    key: tuple
+    attribute: str
+    values: tuple  # (value, source_id) pairs, as observed
+
+    def __str__(self) -> str:
+        observed = ", ".join(f"{value!r} ({source})"
+                             for value, source in self.values)
+        return f"{'/'.join(map(str, self.key))}.{self.attribute}: {observed}"
+
+
+@dataclass
+class AttributeAgreement:
+    """Agreement statistics for one attribute across keyed groups."""
+
+    attribute: str
+    groups_compared: int = 0
+    groups_agreeing: int = 0
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of compared groups that agree."""
+        if self.groups_compared == 0:
+            return 1.0
+        return self.groups_agreeing / self.groups_compared
+
+
+@dataclass
+class ConsistencyReport:
+    """Cross-source agreement per attribute + concrete conflicts."""
+
+    key_attributes: list[str]
+    total_entities: int = 0
+    multi_source_groups: int = 0
+    agreements: dict[str, AttributeAgreement] = field(default_factory=dict)
+    conflicts: list[ValueConflict] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when no conflicts were found."""
+        return not self.conflicts
+
+    def agreement_rate(self, attribute: str) -> float:
+        """Fraction of compared groups that agree."""
+        agreement = self.agreements.get(attribute)
+        return agreement.agreement_rate if agreement else 1.0
+
+    def summary(self) -> str:
+        """One-line report: entities, groups, conflict count."""
+        if self.multi_source_groups == 0:
+            return (f"{self.total_entities} entities, no multi-source "
+                    "overlap to compare")
+        status = ("consistent" if self.consistent
+                  else f"{len(self.conflicts)} conflicts")
+        return (f"{self.total_entities} entities, "
+                f"{self.multi_source_groups} multi-source groups, {status}")
+
+
+def check_consistency(entities: list[AssembledEntity],
+                      key: list[str],
+                      *, tolerance: float = 1e-6) -> ConsistencyReport:
+    """Group entities by ``key`` attribute values and compare the rest.
+
+    Numeric values within ``tolerance`` count as agreeing (different
+    sources legitimately round prices differently).  Entities missing a
+    key attribute are skipped; attributes missing in some group members
+    are compared only across the members that carry them."""
+    report = ConsistencyReport(key_attributes=list(key),
+                               total_entities=len(entities))
+    groups: dict[tuple, list[AssembledEntity]] = {}
+    for entity in entities:
+        key_values = tuple(entity.value(attribute) for attribute in key)
+        if any(part is None for part in key_values):
+            continue
+        groups.setdefault(key_values, []).append(entity)
+
+    for key_values, members in groups.items():
+        if len(members) < 2:
+            continue
+        report.multi_source_groups += 1
+        attributes: set[str] = set()
+        for member in members:
+            attributes.update(member.primary.values)
+            for satellite in member.satellites:
+                attributes.update(satellite.values)
+        attributes.difference_update(key)
+        for attribute in sorted(attributes):
+            observed = [(member.value(attribute), member.source_id)
+                        for member in members
+                        if member.value(attribute) is not None]
+            if len(observed) < 2:
+                continue
+            agreement = report.agreements.setdefault(
+                attribute, AttributeAgreement(attribute))
+            agreement.groups_compared += 1
+            if _all_agree([value for value, _source in observed],
+                          tolerance):
+                agreement.groups_agreeing += 1
+            else:
+                report.conflicts.append(ValueConflict(
+                    key_values, attribute, tuple(observed)))
+    return report
+
+
+def _all_agree(values: list, tolerance: float) -> bool:
+    first = values[0]
+    for value in values[1:]:
+        if isinstance(first, (int, float)) and isinstance(value,
+                                                          (int, float)) \
+                and not isinstance(first, bool) \
+                and not isinstance(value, bool):
+            if abs(first - value) > tolerance:
+                return False
+        elif value != first:
+            return False
+    return True

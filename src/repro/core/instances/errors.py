@@ -1,0 +1,69 @@
+"""The error channel of the Instance Generator.
+
+The paper assigns error handling to this component: "the Instance
+Generator … is responsible for providing information about any error that
+has occurred during the extraction process or in the query".  An
+:class:`ErrorReport` aggregates everything that went wrong while
+answering one query, classified by phase, without aborting the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Phases an error can originate from.
+PHASES = ("query", "mapping", "extraction", "generation")
+
+
+@dataclass(frozen=True)
+class ErrorEntry:
+    phase: str
+    message: str
+    source_id: str | None = None
+    attribute_id: str | None = None
+
+    def __str__(self) -> str:
+        scope = []
+        if self.source_id:
+            scope.append(f"source={self.source_id}")
+        if self.attribute_id:
+            scope.append(f"attribute={self.attribute_id}")
+        suffix = f" ({', '.join(scope)})" if scope else ""
+        return f"{self.phase}: {self.message}{suffix}"
+
+
+@dataclass
+class ErrorReport:
+    """All problems observed while answering one query."""
+
+    entries: list[ErrorEntry] = field(default_factory=list)
+
+    def add(self, phase: str, message: str, *, source_id: str | None = None,
+            attribute_id: str | None = None) -> None:
+        """Record one error in the given phase."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown error phase {phase!r}")
+        self.entries.append(ErrorEntry(phase, message, source_id,
+                                       attribute_id))
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were recorded."""
+        return not self.entries
+
+    def by_phase(self, phase: str) -> list[ErrorEntry]:
+        """Entries recorded in one phase."""
+        return [entry for entry in self.entries if entry.phase == phase]
+
+    def summary(self) -> str:
+        """One-line count summary grouped by phase."""
+        if self.ok:
+            return "no errors"
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.phase] = counts.get(entry.phase, 0) + 1
+        parts = [f"{count} {phase}" for phase, count in sorted(counts.items())]
+        return f"{len(self.entries)} errors ({', '.join(parts)})"
+
+    def __len__(self) -> int:
+        return len(self.entries)

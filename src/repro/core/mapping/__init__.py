@@ -1,0 +1,33 @@
+"""The Mapping Module (paper section 2.3).
+
+"To enable the extraction from distributed and heterogeneous sources it is
+necessary to formally denote the notion of mapping between remote data and
+the local ontology."  The module holds two repositories:
+
+* :class:`~repro.core.mapping.repository.AttributeRepository` — attribute
+  ID → (extraction rule, data source) entries, the paper's
+  ``thing.product.brand = watch.webl, wpage_81`` lines;
+* :class:`~repro.core.mapping.datasources.DataSourceRepository` — the
+  centralized connection-information store of section 2.3.2.
+
+Registration follows the 3-step workflow of Figure 3, implemented by
+:class:`~repro.core.mapping.registration.AttributeRegistrar`.
+"""
+
+from .attributes import MappingEntry
+from .datasources import DataSourceRepository
+from .registration import AttributeRegistrar
+from .repository import AttributeRepository
+from .rules import ExtractionRule, TransformRegistry
+from .suggest import MappingSuggester, discover_fields
+
+__all__ = [
+    "MappingEntry",
+    "ExtractionRule",
+    "TransformRegistry",
+    "AttributeRepository",
+    "DataSourceRepository",
+    "AttributeRegistrar",
+    "MappingSuggester",
+    "discover_fields",
+]

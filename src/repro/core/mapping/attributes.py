@@ -1,0 +1,72 @@
+"""Mapping entries: attribute ID ↔ (extraction rule, data source).
+
+The paper's section 2.3.1 step 3 shows the stored shape::
+
+    thing.product.brand = watch.webl, wpage_81
+    thing.product.watch.case = SELECT aatribute FROM atable WHERE ..., DB_ID_45
+
+:class:`MappingEntry` carries the full rule object (the paper's line only
+shows its display name); :func:`format_paper_line` /
+:func:`parse_paper_line` reproduce the textual form for round-trip tests
+and human inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import MappingError
+from ...ids import AttributePath
+from .rules import ExtractionRule
+
+
+@dataclass(frozen=True)
+class MappingEntry:
+    """One attribute-to-source mapping."""
+
+    attribute: AttributePath
+    rule: ExtractionRule
+    source_id: str
+
+    def __post_init__(self) -> None:
+        if not self.source_id:
+            raise MappingError("mapping entry requires a data source id")
+
+    @property
+    def attribute_id(self) -> str:
+        """The dotted attribute identifier as a string."""
+        return str(self.attribute)
+
+    def paper_line(self) -> str:
+        """The ``attr = rule, source`` rendering of section 2.3.1."""
+        return f"{self.attribute_id} = {self.rule.display_name()}, {self.source_id}"
+
+
+def format_paper_line(entry: MappingEntry) -> str:
+    """Render an entry in the paper's textual form."""
+    return entry.paper_line()
+
+
+def parse_paper_line(line: str, *, language: str,
+                     code: str | None = None) -> MappingEntry:
+    """Parse an ``attr = rule, source`` line back into an entry.
+
+    The textual form carries only the rule's display name; the caller
+    supplies the rule ``language`` and may supply the full ``code`` (when
+    omitted, the display text is taken as the code — correct for SQL and
+    regex rules, which the paper embeds verbatim)."""
+    if "=" not in line:
+        raise MappingError(f"not a mapping line (missing '='): {line!r}")
+    attr_text, _, remainder = line.partition("=")
+    remainder = remainder.strip()
+    if "," not in remainder:
+        raise MappingError(
+            f"not a mapping line (missing ', source_id'): {line!r}")
+    rule_text, _, source_id = remainder.rpartition(",")
+    rule_text = rule_text.strip()
+    source_id = source_id.strip()
+    attribute = AttributePath.parse(attr_text.strip())
+    name = rule_text if code is not None else ""
+    rule = ExtractionRule(language, code if code is not None else rule_text,
+                          name=name)
+    return MappingEntry(attribute, rule, source_id)

@@ -1,0 +1,100 @@
+"""Persistence for the mapping repositories.
+
+Mappings are authored once and reused across sessions (the paper: "the
+mapping should not need substantial maintenance after being created"), so
+both repositories serialize to a single JSON document.  Data sources are
+persisted as connection info only — live connectors are re-attached on
+load through a caller-supplied factory, because the substrate objects
+(databases, stores, the simulated web) live outside the mapping layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from ...errors import MappingError
+from ...ids import AttributePath
+from ...sources.base import ConnectionInfo, DataSource
+from .attributes import MappingEntry
+from .datasources import DataSourceRepository
+from .repository import AttributeRepository
+from .rules import ExtractionRule
+
+FORMAT_VERSION = 1
+
+
+def dump_mapping(attributes: AttributeRepository,
+                 sources: DataSourceRepository) -> str:
+    """Serialize both repositories to a JSON string."""
+    document = {
+        "version": FORMAT_VERSION,
+        "sources": {
+            source.source_id: {
+                "type": source.connection_info().source_type,
+                "parameters": source.connection_info().parameters,
+            }
+            for source in sources
+        },
+        "attributes": [
+            {
+                "attribute": entry.attribute_id,
+                "source": entry.source_id,
+                "rule": {
+                    "language": entry.rule.language,
+                    "code": entry.rule.code,
+                    "name": entry.rule.name,
+                    "transform": entry.rule.transform,
+                },
+            }
+            for entry in attributes.all_entries()
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+SourceFactory = Callable[[str, ConnectionInfo], DataSource]
+
+
+def load_mapping(text: str, source_factory: SourceFactory
+                 ) -> tuple[AttributeRepository, DataSourceRepository]:
+    """Rebuild both repositories from a JSON string.
+
+    ``source_factory(source_id, connection_info)`` must return a live
+    connector for each persisted source — typically a closure over the
+    substrate objects of the running application.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MappingError(f"invalid mapping document: {exc}") from exc
+    if document.get("version") != FORMAT_VERSION:
+        raise MappingError(
+            f"unsupported mapping document version: {document.get('version')!r}")
+
+    sources = DataSourceRepository()
+    for source_id, description in sorted(document.get("sources", {}).items()):
+        info = ConnectionInfo(description["type"],
+                              dict(description.get("parameters", {})))
+        source = source_factory(source_id, info)
+        if source.source_id != source_id:
+            raise MappingError(
+                f"source factory returned id {source.source_id!r} for "
+                f"{source_id!r}")
+        sources.register(source)
+
+    attributes = AttributeRepository()
+    for record in document.get("attributes", []):
+        rule_record = record["rule"]
+        rule = ExtractionRule(
+            rule_record["language"], rule_record["code"],
+            name=rule_record.get("name", ""),
+            transform=rule_record.get("transform"))
+        entry = MappingEntry(AttributePath.parse(record["attribute"]), rule,
+                             record["source"])
+        if not sources.has(entry.source_id):
+            raise MappingError(
+                f"mapping entry references unknown source "
+                f"{entry.source_id!r}")
+        attributes.add(entry)
+    return attributes, sources

@@ -1,0 +1,90 @@
+"""The 3-step attribute registration workflow (paper Figure 3).
+
+Step 1 — *attribute naming*: the attribute is identified by its unique
+dotted path through the ontology (validated against the ontology schema).
+Step 2 — *extraction rules*: the rule is parsed in its own language and
+checked against the target source's type.
+Step 3 — *attribute mapping*: the (attribute, rule, source) triple is
+stored in the attribute repository; the source must already be registered
+in the data source repository (its connection info is what step 3's
+``wpage_81`` identifier points at).
+"""
+
+from __future__ import annotations
+
+from ...errors import MappingError
+from ...ids import AttributePath
+from ...ontology.schema import OntologySchema
+from .attributes import MappingEntry
+from .datasources import DataSourceRepository
+from .repository import AttributeRepository
+from .rules import ExtractionRule
+
+
+class AttributeRegistrar:
+    """Performs validated attribute registration."""
+
+    def __init__(self, schema: OntologySchema,
+                 attributes: AttributeRepository,
+                 sources: DataSourceRepository) -> None:
+        self.schema = schema
+        self.attributes = attributes
+        self.sources = sources
+
+    # -- step 1: attribute naming -----------------------------------------
+
+    def name_attribute(self, attribute: AttributePath | str | tuple[str, str]
+                       ) -> AttributePath:
+        """Resolve the caller's attribute reference to its canonical path.
+
+        Accepts a full dotted path (``"thing.product.brand"``), an
+        :class:`AttributePath`, or a ``(class_name, attribute)`` pair from
+        which the canonical path is derived via the ontology."""
+        if isinstance(attribute, tuple):
+            class_name, attr_name = attribute
+            return self.schema.path_for(class_name, attr_name)
+        path = (attribute if isinstance(attribute, AttributePath)
+                else AttributePath.parse(attribute))
+        if not self.schema.has_path(path):
+            raise MappingError(
+                f"attribute path {path} does not exist in the ontology "
+                f"schema (step 1 of registration failed)")
+        return path
+
+    # -- step 2: extraction rule -------------------------------------------
+
+    def check_rule(self, rule: ExtractionRule, source_id: str) -> None:
+        """Validate rule syntax and rule-language/source-type agreement."""
+        rule.validate()
+        source = self.sources.get(source_id)
+        if rule.source_type != source.source_type:
+            raise MappingError(
+                f"rule language {rule.language!r} targets "
+                f"{rule.source_type!r} sources but {source_id!r} is a "
+                f"{source.source_type!r} source")
+
+    # -- step 3: attribute mapping -------------------------------------------
+
+    def register(self, attribute: AttributePath | str | tuple[str, str],
+                 rule: ExtractionRule, source_id: str,
+                 *, replace: bool = False) -> MappingEntry:
+        """Run all three steps and store the mapping entry."""
+        path = self.name_attribute(attribute)
+        self.check_rule(rule, source_id)
+        entry = MappingEntry(path, rule, source_id)
+        self.attributes.add(entry, replace=replace)
+        return entry
+
+    def unregistered_paths(self) -> list[AttributePath]:
+        """Schema attributes with no mapping yet — the authoring to-do list."""
+        return [path for path in self.schema.attribute_paths()
+                if not self.attributes.is_registered(path)]
+
+    def coverage(self) -> float:
+        """Fraction of schema attributes with at least one mapping."""
+        paths = self.schema.attribute_paths()
+        if not paths:
+            return 1.0
+        mapped = sum(1 for path in paths
+                     if self.attributes.is_registered(path))
+        return mapped / len(paths)

@@ -1,0 +1,100 @@
+"""The Attribute Repository.
+
+Holds the mapping entries produced by attribute registration.  One
+attribute may be mapped in *several* sources (that is what makes the
+middleware an integrator: ``thing.product.brand`` can have a WebL rule on
+``wpage_81`` and a SQL rule on ``DB_ID_45`` simultaneously); entries for
+one attribute are keyed by source.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import MappingError, UnknownAttributeError
+from ...ids import AttributePath
+from .attributes import MappingEntry
+
+
+class AttributeRepository:
+    """attribute ID → per-source mapping entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, MappingEntry]] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, entry: MappingEntry, *, replace: bool = False) -> None:
+        """Store an entry; duplicate (attribute, source) needs ``replace``."""
+        per_source = self._entries.setdefault(entry.attribute_id, {})
+        if entry.source_id in per_source and not replace:
+            raise MappingError(
+                f"attribute {entry.attribute_id!r} already mapped for source "
+                f"{entry.source_id!r}")
+        per_source[entry.source_id] = entry
+
+    def remove(self, attribute_id: str, source_id: str | None = None) -> int:
+        """Remove one source's entry, or all entries for the attribute."""
+        per_source = self._entries.get(attribute_id)
+        if not per_source:
+            raise UnknownAttributeError(attribute_id)
+        if source_id is None:
+            removed = len(per_source)
+            del self._entries[attribute_id]
+            return removed
+        if per_source.pop(source_id, None) is None:
+            raise MappingError(
+                f"attribute {attribute_id!r} has no entry for source "
+                f"{source_id!r}")
+        if not per_source:
+            del self._entries[attribute_id]
+        return 1
+
+    # -- lookup ---------------------------------------------------------------
+
+    def entries_for(self, attribute: AttributePath | str) -> list[MappingEntry]:
+        """All entries for an attribute; raises when unmapped."""
+        per_source = self._entries.get(str(attribute))
+        if not per_source:
+            raise UnknownAttributeError(str(attribute))
+        return list(per_source.values())
+
+    def try_entries_for(self, attribute: AttributePath | str) -> list[MappingEntry]:
+        """All entries for an attribute; empty list when unmapped."""
+        return list(self._entries.get(str(attribute), {}).values())
+
+    def is_registered(self, attribute: AttributePath | str) -> bool:
+        """Whether the attribute has at least one entry."""
+        return str(attribute) in self._entries
+
+    def attribute_ids(self) -> list[str]:
+        """All mapped attribute IDs, sorted."""
+        return sorted(self._entries)
+
+    def entries_for_source(self, source_id: str) -> list[MappingEntry]:
+        """Every entry targeting one source."""
+        matched = []
+        for per_source in self._entries.values():
+            entry = per_source.get(source_id)
+            if entry is not None:
+                matched.append(entry)
+        return matched
+
+    def source_ids(self) -> list[str]:
+        """All source IDs referenced by any entry, sorted."""
+        ids = set()
+        for per_source in self._entries.values():
+            ids.update(per_source)
+        return sorted(ids)
+
+    def all_entries(self) -> Iterator[MappingEntry]:
+        """Iterate over every stored entry."""
+        for per_source in self._entries.values():
+            yield from per_source.values()
+
+    def paper_lines(self) -> list[str]:
+        """The whole repository in the paper's textual form, sorted."""
+        return sorted(entry.paper_line() for entry in self.all_entries())
+
+    def __len__(self) -> int:
+        return sum(len(per_source) for per_source in self._entries.values())

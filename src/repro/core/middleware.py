@@ -1,0 +1,183 @@
+"""The S2S middleware facade — the single point of entry.
+
+Wires the architecture of Figure 1 together: the ontology schema, the
+mapping module (attribute + data source repositories, registrar), the
+extractor manager and the query handler.  A complete integration setup
+is::
+
+    from repro.core import S2SMiddleware
+    from repro.ontology.builders import watch_domain_ontology
+
+    s2s = S2SMiddleware(watch_domain_ontology())
+    s2s.register_source(RelationalDataSource("DB_ID_45", database))
+    s2s.register_attribute(("watch", "case"),
+                           sql("SELECT case_material FROM watches"),
+                           "DB_ID_45")
+    result = s2s.query('SELECT product WHERE brand = "Seiko"')
+    print(result.serialize("owl"))
+"""
+
+from __future__ import annotations
+
+from ..ids import AttributePath
+from ..ontology.model import Ontology
+from ..ontology.schema import OntologySchema
+from ..sources.base import DataSource
+from .extractor.cache import FragmentCache
+from .extractor.extractors import Extractor, ExtractorRegistry
+from .extractor.manager import ExtractionOutcome, ExtractorManager
+from .instances.outputs import OUTPUT_FORMATS
+from .mapping.attributes import MappingEntry
+from .mapping.datasources import DataSourceRepository
+from .mapping.persistence import dump_mapping, load_mapping
+from .mapping.registration import AttributeRegistrar
+from .mapping.repository import AttributeRepository
+from .mapping.rules import ExtractionRule, TransformRegistry
+from .query.executor import QueryHandler, QueryResult
+
+
+def sql_rule(code: str, *, name: str = "", transform: str | None = None
+             ) -> ExtractionRule:
+    """Convenience constructor for SQL extraction rules."""
+    return ExtractionRule("sql", code, name=name, transform=transform)
+
+
+def xpath_rule(code: str, *, name: str = "", transform: str | None = None
+               ) -> ExtractionRule:
+    """Convenience constructor for XPath extraction rules."""
+    return ExtractionRule("xpath", code, name=name, transform=transform)
+
+
+def webl_rule(code: str, *, name: str = "", transform: str | None = None
+              ) -> ExtractionRule:
+    """Convenience constructor for WebL extraction rules."""
+    return ExtractionRule("webl", code, name=name, transform=transform)
+
+
+def regex_rule(code: str, *, name: str = "", transform: str | None = None
+               ) -> ExtractionRule:
+    """Convenience constructor for regex extraction rules."""
+    return ExtractionRule("regex", code, name=name, transform=transform)
+
+
+class S2SMiddleware:
+    """The Syntactic-to-Semantic middleware."""
+
+    def __init__(self, ontology: Ontology, *, strict_extraction: bool = False,
+                 validate_instances: bool = True, parallel: bool = False,
+                 max_workers: int | None = None,
+                 cache_extractions: bool = False,
+                 retries: int = 0, retry_delay: float = 0.0) -> None:
+        self.ontology = ontology
+        self.schema = OntologySchema(ontology)
+        self.attribute_repository = AttributeRepository()
+        self.source_repository = DataSourceRepository()
+        self.transforms = TransformRegistry()
+        self.extractors = ExtractorRegistry(self.transforms)
+        self.registrar = AttributeRegistrar(
+            self.schema, self.attribute_repository, self.source_repository)
+        self.cache = FragmentCache() if cache_extractions else None
+        self.manager = ExtractorManager(
+            self.attribute_repository, self.source_repository,
+            self.extractors, strict=strict_extraction, parallel=parallel,
+            max_workers=max_workers, cache=self.cache,
+            retries=retries, retry_delay=retry_delay)
+        self.query_handler = QueryHandler(
+            self.schema, self.manager, validate_instances=validate_instances)
+
+    # -- registration -------------------------------------------------------
+
+    def register_source(self, source: DataSource, *,
+                        replace: bool = False) -> str:
+        """Register a data source (paper section 2.3.2)."""
+        return self.source_repository.register(source, replace=replace)
+
+    def register_attribute(self,
+                           attribute: AttributePath | str | tuple[str, str],
+                           rule: ExtractionRule, source_id: str,
+                           *, replace: bool = False) -> MappingEntry:
+        """Register an attribute mapping (3-step workflow of Figure 3)."""
+        entry = self.registrar.register(attribute, rule, source_id,
+                                        replace=replace)
+        if replace and self.cache is not None:
+            self.cache.invalidate(source_id)
+        return entry
+
+    def invalidate_cache(self, source_id: str | None = None) -> int:
+        """Drop cached fragments after a source's data changed.
+
+        Returns the number of cache entries removed; a no-op (0) when the
+        middleware was built without ``cache_extractions``."""
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate(source_id)
+
+    def register_extractor(self, extractor: Extractor, *,
+                           replace: bool = False) -> None:
+        """Add support for a new source type (extensibility claim C4)."""
+        self.extractors.register(extractor, replace=replace)
+
+    def register_transform(self, name: str, function) -> None:
+        """Add a named semantic-normalization transform."""
+        self.transforms.register(name, function)
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, query: str, *,
+              merge_key: list[str] | None = None) -> QueryResult:
+        """Execute an S2SQL query; the single point of entry."""
+        return self.query_handler.execute(query, merge_key=merge_key)
+
+    def extract_all(self) -> ExtractionOutcome:
+        """Eagerly materialize every mapped attribute (E1 ablation)."""
+        return self.manager.extract_all_registered()
+
+    # -- introspection ----------------------------------------------------------
+
+    def mapping_coverage(self) -> float:
+        """Fraction of ontology attributes that have at least one mapping."""
+        return self.registrar.coverage()
+
+    def unmapped_attributes(self) -> list[str]:
+        """Attribute paths with no mapping yet, as strings."""
+        return [str(path) for path in self.registrar.unregistered_paths()]
+
+    def mapping_lines(self) -> list[str]:
+        """The attribute repository in the paper's textual form."""
+        return self.attribute_repository.paper_lines()
+
+    def output_formats(self) -> tuple[str, ...]:
+        """Formats QueryResult.serialize accepts."""
+        return OUTPUT_FORMATS
+
+    # -- persistence -----------------------------------------------------------
+
+    def dump_mapping(self) -> str:
+        """Serialize the mapping + source registries to JSON."""
+        return dump_mapping(self.attribute_repository, self.source_repository)
+
+    def load_mapping(self, text: str, source_factory) -> None:
+        """Replace the registries from a JSON document; live connectors are
+        re-created through ``source_factory(source_id, connection_info)``."""
+        attributes, sources = load_mapping(text, source_factory)
+        self.attribute_repository = attributes
+        self.source_repository = sources
+        self.registrar = AttributeRegistrar(
+            self.schema, self.attribute_repository, self.source_repository)
+        if self.cache is not None:
+            self.cache.invalidate()
+        self.manager = ExtractorManager(
+            self.attribute_repository, self.source_repository,
+            self.extractors, strict=self.manager.strict,
+            parallel=self.manager.parallel,
+            max_workers=self.manager.max_workers, cache=self.cache,
+            retries=self.manager.retries,
+            retry_delay=self.manager.retry_delay)
+        self.query_handler = QueryHandler(
+            self.schema, self.manager,
+            validate_instances=self.query_handler.generator.validate)
+
+    def __repr__(self) -> str:
+        return (f"S2SMiddleware(ontology={self.ontology.name!r}, "
+                f"sources={len(self.source_repository)}, "
+                f"mappings={len(self.attribute_repository)})")

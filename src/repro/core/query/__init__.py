@@ -1,0 +1,28 @@
+"""The Query Handler and the S2SQL language (paper section 2.5).
+
+"A query is the event that sets the S2S extraction middleware in action."
+S2SQL is a simplified SQL: *data location is transparent*, so there is no
+FROM clause — only the ontology class wanted and attribute constraints::
+
+    SELECT product WHERE brand = "Seiko" AND case = "stainless-steel"
+
+Modules: :mod:`lexer`/:mod:`parser`/:mod:`ast` implement the language,
+:mod:`planner` turns a parsed query into the required-attribute list
+(extraction step 1) and :mod:`executor` drives extraction, filtering and
+instance assembly.
+"""
+
+from .ast import Condition, S2sqlQuery
+from .executor import QueryHandler, QueryResult
+from .parser import parse_s2sql
+from .planner import QueryPlan, QueryPlanner
+
+__all__ = [
+    "S2sqlQuery",
+    "Condition",
+    "parse_s2sql",
+    "QueryPlanner",
+    "QueryPlan",
+    "QueryHandler",
+    "QueryResult",
+]

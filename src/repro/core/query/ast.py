@@ -1,0 +1,41 @@
+"""S2SQL AST."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Comparison operators accepted in WHERE conditions.  ``CONTAINS`` and
+#: ``LIKE`` are string predicates; the rest compare typed values.
+OPERATORS = ("=", "!=", "<", ">", "<=", ">=", "LIKE", "CONTAINS")
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """One ``<attribute> <operator> <constraint>`` clause.
+
+    ``attribute`` may be a bare name (``brand``) or a dotted path
+    (``thing.product.brand``); the planner resolves bare names against the
+    query class."""
+
+    attribute: str
+    operator: str
+    value: object  # str | int | float | bool
+
+    def __str__(self) -> str:
+        rendered = (f'"{self.value}"' if isinstance(self.value, str)
+                    else str(self.value))
+        return f"{self.attribute} {self.operator} {rendered}"
+
+
+@dataclass(frozen=True, slots=True)
+class S2sqlQuery:
+    """``SELECT <class> [WHERE cond AND cond ...]``"""
+
+    class_name: str
+    conditions: tuple[Condition, ...] = ()
+
+    def __str__(self) -> str:
+        text = f"SELECT {self.class_name}"
+        if self.conditions:
+            text += " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        return text

@@ -1,0 +1,136 @@
+"""The Query Handler: parse → plan → extract → generate → filter.
+
+Ties the pipeline together and applies the query's WHERE conditions to the
+assembled entities.  Condition semantics follow SQL: a condition over an
+attribute the record does not carry is *not satisfied* (NULL never
+matches), so partial sources silently contribute only the records they can
+prove.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ...errors import QueryError
+from ...ontology.schema import OntologySchema
+from ..extractor.manager import ExtractorManager
+from ..instances.assembly import AssembledEntity
+from ..instances.errors import ErrorReport
+from ..instances.generator import InstanceGenerator
+from ..instances.outputs import render_entities
+from .ast import S2sqlQuery
+from .parser import parse_s2sql
+from .planner import QueryPlan, QueryPlanner, ResolvedCondition
+
+
+@dataclass
+class QueryResult:
+    """The answer to one S2SQL query."""
+
+    query: S2sqlQuery
+    plan: QueryPlan
+    entities: list[AssembledEntity] = field(default_factory=list)
+    errors: ErrorReport = field(default_factory=ErrorReport)
+    elapsed_seconds: float = 0.0
+    extraction_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    @property
+    def output_classes(self) -> list[str]:
+        """The classes present in the output (paper: Product, watch,
+        Provider for the example query)."""
+        classes: list[str] = []
+        for entity in self.entities:
+            for individual in entity.all_individuals():
+                if individual.class_name not in classes:
+                    classes.append(individual.class_name)
+        return classes
+
+    def serialize(self, format: str = "owl") -> str:
+        """Render via the instance generator's output adapters."""
+        return render_entities(self._schema, self.entities, format)
+
+    def consistency(self, key: list[str], *, tolerance: float = 1e-6):
+        """Cross-source agreement report for entities sharing ``key``.
+
+        See :mod:`repro.core.instances.consistency`."""
+        from ..instances.consistency import check_consistency
+        return check_consistency(self.entities, key, tolerance=tolerance)
+
+    # set by QueryHandler; not part of the public constructor signature
+    _schema: OntologySchema = field(default=None, repr=False)  # type: ignore[assignment]
+
+
+class QueryHandler:
+    """Executes S2SQL queries through the extraction pipeline."""
+
+    def __init__(self, schema: OntologySchema, manager: ExtractorManager,
+                 *, validate_instances: bool = True) -> None:
+        self.schema = schema
+        self.manager = manager
+        self.planner = QueryPlanner(schema)
+        self.generator = InstanceGenerator(schema,
+                                           validate=validate_instances)
+
+    def execute(self, query: str | S2sqlQuery,
+                *, merge_key: list[str] | None = None) -> QueryResult:
+        """Parse, plan, extract, generate and filter one query."""
+        started = time.perf_counter()
+        if isinstance(query, str):
+            query = parse_s2sql(query)
+        plan = self.planner.plan(query)
+        outcome = self.manager.extract(plan.required_attributes)
+        generation = self.generator.generate(outcome, plan.class_name,
+                                             merge_key=merge_key)
+        entities = [entity for entity in generation.entities
+                    if self._matches(entity, plan.conditions)]
+        result = QueryResult(query, plan, entities, generation.errors,
+                             extraction_seconds=outcome.elapsed_seconds)
+        result._schema = self.schema
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _matches(self, entity: AssembledEntity,
+                 conditions: list[ResolvedCondition]) -> bool:
+        for condition in conditions:
+            value = entity.value(condition.path.attribute)
+            if value is None:
+                return False
+            if not self._check(value, condition):
+                return False
+        return True
+
+    @staticmethod
+    def _check(value, condition: ResolvedCondition) -> bool:
+        operator = condition.operator
+        expected = condition.value
+        if operator == "CONTAINS":
+            return str(expected).lower() in str(value).lower()
+        if operator == "LIKE":
+            import re as _re
+            pattern = "".join(
+                ".*" if ch == "%" else "." if ch == "_" else _re.escape(ch)
+                for ch in str(expected))
+            return _re.match(pattern + r"\Z", str(value),
+                             _re.IGNORECASE) is not None
+        try:
+            if operator == "=":
+                return value == expected
+            if operator == "!=":
+                return value != expected
+            if operator == "<":
+                return value < expected
+            if operator == ">":
+                return value > expected
+            if operator == "<=":
+                return value <= expected
+            return value >= expected
+        except TypeError as exc:
+            raise QueryError(
+                f"cannot compare extracted value {value!r} with constraint "
+                f"{expected!r}") from exc

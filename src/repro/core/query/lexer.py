@@ -1,0 +1,54 @@
+"""S2SQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...errors import S2sqlSyntaxError
+
+KEYWORDS = frozenset({"SELECT", "WHERE", "AND", "LIKE", "CONTAINS", "TRUE",
+                      "FALSE", "FROM"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<ne><>|!=) | (?P<le><=) | (?P<ge>>=)
+  | (?P<eq>=) | (?P<lt><) | (?P<gt>>)
+  | (?P<path>[A-Za-z_][A-Za-z0-9_\-]*(?:\.[A-Za-z_][A-Za-z0-9_\-]*)+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token (kind, text, offset)."""
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(query: str) -> list[Token]:
+    """Tokenize an S2SQL query string."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(query):
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise S2sqlSyntaxError(
+                f"unexpected character {query[pos]!r}", position=pos)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            value = match.group()
+            if kind == "string":
+                tokens.append(Token("string", value[1:-1], pos))
+            elif kind == "name" and value.upper() in KEYWORDS:
+                tokens.append(Token("keyword", value.upper(), pos))
+            else:
+                tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens

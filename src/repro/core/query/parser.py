@@ -1,0 +1,113 @@
+"""S2SQL parser.
+
+Grammar, as given in paper section 2.5::
+
+    query     := SELECT class [WHERE condition (AND condition)*]
+    condition := attribute operator constraint
+    operator  := = | != | <> | < | > | <= | >= | LIKE | CONTAINS
+    constraint:= string | number | TRUE | FALSE
+
+FROM is *rejected with a dedicated message*: "the FROM and related
+operators have no use in S2SQL and are thus not supported".
+"""
+
+from __future__ import annotations
+
+from ...errors import S2sqlSyntaxError
+from .ast import Condition, S2sqlQuery
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, query: str) -> None:
+        self.query = query
+        self.tokens = tokenize(query)
+        self.index = 0
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise S2sqlSyntaxError(
+                f"unexpected end of query in {self.query!r}")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        token = self.next()
+        if token.kind != "keyword" or token.value != word:
+            raise S2sqlSyntaxError(
+                f"expected {word}, got {token.value!r}",
+                position=token.position)
+
+    def parse(self) -> S2sqlQuery:
+        self.expect_keyword("SELECT")
+        class_token = self.next()
+        if class_token.kind not in ("name", "path"):
+            raise S2sqlSyntaxError(
+                f"expected ontology class name, got {class_token.value!r}",
+                position=class_token.position)
+        class_name = class_token.value
+        conditions: list[Condition] = []
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and token.value == "FROM":
+            raise S2sqlSyntaxError(
+                "FROM is not supported: S2SQL queries are location-"
+                "transparent (data location is resolved by the mapping "
+                "module)", position=token.position)
+        if token is not None:
+            self.expect_keyword("WHERE")
+            conditions.append(self.condition())
+            while True:
+                token = self.peek()
+                if token is None:
+                    break
+                self.expect_keyword("AND")
+                conditions.append(self.condition())
+        return S2sqlQuery(class_name, tuple(conditions))
+
+    def condition(self) -> Condition:
+        attr_token = self.next()
+        if attr_token.kind not in ("name", "path"):
+            raise S2sqlSyntaxError(
+                f"expected attribute, got {attr_token.value!r}",
+                position=attr_token.position)
+        op_token = self.next()
+        operators = {"eq": "=", "ne": "!=", "lt": "<", "gt": ">",
+                     "le": "<=", "ge": ">="}
+        if op_token.kind in operators:
+            operator = operators[op_token.kind]
+        elif op_token.kind == "keyword" and op_token.value in ("LIKE",
+                                                               "CONTAINS"):
+            operator = op_token.value
+        else:
+            raise S2sqlSyntaxError(
+                f"expected comparison operator, got {op_token.value!r}",
+                position=op_token.position)
+        value_token = self.next()
+        value: object
+        if value_token.kind == "string":
+            value = value_token.value
+        elif value_token.kind == "number":
+            text = value_token.value
+            value = float(text) if "." in text else int(text)
+        elif value_token.kind == "keyword" and value_token.value in ("TRUE",
+                                                                     "FALSE"):
+            value = value_token.value == "TRUE"
+        elif value_token.kind == "name":
+            # Unquoted bare word — accept as string for author convenience.
+            value = value_token.value
+        else:
+            raise S2sqlSyntaxError(
+                f"expected constraint value, got {value_token.value!r}",
+                position=value_token.position)
+        return Condition(attr_token.value, operator, value)
+
+
+def parse_s2sql(query: str) -> S2sqlQuery:
+    """Parse an S2SQL query string."""
+    if not query or not query.strip():
+        raise S2sqlSyntaxError("empty S2SQL query")
+    return _Parser(query).parse()

@@ -1,0 +1,134 @@
+"""Query planning: from parsed S2SQL to a required-attribute list.
+
+This is extraction step 1 ("know what data to extract"): the planner
+resolves the query class against the ontology, computes the output class
+closure (paper: querying ``product`` returns Product, watch and Provider),
+expands the closure into the attribute paths the extractor must fill, and
+resolves each WHERE condition to a canonical attribute path with a typed
+constraint value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import QueryError
+from ...ids import AttributePath
+from ...ontology.model import DatatypeProperty
+from ...ontology.schema import OntologySchema
+from .ast import Condition, S2sqlQuery
+
+
+@dataclass(frozen=True)
+class ResolvedCondition:
+    """A WHERE condition bound to its canonical attribute path."""
+
+    path: AttributePath
+    property: DatatypeProperty
+    operator: str
+    value: object
+
+
+@dataclass
+class QueryPlan:
+    """What the extractor and assembler need to answer one query."""
+
+    query: S2sqlQuery
+    class_name: str
+    output_classes: list[str]
+    required_attributes: list[AttributePath] = field(default_factory=list)
+    conditions: list[ResolvedCondition] = field(default_factory=list)
+
+    def condition_for(self, path: AttributePath) -> list[ResolvedCondition]:
+        """Resolved conditions anchored at ``path``."""
+        return [c for c in self.conditions if c.path == path]
+
+
+class QueryPlanner:
+    """Builds :class:`QueryPlan` objects against one ontology schema."""
+
+    def __init__(self, schema: OntologySchema) -> None:
+        self.schema = schema
+
+    def plan(self, query: S2sqlQuery) -> QueryPlan:
+        """Build the extraction plan for a parsed query."""
+        try:
+            class_name = self.schema.resolve_query_class(query.class_name)
+        except Exception as exc:
+            raise QueryError(str(exc)) from exc
+        output_classes = self.schema.class_closure(class_name)
+
+        required: list[AttributePath] = []
+        seen: set[str] = set()
+        for output_class in output_classes:
+            for path in self.schema.paths_for_class(output_class):
+                if str(path) not in seen:
+                    seen.add(str(path))
+                    required.append(path)
+
+        conditions = [self._resolve_condition(class_name, condition)
+                      for condition in query.conditions]
+        for condition in conditions:
+            if str(condition.path) not in seen:
+                seen.add(str(condition.path))
+                required.append(condition.path)
+        return QueryPlan(query, class_name, output_classes, required,
+                         conditions)
+
+    def _resolve_condition(self, class_name: str,
+                           condition: Condition) -> ResolvedCondition:
+        attribute = condition.attribute
+        if "." in attribute:
+            path = AttributePath.parse(attribute)
+            if not self.schema.has_path(path):
+                raise QueryError(
+                    f"condition attribute {attribute!r} is not in the "
+                    "ontology schema")
+            _owner, prop = self.schema.resolve(path)
+        else:
+            prop = None
+            path = None
+            # Search the query class first, then the rest of the closure —
+            # the paper's example constrains `case`, an attribute of the
+            # `watch` subclass, in a query over `product`.
+            for candidate in self.schema.class_closure(class_name):
+                found = self.schema.ontology.find_attribute(candidate,
+                                                            attribute)
+                if found is not None:
+                    prop = found
+                    path = self.schema.path_for(candidate, attribute)
+                    break
+            if prop is None or path is None:
+                raise QueryError(
+                    f"condition attribute {attribute!r} does not exist on "
+                    f"class {class_name!r} or its related classes")
+        value = self._typed_value(prop, condition)
+        return ResolvedCondition(path, prop, condition.operator, value)
+
+    @staticmethod
+    def _typed_value(prop: DatatypeProperty, condition: Condition) -> object:
+        """Coerce the constraint to the attribute's range eagerly so typing
+        errors surface at plan time, not per record."""
+        if condition.operator in ("LIKE", "CONTAINS"):
+            return str(condition.value)
+        value = condition.value
+        try:
+            if prop.range in ("integer",):
+                return int(value)  # type: ignore[arg-type]
+            if prop.range in ("double", "float", "decimal"):
+                return float(value)  # type: ignore[arg-type]
+            if prop.range == "boolean":
+                if isinstance(value, bool):
+                    return value
+                return str(value).strip().lower() in ("true", "1")
+            if prop.range == "date":
+                import datetime as _dt
+                return _dt.date.fromisoformat(str(value).strip())
+            if prop.range == "dateTime":
+                import datetime as _dt
+                return _dt.datetime.fromisoformat(str(value).strip())
+        except (TypeError, ValueError) as exc:
+            raise QueryError(
+                f"constraint {value!r} is not a valid {prop.range} for "
+                f"attribute {prop.name!r}") from exc
+        return str(value)

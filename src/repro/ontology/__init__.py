@@ -1,0 +1,37 @@
+"""OWL-Lite-flavoured ontology substrate.
+
+The paper's S2S middleware is *ontology driven*: the shared OWL ontology
+schema (paper section 2.2, Figure 2) defines both the vocabulary that
+queries are written against and the structure the instance generator
+populates.  This package provides:
+
+* :mod:`repro.ontology.model` — classes, datatype/object properties,
+  individuals;
+* :mod:`repro.ontology.schema` — the *attribute path* view used by the
+  Mapping Module (``thing.product.brand`` identifiers, Figure 4);
+* :mod:`repro.ontology.reasoner` — subclass/subproperty closure, attribute
+  inheritance, domain/range checking;
+* :mod:`repro.ontology.builders` — fluent construction API;
+* :mod:`repro.ontology.validation` — individual-vs-schema validation;
+* :mod:`repro.ontology.owlxml` — OWL (RDF/XML) import/export.
+"""
+
+from .model import (DatatypeProperty, Individual, ObjectProperty, OntClass,
+                    Ontology)
+from .schema import OntologySchema
+from .builders import OntologyBuilder
+from .reasoner import Reasoner
+from .validation import validate_individual, validate_ontology
+
+__all__ = [
+    "Ontology",
+    "OntClass",
+    "DatatypeProperty",
+    "ObjectProperty",
+    "Individual",
+    "OntologySchema",
+    "OntologyBuilder",
+    "Reasoner",
+    "validate_individual",
+    "validate_ontology",
+]

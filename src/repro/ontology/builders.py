@@ -1,0 +1,107 @@
+"""Fluent construction API for ontologies.
+
+Ontology definitions read top-down, mirroring the paper's Figure 2::
+
+    ontology = (OntologyBuilder("watch-domain")
+                .klass("thing")
+                .klass("product", parent="thing")
+                .attribute("product", "brand")
+                .attribute("product", "price", "double")
+                .klass("watch", parent="product")
+                .attribute("watch", "case")
+                .klass("provider", parent="thing")
+                .attribute("provider", "name")
+                .object_property("product", "hasProvider", "provider")
+                .build())
+"""
+
+from __future__ import annotations
+
+from .model import Ontology
+from .schema import OntologySchema
+
+
+class OntologyBuilder:
+    """Chainable builder producing an :class:`Ontology`."""
+
+    def __init__(self, name: str,
+                 base_iri: str = "http://example.org/s2s/ontology#") -> None:
+        self._ontology = Ontology(name, base_iri)
+
+    def klass(self, name: str, parent: str | None = None,
+              label: str | None = None) -> "OntologyBuilder":
+        """Declare a class; returns self."""
+        self._ontology.add_class(name, parent, label)
+        return self
+
+    def attribute(self, class_name: str, name: str, range: str = "string",
+                  *, functional: bool = True,
+                  label: str | None = None) -> "OntologyBuilder":
+        """Declare a datatype property; returns self."""
+        self._ontology.add_attribute(class_name, name, range,
+                                     functional=functional, label=label)
+        return self
+
+    def object_property(self, domain: str, name: str, range: str,
+                        *, functional: bool = False,
+                        label: str | None = None) -> "OntologyBuilder":
+        """Declare a class link; returns self."""
+        self._ontology.add_object_property(domain, name, range,
+                                           functional=functional, label=label)
+        return self
+
+    def build(self) -> Ontology:
+        """The constructed ontology."""
+        return self._ontology
+
+    def build_schema(self) -> OntologySchema:
+        """The constructed ontology wrapped in its schema view."""
+        return OntologySchema(self._ontology)
+
+
+def logistics_ontology(base_iri: str = "http://example.org/s2s/logistics#"
+                       ) -> Ontology:
+    """A second, unrelated domain: B2B shipment tracking.
+
+    Exists to exercise the paper's ontology-independence claim (§2.6:
+    "this approach has the advantage of providing an ontology-independent
+    system") — the middleware code is identical for any domain schema.
+    """
+    return (OntologyBuilder("logistics", base_iri)
+            .klass("thing")
+            .klass("shipment", parent="thing")
+            .attribute("shipment", "tracking_id")
+            .attribute("shipment", "weight_kg", "double")
+            .attribute("shipment", "status")
+            .attribute("shipment", "ship_date", "date")
+            .klass("express_shipment", parent="shipment")
+            .attribute("express_shipment", "guaranteed_hours", "integer")
+            .klass("carrier", parent="thing")
+            .attribute("carrier", "name")
+            .attribute("carrier", "fleet_size", "integer")
+            .object_property("shipment", "carriedBy", "carrier")
+            .build())
+
+
+def watch_domain_ontology(base_iri: str = "http://example.org/s2s/watch#") -> Ontology:
+    """The paper's running example (Figure 2): a watch product domain.
+
+    ``thing ⊃ product ⊃ watch`` with a ``provider`` linked to every
+    product; attribute IDs come out as ``thing.product.brand``,
+    ``thing.product.watch.case`` etc., exactly as in sections 2.3.1.
+    """
+    return (OntologyBuilder("watch-domain", base_iri)
+            .klass("thing")
+            .klass("product", parent="thing")
+            .attribute("product", "brand")
+            .attribute("product", "model")
+            .attribute("product", "price", "double")
+            .klass("watch", parent="product")
+            .attribute("watch", "case")
+            .attribute("watch", "movement")
+            .attribute("watch", "water_resistance", "integer")
+            .klass("provider", parent="thing")
+            .attribute("provider", "name")
+            .attribute("provider", "country")
+            .object_property("product", "hasProvider", "provider")
+            .build())

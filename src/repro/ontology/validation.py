@@ -1,0 +1,101 @@
+"""Validation of individuals against the ontology schema.
+
+The paper argues manual mapping "offers the highest degree of data
+extraction accuracy and domain consistency" (section 2.3); this module is
+the enforcement side of that claim — every individual the instance
+generator produces can be checked against the schema before serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import Individual, Ontology
+from .reasoner import Reasoner
+from ..errors import ValidationError
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated validation problems; empty means valid."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """True when no problems were recorded."""
+        return not self.problems
+
+    def add(self, message: str) -> None:
+        """Record one validation problem."""
+        self.problems.append(message)
+
+    def raise_if_invalid(self) -> None:
+        """Raise ValidationError when problems exist."""
+        if self.problems:
+            raise ValidationError("; ".join(self.problems))
+
+
+def validate_individual(ontology: Ontology, individual: Individual,
+                        *, reasoner: Reasoner | None = None) -> ValidationReport:
+    """Check one individual against the schema.
+
+    Verifies: the class exists; every value belongs to a declared (possibly
+    inherited) attribute; values match the declared XSD range; functional
+    attributes are single-valued; links target declared object properties
+    and range-compatible individuals.
+    """
+    report = ValidationReport()
+    reasoner = reasoner or Reasoner(ontology)
+    if not ontology.has_class(individual.class_name):
+        report.add(f"individual {individual.identifier!r} has unknown class "
+                   f"{individual.class_name!r}")
+        return report
+
+    declared = {a.name: a for a in ontology.all_attributes(individual.class_name)}
+    for name, value in individual.values.items():
+        prop = declared.get(name)
+        if prop is None:
+            report.add(f"{individual.identifier}: undeclared attribute {name!r} "
+                       f"for class {individual.class_name!r}")
+            continue
+        candidates = value if isinstance(value, list) else [value]
+        if prop.functional and isinstance(value, list) and len(value) > 1:
+            report.add(f"{individual.identifier}: functional attribute {name!r} "
+                       f"has {len(value)} values")
+        for item in candidates:
+            try:
+                reasoner.coerce(individual.class_name, name, item)
+            except ValidationError as exc:
+                report.add(f"{individual.identifier}: {exc}")
+
+    object_props = {p.name: p for p in
+                    ontology.all_object_properties(individual.class_name)}
+    for name, targets in individual.links.items():
+        prop = object_props.get(name)
+        if prop is None:
+            report.add(f"{individual.identifier}: undeclared object property "
+                       f"{name!r} for class {individual.class_name!r}")
+            continue
+        if prop.functional and len(targets) > 1:
+            report.add(f"{individual.identifier}: functional object property "
+                       f"{name!r} has {len(targets)} targets")
+        for target in targets:
+            if not ontology.has_class(target.class_name):
+                report.add(f"{individual.identifier}: link {name!r} targets "
+                           f"unknown class {target.class_name!r}")
+            elif not reasoner.is_subclass(target.class_name, prop.range):
+                report.add(f"{individual.identifier}: link {name!r} targets "
+                           f"{target.class_name!r}, expected {prop.range!r}")
+    return report
+
+
+def validate_ontology(ontology: Ontology) -> ValidationReport:
+    """Check every individual currently held by the ontology."""
+    report = ValidationReport()
+    reasoner = Reasoner(ontology)
+    for individual in ontology.individuals():
+        sub_report = validate_individual(ontology, individual,
+                                         reasoner=reasoner)
+        report.problems.extend(sub_report.problems)
+    return report

@@ -1,0 +1,41 @@
+"""A self-contained RDF substrate.
+
+The paper's middleware emits its integrated results as OWL documents; since
+no third-party RDF library is assumed, this package implements the pieces of
+the RDF data model the middleware needs:
+
+* :mod:`repro.rdf.terms` — IRIs, literals, blank nodes, triples;
+* :mod:`repro.rdf.namespace` — namespace/prefix management and the standard
+  RDF/RDFS/OWL/XSD vocabularies;
+* :mod:`repro.rdf.graph` — an indexed in-memory triple store with pattern
+  matching;
+* :mod:`repro.rdf.turtle` — Turtle serializer and parser;
+* :mod:`repro.rdf.rdfxml` — RDF/XML serializer and parser (the concrete
+  syntax OWL documents are exchanged in);
+* :mod:`repro.rdf.ntriples` — N-Triples line format;
+* :mod:`repro.rdf.sparql` — a SPARQL subset for consuming the
+  middleware's output ("semantic knowledge processing");
+* :mod:`repro.rdf.inference` — RDFS entailment materialization.
+"""
+
+from .terms import IRI, BlankNode, Literal, Triple
+from .namespace import Namespace, NamespaceManager, OWL, RDF, RDFS, XSD
+from .graph import Graph
+from .sparql import execute_sparql
+from .inference import materialize_rdfs
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "Graph",
+    "execute_sparql",
+    "materialize_rdfs",
+]

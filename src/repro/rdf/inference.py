@@ -1,0 +1,95 @@
+"""RDFS entailment materialization.
+
+The middleware's OWL output carries the schema (``rdfs:subClassOf``
+edges, domains, ranges); a consumer that wants "semantic knowledge
+processing" (paper §1) can materialize the standard RDFS entailments so
+that e.g. a SPARQL query for ``?x a onto:product`` also finds the
+``onto:watch`` instances.  Implemented rules (fixpoint):
+
+* rdfs5  — subPropertyOf transitivity;
+* rdfs7  — property inheritance through subPropertyOf;
+* rdfs9  — type propagation through subClassOf;
+* rdfs11 — subClassOf transitivity;
+* rdfs2  — domain entailment (``p rdfs:domain C``, ``s p o`` → ``s a C``);
+* rdfs3  — range entailment for IRI/bnode objects.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .namespace import RDF, RDFS
+from .terms import IRI, Literal
+
+
+def materialize_rdfs(graph: Graph, *, max_rounds: int = 50) -> int:
+    """Add RDFS entailments to ``graph`` in place.
+
+    Returns the number of triples added.  Runs rule application to a
+    fixpoint; ``max_rounds`` bounds pathological ontologies."""
+    added_total = 0
+    for _round in range(max_rounds):
+        added = _apply_once(graph)
+        added_total += added
+        if added == 0:
+            return added_total
+    return added_total
+
+
+def _apply_once(graph: Graph) -> int:
+    new_triples = []
+
+    # rdfs11: subclass transitivity.
+    subclass_edges = list(graph.triples(None, RDFS.subClassOf, None))
+    parents: dict = {}
+    for triple in subclass_edges:
+        parents.setdefault(triple.subject, set()).add(triple.object)
+    for triple in subclass_edges:
+        for grandparent in parents.get(triple.object, ()):
+            new_triples.append((triple.subject, RDFS.subClassOf,
+                                grandparent))
+
+    # rdfs9: type propagation.
+    for triple in list(graph.triples(None, RDF.type, None)):
+        for parent in parents.get(triple.object, ()):
+            new_triples.append((triple.subject, RDF.type, parent))
+
+    # rdfs5: subproperty transitivity; rdfs7: property inheritance.
+    subprop_edges = list(graph.triples(None, RDFS.subPropertyOf, None))
+    super_props: dict = {}
+    for triple in subprop_edges:
+        super_props.setdefault(triple.subject, set()).add(triple.object)
+    for triple in subprop_edges:
+        for grandparent in super_props.get(triple.object, ()):
+            new_triples.append((triple.subject, RDFS.subPropertyOf,
+                                grandparent))
+    for child, supers in super_props.items():
+        if not isinstance(child, IRI):
+            continue
+        for statement in list(graph.triples(None, child, None)):
+            for super_prop in supers:
+                if isinstance(super_prop, IRI):
+                    new_triples.append((statement.subject, super_prop,
+                                        statement.object))
+
+    # rdfs2/rdfs3: domain and range entailment.
+    for domain_triple in list(graph.triples(None, RDFS.domain, None)):
+        prop = domain_triple.subject
+        if not isinstance(prop, IRI):
+            continue
+        for statement in list(graph.triples(None, prop, None)):
+            new_triples.append((statement.subject, RDF.type,
+                                domain_triple.object))
+    for range_triple in list(graph.triples(None, RDFS.range, None)):
+        prop = range_triple.subject
+        if not isinstance(prop, IRI):
+            continue
+        for statement in list(graph.triples(None, prop, None)):
+            if not isinstance(statement.object, Literal):
+                new_triples.append((statement.object, RDF.type,
+                                    range_triple.object))
+
+    added = 0
+    for subject, predicate, obj in new_triples:
+        if graph.add(subject, predicate, obj):
+            added += 1
+    return added

@@ -1,0 +1,635 @@
+"""A SPARQL subset over the in-memory graph.
+
+The paper's closing argument is that S2S output "allows data to be shared
+and processed by automated tools" — i.e. the OWL documents the middleware
+emits are *queryable knowledge*.  This module is that consumer side: a
+SPARQL engine supporting the slice B2B post-processing needs::
+
+    PREFIX onto: <http://example.org/s2s/watch#>
+    SELECT DISTINCT ?brand ?name
+    WHERE {
+      ?w rdf:type onto:watch .
+      ?w onto:brand ?brand .
+      ?w onto:hasProvider ?p .
+      ?p onto:name ?name .
+      FILTER (?price >= 100 && ?brand != "Casio")
+    }
+    ORDER BY ?brand LIMIT 10
+
+Supported: ``PREFIX`` declarations (rdf/rdfs/owl/xsd are pre-bound),
+``SELECT`` with variable projection or ``*``, ``DISTINCT``, basic graph
+patterns (``.``-separated triples, ``a`` for ``rdf:type``), ``FILTER``
+with comparisons, ``&&``/``||``/``!``, ``BOUND``, ``REGEX``, ``OPTIONAL``
+blocks, ``ORDER BY``/``LIMIT``/``OFFSET``, and ``ASK`` queries.
+
+Evaluation is backtracking join over the indexed triple store: patterns
+are reordered greedily by bound-term count so selective patterns run
+first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..errors import RdfError
+from .graph import Graph
+from .namespace import NamespaceManager
+from .terms import IRI, BlankNode, Literal
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Variable, IRI, Literal]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def bound_count(self, bindings: dict) -> int:
+        """How many positions are already fixed under ``bindings``."""
+        count = 0
+        for term in (self.subject, self.predicate, self.object):
+            if not isinstance(term, Variable) or term.name in bindings:
+                count += 1
+        return count
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    operator: str  # = != < > <= >=
+    left: "FilterExpr"
+    right: "FilterExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolOp:
+    operator: str  # && ||
+    left: "FilterExpr"
+    right: "FilterExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class NotOp:
+    operand: "FilterExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class BoundCall:
+    variable: Variable
+
+
+@dataclass(frozen=True, slots=True)
+class RegexCall:
+    operand: "FilterExpr"
+    pattern: str
+    flags: str = ""
+
+
+FilterExpr = Union[Variable, Literal, IRI, Comparison, BoolOp, NotOp,
+                   BoundCall, RegexCall]
+
+
+@dataclass
+class GroupPattern:
+    """A basic graph pattern: triples + filters + optional sub-groups."""
+
+    triples: list[TriplePattern] = field(default_factory=list)
+    filters: list[FilterExpr] = field(default_factory=list)
+    optionals: list["GroupPattern"] = field(default_factory=list)
+
+
+@dataclass
+class SparqlQuery:
+    form: str  # SELECT | ASK
+    variables: list[Variable]  # empty means *
+    distinct: bool
+    pattern: GroupPattern
+    order_by: list[tuple[Variable, bool]]  # (var, descending)
+    limit: int | None
+    offset: int
+
+
+# ---------------------------------------------------------------------------
+# Lexer / parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^<>\s]*>)
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<dtype>\^\^)
+  | (?P<and>&&) | (?P<or>\|\|)
+  | (?P<ne>!=) | (?P<le><=) | (?P<ge>>=) | (?P<eq>=) | (?P<lt><) | (?P<gt>>)
+  | (?P<not>!)
+  | (?P<punct>[{}().,;])
+  | (?P<qname>[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-.]*
+              |[A-Za-z_][A-Za-z0-9_\-]*:)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*|\*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"PREFIX", "SELECT", "ASK", "WHERE", "FILTER", "OPTIONAL",
+             "DISTINCT", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET",
+             "BOUND", "REGEX", "A", "TRUE", "FALSE"}
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+_RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    value: str
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens: list[_Token] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise RdfError(
+                    f"SPARQL: unexpected character {text[pos]!r} at "
+                    f"offset {pos}")
+            kind = match.lastgroup or ""
+            if kind != "ws":
+                value = match.group()
+                if kind == "word" and value.upper() in _KEYWORDS:
+                    self.tokens.append(_Token("keyword", value.upper()))
+                else:
+                    self.tokens.append(_Token(kind, value))
+            pos = match.end()
+        self.index = 0
+        self.manager = NamespaceManager()
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) \
+            else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise RdfError("SPARQL: unexpected end of query")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token and token.kind == kind and (value is None
+                                             or token.value == value):
+            self.index += 1
+            return token
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (value is not None
+                                  and token.value != value):
+            raise RdfError(f"SPARQL: expected {value or kind}, got "
+                           f"{token.value!r}")
+        return token
+
+    # -- query ----------------------------------------------------------
+
+    def parse(self) -> SparqlQuery:
+        while self.accept("keyword", "PREFIX"):
+            qname = self.expect("qname").value
+            iri = self.expect("iri").value[1:-1]
+            self.manager.bind(qname[:-1] if qname.endswith(":")
+                              else qname.split(":", 1)[0], iri,
+                              replace=True)
+        token = self.next()
+        if token.kind != "keyword" or token.value not in ("SELECT", "ASK"):
+            raise RdfError(f"SPARQL: expected SELECT or ASK, got "
+                           f"{token.value!r}")
+        form = token.value
+        variables: list[Variable] = []
+        distinct = False
+        if form == "SELECT":
+            distinct = self.accept("keyword", "DISTINCT") is not None
+            star = self.peek()
+            if star is not None and star.kind == "punct" and \
+                    star.value == "*":
+                self.next()
+            elif star is not None and star.kind == "word" and \
+                    star.value == "*":
+                self.next()
+            else:
+                while True:
+                    var = self.accept("var")
+                    if var is None:
+                        break
+                    variables.append(Variable(var.value[1:]))
+                if not variables:
+                    # maybe it was "*" tokenized oddly; require vars
+                    token = self.peek()
+                    if token is None or token.value != "{":
+                        raise RdfError(
+                            "SPARQL: SELECT needs variables or *")
+        self.accept("keyword", "WHERE")
+        pattern = self.group()
+        order_by: list[tuple[Variable, bool]] = []
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            while True:
+                descending = False
+                if self.accept("keyword", "DESC"):
+                    self.expect("punct", "(")
+                    variable = Variable(self.expect("var").value[1:])
+                    self.expect("punct", ")")
+                    descending = True
+                elif self.accept("keyword", "ASC"):
+                    self.expect("punct", "(")
+                    variable = Variable(self.expect("var").value[1:])
+                    self.expect("punct", ")")
+                else:
+                    var = self.accept("var")
+                    if var is None:
+                        break
+                    variable = Variable(var.value[1:])
+                order_by.append((variable, descending))
+                if self.peek() is None or self.peek().kind != "var" and \
+                        not (self.peek().kind == "keyword"
+                             and self.peek().value in ("ASC", "DESC")):
+                    break
+        limit = None
+        offset = 0
+        while True:
+            if self.accept("keyword", "LIMIT"):
+                limit = int(self.expect("number").value)
+            elif self.accept("keyword", "OFFSET"):
+                offset = int(self.expect("number").value)
+            else:
+                break
+        if self.peek() is not None:
+            raise RdfError(f"SPARQL: trailing tokens at "
+                           f"{self.peek().value!r}")
+        return SparqlQuery(form, variables, distinct, pattern, order_by,
+                           limit, offset)
+
+    def group(self) -> GroupPattern:
+        self.expect("punct", "{")
+        group = GroupPattern()
+        while True:
+            token = self.peek()
+            if token is None:
+                raise RdfError("SPARQL: unterminated group pattern")
+            if token.kind == "punct" and token.value == "}":
+                self.next()
+                return group
+            if token.kind == "keyword" and token.value == "FILTER":
+                self.next()
+                self.expect("punct", "(")
+                group.filters.append(self.filter_or())
+                self.expect("punct", ")")
+                self.accept("punct", ".")
+                continue
+            if token.kind == "keyword" and token.value == "OPTIONAL":
+                self.next()
+                group.optionals.append(self.group())
+                self.accept("punct", ".")
+                continue
+            group.triples.append(self.triple())
+            if not self.accept("punct", "."):
+                closing = self.peek()
+                if closing is None or closing.value != "}":
+                    raise RdfError("SPARQL: expected '.' or '}' after "
+                                   "triple pattern")
+
+    def triple(self) -> TriplePattern:
+        subject = self.term(position="subject")
+        predicate = self.term(position="predicate")
+        obj = self.term(position="object")
+        return TriplePattern(subject, predicate, obj)
+
+    def term(self, position: str) -> PatternTerm:
+        token = self.next()
+        if token.kind == "var":
+            return Variable(token.value[1:])
+        if token.kind == "iri":
+            return IRI(token.value[1:-1])
+        if token.kind == "qname":
+            return self.manager.expand(token.value)
+        if token.kind == "keyword" and token.value == "A":
+            if position != "predicate":
+                raise RdfError("SPARQL: 'a' is only valid as predicate")
+            return _RDF_TYPE
+        if position == "object":
+            if token.kind == "string":
+                lexical = _unescape(token.value[1:-1])
+                if self.accept("dtype"):
+                    dtype_token = self.next()
+                    if dtype_token.kind == "iri":
+                        return Literal(lexical, IRI(dtype_token.value[1:-1]))
+                    if dtype_token.kind == "qname":
+                        return Literal(lexical,
+                                       self.manager.expand(dtype_token.value))
+                    raise RdfError("SPARQL: expected datatype IRI")
+                return Literal(lexical)
+            if token.kind == "number":
+                return _number_literal(token.value)
+            if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+                return Literal(token.value.lower(), IRI(_XSD + "boolean"))
+        raise RdfError(f"SPARQL: unexpected term {token.value!r} in "
+                       f"{position} position")
+
+    # -- filters -----------------------------------------------------------
+
+    def filter_or(self) -> FilterExpr:
+        left = self.filter_and()
+        while self.accept("or"):
+            left = BoolOp("||", left, self.filter_and())
+        return left
+
+    def filter_and(self) -> FilterExpr:
+        left = self.filter_not()
+        while self.accept("and"):
+            left = BoolOp("&&", left, self.filter_not())
+        return left
+
+    def filter_not(self) -> FilterExpr:
+        if self.accept("not"):
+            return NotOp(self.filter_not())
+        return self.filter_comparison()
+
+    def filter_comparison(self) -> FilterExpr:
+        left = self.filter_primary()
+        token = self.peek()
+        operators = {"eq": "=", "ne": "!=", "lt": "<", "gt": ">",
+                     "le": "<=", "ge": ">="}
+        if token is not None and token.kind in operators:
+            self.next()
+            return Comparison(operators[token.kind], left,
+                              self.filter_primary())
+        return left
+
+    def filter_primary(self) -> FilterExpr:
+        token = self.next()
+        if token.kind == "var":
+            return Variable(token.value[1:])
+        if token.kind == "string":
+            return Literal(_unescape(token.value[1:-1]))
+        if token.kind == "number":
+            return _number_literal(token.value)
+        if token.kind == "iri":
+            return IRI(token.value[1:-1])
+        if token.kind == "qname":
+            return self.manager.expand(token.value)
+        if token.kind == "keyword" and token.value == "BOUND":
+            self.expect("punct", "(")
+            variable = Variable(self.expect("var").value[1:])
+            self.expect("punct", ")")
+            return BoundCall(variable)
+        if token.kind == "keyword" and token.value == "REGEX":
+            self.expect("punct", "(")
+            operand = self.filter_or()
+            self.expect("punct", ",")
+            pattern = _unescape(self.expect("string").value[1:-1])
+            flags = ""
+            if self.accept("punct", ","):
+                flags = _unescape(self.expect("string").value[1:-1])
+            self.expect("punct", ")")
+            return RegexCall(operand, pattern, flags)
+        if token.kind == "punct" and token.value == "(":
+            inner = self.filter_or()
+            self.expect("punct", ")")
+            return inner
+        raise RdfError(f"SPARQL: unexpected filter token {token.value!r}")
+
+
+def _unescape(text: str) -> str:
+    return (text.replace("\\\\", "\x00").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\\t", "\t")
+            .replace("\x00", "\\"))
+
+
+def _number_literal(text: str) -> Literal:
+    if "." in text:
+        return Literal(text, IRI(_XSD + "decimal"))
+    return Literal(text, IRI(_XSD + "integer"))
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+Binding = dict[str, object]  # variable name → IRI | BlankNode | Literal
+
+
+def _substitute(term: PatternTerm, bindings: Binding):
+    if isinstance(term, Variable):
+        return bindings.get(term.name)
+    return term
+
+
+def _match_group(graph: Graph, group: GroupPattern,
+                 bindings: Binding) -> Iterator[Binding]:
+    yield from _match_triples(graph, list(group.triples), bindings,
+                              group)
+
+
+def _match_triples(graph: Graph, remaining: list[TriplePattern],
+                   bindings: Binding,
+                   group: GroupPattern) -> Iterator[Binding]:
+    if not remaining:
+        yield from _apply_tail(graph, bindings, group)
+        return
+    # Greedy selectivity: run the most-bound pattern next.
+    remaining = sorted(remaining,
+                       key=lambda p: -p.bound_count(bindings))
+    pattern, rest = remaining[0], remaining[1:]
+    subject = _substitute(pattern.subject, bindings)
+    predicate = _substitute(pattern.predicate, bindings)
+    obj = _substitute(pattern.object, bindings)
+    if isinstance(predicate, (Literal, BlankNode)):
+        return  # cannot be a predicate
+    for triple in graph.triples(
+            subject if not isinstance(subject, Literal) else None,
+            predicate, obj):
+        if isinstance(subject, Literal):
+            continue
+        extended = dict(bindings)
+        if not _bind(pattern.subject, triple.subject, extended):
+            continue
+        if not _bind(pattern.predicate, triple.predicate, extended):
+            continue
+        if not _bind(pattern.object, triple.object, extended):
+            continue
+        yield from _match_triples(graph, rest, extended, group)
+
+
+def _apply_tail(graph: Graph, bindings: Binding,
+                group: GroupPattern) -> Iterator[Binding]:
+    result = bindings
+    for optional in group.optionals:
+        matched = next(_match_group(graph, optional, result), None)
+        if matched is not None:
+            result = matched
+    # SPARQL evaluates a group's FILTERs after its OPTIONALs, so
+    # !BOUND(?x) over an optional variable works as expected.
+    for filter_expr in group.filters:
+        if not _filter_bool(filter_expr, result):
+            return
+    yield result
+
+
+def _bind(term: PatternTerm, value, bindings: Binding) -> bool:
+    if isinstance(term, Variable):
+        existing = bindings.get(term.name)
+        if existing is None:
+            bindings[term.name] = value
+            return True
+        return existing == value
+    return term == value
+
+
+def _filter_value(expr: FilterExpr, bindings: Binding):
+    if isinstance(expr, Variable):
+        return bindings.get(expr.name)
+    if isinstance(expr, (Literal, IRI)):
+        return expr
+    if isinstance(expr, BoundCall):
+        return expr.variable.name in bindings
+    if isinstance(expr, RegexCall):
+        operand = _filter_value(expr.operand, bindings)
+        if operand is None:
+            return False
+        text = operand.lexical if isinstance(operand, Literal) \
+            else str(operand)
+        flags = re.IGNORECASE if "i" in expr.flags else 0
+        return re.search(expr.pattern, text, flags) is not None
+    if isinstance(expr, NotOp):
+        return not _filter_bool(expr.operand, bindings)
+    if isinstance(expr, BoolOp):
+        if expr.operator == "&&":
+            return (_filter_bool(expr.left, bindings)
+                    and _filter_bool(expr.right, bindings))
+        return (_filter_bool(expr.left, bindings)
+                or _filter_bool(expr.right, bindings))
+    if isinstance(expr, Comparison):
+        left = _comparable(_filter_value(expr.left, bindings))
+        right = _comparable(_filter_value(expr.right, bindings))
+        if left is None or right is None:
+            return False
+        try:
+            if expr.operator == "=":
+                return left == right
+            if expr.operator == "!=":
+                return left != right
+            if expr.operator == "<":
+                return left < right
+            if expr.operator == ">":
+                return left > right
+            if expr.operator == "<=":
+                return left <= right
+            return left >= right
+        except TypeError:
+            return False
+    raise RdfError(f"SPARQL: unsupported filter expression {expr!r}")
+
+
+def _filter_bool(expr: FilterExpr, bindings: Binding) -> bool:
+    value = _filter_value(expr, bindings)
+    if isinstance(value, Literal):
+        return bool(value.lexical)
+    return bool(value)
+
+
+def _comparable(value):
+    if isinstance(value, Literal):
+        try:
+            return value.to_python()
+        except RdfError:
+            return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    return value
+
+
+def _sort_key(value):
+    if value is None:
+        return (0, "", 0)
+    comparable = _comparable(value)
+    if isinstance(comparable, bool):
+        return (1, "bool", int(comparable))
+    if isinstance(comparable, (int, float)):
+        return (2, "", comparable)
+    return (3, type(comparable).__name__, str(comparable))
+
+
+@dataclass
+class SparqlResult:
+    """SELECT results: variable names + rows of bound terms."""
+
+    variables: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        """Bound terms of one projected variable."""
+        index = self.variables.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as variable→term dictionaries."""
+        return [dict(zip(self.variables, row)) for row in self.rows]
+
+
+def execute_sparql(graph: Graph, query_text: str):
+    """Parse and run a SPARQL query.
+
+    Returns a :class:`SparqlResult` for SELECT, a ``bool`` for ASK."""
+    query = _Parser(query_text).parse()
+    solutions = list(_match_group(graph, query.pattern, {}))
+    if query.form == "ASK":
+        return bool(solutions)
+
+    if query.variables:
+        names = [v.name for v in query.variables]
+    else:
+        seen: list[str] = []
+        for solution in solutions:
+            for name in solution:
+                if name not in seen:
+                    seen.append(name)
+        names = seen
+
+    rows = [tuple(solution.get(name) for name in names)
+            for solution in solutions]
+    if query.distinct:
+        rows = list(dict.fromkeys(rows))
+    for variable, descending in reversed(query.order_by):
+        try:
+            position = names.index(variable.name)
+        except ValueError as exc:
+            raise RdfError(f"SPARQL: ORDER BY unknown variable "
+                           f"?{variable.name}") from exc
+        rows.sort(key=lambda row: _sort_key(row[position]),
+                  reverse=descending)
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return SparqlResult(names, rows)

@@ -1,0 +1,317 @@
+"""Turtle (Terse RDF Triple Language) serializer and parser.
+
+Supports the subset of Turtle the middleware itself produces plus the common
+authoring conveniences: ``@prefix`` / ``@base`` directives, qualified names,
+``a`` for ``rdf:type``, predicate lists (``;``), object lists (``,``),
+anonymous blank nodes (``[...]``), collections are *not* supported (the
+middleware never emits them), numeric/boolean shorthand literals, language
+tags and datatyped literals with long or short quoted strings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import RdfSyntaxError
+from .graph import Graph
+from .namespace import NamespaceManager
+from .terms import IRI, BlankNode, Literal, Object, Subject
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+
+def serialize_turtle(graph: Graph) -> str:
+    """Render ``graph`` as a Turtle document grouped by subject."""
+    manager = graph.namespace_manager
+    lines: list[str] = []
+    for prefix, base in manager.namespaces():
+        lines.append(f"@prefix {prefix}: <{base}> .")
+    if lines:
+        lines.append("")
+
+    def term_text(term) -> str:
+        if isinstance(term, IRI):
+            qname = manager.compact(term)
+            return qname if qname is not None else term.n3()
+        if isinstance(term, Literal) and term.datatype is not None:
+            qname = manager.compact(term.datatype)
+            if qname is not None:
+                plain = Literal(term.lexical)
+                return f"{plain.n3()}^^{qname}"
+        return term.n3()
+
+    by_subject: dict[Subject, dict[IRI, list[Object]]] = {}
+    for triple in graph:
+        by_subject.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, []).append(triple.object)
+
+    def subject_key(subject: Subject) -> tuple[int, str]:
+        return (0 if isinstance(subject, IRI) else 1, str(subject))
+
+    rdf_type = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+    for subject in sorted(by_subject, key=subject_key):
+        predicates = by_subject[subject]
+        chunks: list[str] = []
+        ordered = sorted(predicates, key=lambda p: (p != rdf_type, p.value))
+        for predicate in ordered:
+            pred_text = "a" if predicate == rdf_type else term_text(predicate)
+            objects = sorted(predicates[predicate], key=lambda o: o.n3())
+            obj_text = ", ".join(term_text(o) for o in objects)
+            chunks.append(f"    {pred_text} {obj_text}")
+        body = " ;\n".join(chunks)
+        lines.append(f"{term_text(subject)}\n{body} .")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<longstr>\"\"\"(?:[^"\\]|\\.|\"(?!\"\"))*\"\"\")
+  | (?P<string>"(?:[^"\\\n]|\\.)*")
+  | (?P<iri><[^<>\s]*>)
+  | (?P<prefix_directive>@prefix\b)
+  | (?P<base_directive>@base\b)
+  | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<dtype>\^\^)
+  | (?P<punct>[;,.\[\]()])
+  | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<bnode>_:[A-Za-z0-9_]+)
+  | (?P<qname>[A-Za-z_][A-Za-z0-9_\-.]*?:[A-Za-z0-9_][A-Za-z0-9_\-.]*|[A-Za-z_][A-Za-z0-9_\-.]*?:|:[A-Za-z0-9_][A-Za-z0-9_\-.]*)
+  | (?P<keyword>[A-Za-z]+)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def _unescape(text: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt in _ESCAPES:
+                out.append(_ESCAPES[nxt])
+                i += 2
+                continue
+            if nxt == "u" and i + 6 <= len(text):
+                out.append(chr(int(text[i + 2:i + 6], 16)))
+                i += 6
+                continue
+            if nxt == "U" and i + 10 <= len(text):
+                out.append(chr(int(text[i + 2:i + 10], 16)))
+                i += 10
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.items: list[tuple[str, str, int]] = []
+        pos = 0
+        line = 1
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                raise RdfSyntaxError(
+                    f"unexpected character {text[pos]!r}", line=line)
+            kind = match.lastgroup or ""
+            value = match.group()
+            line += value.count("\n")
+            if kind != "ws":
+                self.items.append((kind, value, line))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        item = self.peek()
+        if item is None:
+            raise RdfSyntaxError("unexpected end of Turtle document")
+        self.index += 1
+        return item
+
+    def expect_punct(self, value: str) -> None:
+        kind, text, line = self.next()
+        if kind != "punct" or text != value:
+            raise RdfSyntaxError(f"expected {value!r}, got {text!r}", line=line)
+
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class TurtleParser:
+    """Recursive-descent Turtle parser emitting into a :class:`Graph`."""
+
+    def __init__(self, *, base_iri: str = "") -> None:
+        self._base = base_iri
+
+    def parse(self, text: str, graph: Graph | None = None) -> Graph:
+        """Parse Turtle text into ``graph`` (or a fresh one)."""
+        graph = graph if graph is not None else Graph(
+            namespace_manager=NamespaceManager())
+        self._graph = graph
+        self._manager = graph.namespace_manager
+        self._tokens = _Tokens(text)
+        self._bnodes: dict[str, BlankNode] = {}
+        while self._tokens.peek() is not None:
+            self._statement()
+        return graph
+
+    def _statement(self) -> None:
+        kind, value, line = self._tokens.items[self._tokens.index]
+        if kind == "prefix_directive":
+            self._tokens.next()
+            pkind, ptext, pline = self._tokens.next()
+            if pkind != "qname" or not ptext.endswith(":"):
+                raise RdfSyntaxError(f"expected prefix name, got {ptext!r}",
+                                     line=pline)
+            ikind, itext, iline = self._tokens.next()
+            if ikind != "iri":
+                raise RdfSyntaxError(f"expected IRI, got {itext!r}", line=iline)
+            self._manager.bind(ptext[:-1] or "_default", self._resolve(itext[1:-1]),
+                               replace=True)
+            self._tokens.expect_punct(".")
+            return
+        if kind == "base_directive":
+            self._tokens.next()
+            ikind, itext, iline = self._tokens.next()
+            if ikind != "iri":
+                raise RdfSyntaxError(f"expected IRI, got {itext!r}", line=iline)
+            self._base = itext[1:-1]
+            self._tokens.expect_punct(".")
+            return
+        subject = self._subject()
+        self._predicate_object_list(subject)
+        self._tokens.expect_punct(".")
+
+    def _resolve(self, iri_text: str) -> str:
+        if self._base and "://" not in iri_text and not iri_text.startswith(
+                ("urn:", "mailto:")):
+            return self._base + iri_text
+        return iri_text
+
+    def _subject(self) -> Subject:
+        kind, value, line = self._tokens.next()
+        if kind == "iri":
+            return IRI(self._resolve(value[1:-1]))
+        if kind == "qname":
+            return self._expand_qname(value, line)
+        if kind == "bnode":
+            return self._bnode(value)
+        if kind == "punct" and value == "[":
+            node = BlankNode()
+            peek = self._tokens.peek()
+            if peek is not None and peek[0] == "punct" and peek[1] == "]":
+                self._tokens.next()
+                return node
+            self._predicate_object_list(node)
+            self._tokens.expect_punct("]")
+            return node
+        raise RdfSyntaxError(f"expected subject, got {value!r}", line=line)
+
+    def _expand_qname(self, text: str, line: int) -> IRI:
+        prefix, _, local = text.partition(":")
+        try:
+            return self._manager.expand(f"{prefix or '_default'}:{local}")
+        except Exception as exc:
+            raise RdfSyntaxError(str(exc), line=line) from exc
+
+    def _bnode(self, text: str) -> BlankNode:
+        label = text[2:]
+        if label not in self._bnodes:
+            self._bnodes[label] = BlankNode()
+        return self._bnodes[label]
+
+    def _predicate_object_list(self, subject: Subject) -> None:
+        while True:
+            predicate = self._predicate()
+            while True:
+                obj = self._object()
+                self._graph.add(subject, predicate, obj)
+                peek = self._tokens.peek()
+                if peek is not None and peek[0] == "punct" and peek[1] == ",":
+                    self._tokens.next()
+                    continue
+                break
+            peek = self._tokens.peek()
+            if peek is not None and peek[0] == "punct" and peek[1] == ";":
+                self._tokens.next()
+                nxt = self._tokens.peek()
+                if nxt is not None and nxt[0] == "punct" and nxt[1] in ".]":
+                    return
+                continue
+            return
+
+    def _predicate(self) -> IRI:
+        kind, value, line = self._tokens.next()
+        if kind == "keyword" and value == "a":
+            return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        if kind == "iri":
+            return IRI(self._resolve(value[1:-1]))
+        if kind == "qname":
+            return self._expand_qname(value, line)
+        raise RdfSyntaxError(f"expected predicate, got {value!r}", line=line)
+
+    def _object(self) -> Object:
+        kind, value, line = self._tokens.next()
+        if kind == "iri":
+            return IRI(self._resolve(value[1:-1]))
+        if kind == "qname":
+            return self._expand_qname(value, line)
+        if kind == "bnode":
+            return self._bnode(value)
+        if kind == "punct" and value == "[":
+            node = BlankNode()
+            peek = self._tokens.peek()
+            if peek is not None and peek[0] == "punct" and peek[1] == "]":
+                self._tokens.next()
+                return node
+            self._predicate_object_list(node)
+            self._tokens.expect_punct("]")
+            return node
+        if kind in ("string", "longstr"):
+            lexical = _unescape(value[3:-3] if kind == "longstr" else value[1:-1])
+            peek = self._tokens.peek()
+            if peek is not None and peek[0] == "langtag":
+                self._tokens.next()
+                return Literal(lexical, language=peek[1][1:])
+            if peek is not None and peek[0] == "dtype":
+                self._tokens.next()
+                dkind, dtext, dline = self._tokens.next()
+                if dkind == "iri":
+                    return Literal(lexical, IRI(self._resolve(dtext[1:-1])))
+                if dkind == "qname":
+                    return Literal(lexical, self._expand_qname(dtext, dline))
+                raise RdfSyntaxError(
+                    f"expected datatype IRI, got {dtext!r}", line=dline)
+            return Literal(lexical)
+        if kind == "number":
+            if re.fullmatch(r"[+-]?\d+", value):
+                return Literal(value, IRI(_XSD + "integer"))
+            if "e" in value.lower():
+                return Literal(value, IRI(_XSD + "double"))
+            return Literal(value, IRI(_XSD + "decimal"))
+        if kind == "keyword" and value in ("true", "false"):
+            return Literal(value, IRI(_XSD + "boolean"))
+        raise RdfSyntaxError(f"expected object, got {value!r}", line=line)
+
+
+def parse_turtle(text: str, *, base_iri: str = "") -> Graph:
+    """Parse a Turtle document into a fresh :class:`Graph`."""
+    return TurtleParser(base_iri=base_iri).parse(text)

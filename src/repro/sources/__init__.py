@@ -1,0 +1,18 @@
+"""Data-source substrates and connectors.
+
+The paper's middleware integrates "structured (e.g. relational databases),
+semistructured (e.g. XML) and unstructured (e.g. Web pages and plain text
+files)" sources (section 2.1).  Each substrate here is a complete,
+self-contained implementation of one source *technology*, plus a connector
+class implementing the common :class:`repro.sources.base.DataSource`
+protocol the Extractor Manager dispatches on:
+
+* :mod:`repro.sources.relational` — in-memory relational engine + SQL;
+* :mod:`repro.sources.xmlstore` — XML document store + XPath;
+* :mod:`repro.sources.web` — simulated web (HTML pages behind URLs);
+* :mod:`repro.sources.textfiles` — plain-text file store + regex rules.
+"""
+
+from .base import ConnectionInfo, DataSource
+
+__all__ = ["DataSource", "ConnectionInfo"]

@@ -1,0 +1,98 @@
+"""Common protocol for data sources.
+
+A :class:`DataSource` is the unit the Data Source Repository registers
+(paper section 2.3.2): it has an identifier, a *type* (which selects the
+extractor), and *connection information* that "varies by data source type
+— Web pages require URLs, files require paths, and databases require
+location, login, password, and driver type".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..errors import S2SError
+
+
+@dataclass(frozen=True)
+class ConnectionInfo:
+    """Type-tagged connection parameters for one data source.
+
+    ``parameters`` is a flat string map because that is what a registry
+    persists; each connector documents the keys it requires.
+    """
+
+    source_type: str
+    parameters: dict[str, str] = field(default_factory=dict)
+
+    def require(self, key: str) -> str:
+        """The parameter value; raises when absent."""
+        value = self.parameters.get(key)
+        if value is None:
+            raise S2SError(
+                f"connection info for {self.source_type!r} source is missing "
+                f"required parameter {key!r}")
+        return value
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        """The parameter value, or ``default``."""
+        return self.parameters.get(key, default)
+
+
+class DataSource(abc.ABC):
+    """A connectable, queryable source of raw data.
+
+    Concrete sources implement :meth:`execute_rule`, which runs one
+    *extraction rule* (a SQL statement, XPath expression, WebL program or
+    regex — whatever the source technology understands) and returns the
+    matching raw values as a list of strings, one entry per data record.
+    """
+
+    #: Symbolic type used by the repository and the extractor dispatcher.
+    source_type: str = "abstract"
+
+    def __init__(self, source_id: str) -> None:
+        if not source_id:
+            raise S2SError("data source id must be non-empty")
+        self.source_id = source_id
+        self._connected = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def connect(self) -> None:
+        """Open the source. Idempotent."""
+        self._connected = True
+
+    def close(self) -> None:
+        """Close the source. Idempotent."""
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        """Whether :meth:`connect` has succeeded."""
+        return self._connected
+
+    def __enter__(self) -> "DataSource":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- extraction ------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute_rule(self, rule: str) -> list[str]:
+        """Run one extraction rule, returning one string per record."""
+
+    @abc.abstractmethod
+    def connection_info(self) -> ConnectionInfo:
+        """The registry-persistable connection description of this source."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.source_type} source {self.source_id!r}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.source_id!r})"

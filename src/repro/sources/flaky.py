@@ -1,0 +1,61 @@
+"""Transient-failure injection for data sources.
+
+B2B sources live on other organizations' infrastructure; transient
+failures (timeouts, connection resets, maintenance windows) are routine.
+:class:`FlakySource` wraps any connector and makes a deterministic,
+seeded fraction of rule executions raise
+:class:`~repro.errors.TransientSourceError` — the error class the
+Extractor Manager's retry policy reacts to.  Deterministic injection
+keeps availability experiments (E13) reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import TransientSourceError
+from .base import ConnectionInfo, DataSource
+
+
+class FlakySource(DataSource):
+    """Decorator source: forwards to ``inner``, failing transiently."""
+
+    def __init__(self, inner: DataSource, *, failure_rate: float = 0.3,
+                 seed: int = 7) -> None:
+        super().__init__(inner.source_id)
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.attempts = 0
+        self.failures = 0
+
+    @property
+    def source_type(self) -> str:  # type: ignore[override]
+        """Forwarded from the wrapped source."""
+        return self.inner.source_type
+
+    def connect(self) -> None:
+        """Connect the wrapped source."""
+        self.inner.connect()
+        super().connect()
+
+    def close(self) -> None:
+        """Close the wrapped source."""
+        self.inner.close()
+        super().close()
+
+    def execute_rule(self, rule: str) -> list[str]:
+        """Forward to the wrapped source, failing transiently."""
+        self.attempts += 1
+        if self._rng.random() < self.failure_rate:
+            self.failures += 1
+            raise TransientSourceError(
+                f"transient failure talking to {self.source_id!r} "
+                f"(attempt {self.attempts})")
+        return self.inner.execute_rule(rule)
+
+    def connection_info(self) -> ConnectionInfo:
+        """Forwarded from the wrapped source."""
+        return self.inner.connection_info()

@@ -1,0 +1,16 @@
+"""In-memory relational database engine with a SQL subset.
+
+The structured-source substrate: the paper's mapping entries carry literal
+SQL extraction rules (``SELECT aatribute FROM atable WHERE ...``,
+section 2.3.1 step 3), so this package implements enough of a relational
+engine to run them for real — catalog, typed tables, hash indexes, and a
+SQL dialect covering DDL (CREATE/DROP/ALTER TABLE), DML (INSERT, UPDATE,
+DELETE) and queries (SELECT with projections, WHERE, INNER/LEFT JOIN,
+GROUP BY with aggregates, ORDER BY, DISTINCT, LIMIT).
+"""
+
+from .database import Database
+from .table import Column, Table
+from .source import RelationalDataSource
+
+__all__ = ["Database", "Table", "Column", "RelationalDataSource"]

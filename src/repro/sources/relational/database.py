@@ -1,0 +1,92 @@
+"""Database catalog: named tables plus the SQL entry point."""
+
+from __future__ import annotations
+
+from ...errors import SqlExecutionError
+from .sql.executor import ResultSet, execute
+from .sql.parser import parse_sql
+from .table import Column, Table
+
+
+class Database:
+    """A named collection of tables accepting SQL statements.
+
+    The simulated "remote DBMS" of the B2B scenarios: organizations each
+    hold a :class:`Database`, and the middleware's database extractor runs
+    mapping-entry SQL against it through
+    :class:`~repro.sources.relational.source.RelationalDataSource`.
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- catalog ----------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column]) -> Table:
+        """Add a table to the catalog."""
+        key = name.lower()
+        if key in self._tables:
+            raise SqlExecutionError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if self._tables.pop(name.lower(), None) is None:
+            raise SqlExecutionError(f"no such table: {name!r}")
+
+    def require_table(self, name: str) -> Table:
+        """Look up a table, raising with the catalog contents."""
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise SqlExecutionError(
+                f"no such table: {name!r} (tables: {sorted(self._tables)})")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        """Whether the catalog holds ``name``."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(t.name for t in self._tables.values())
+
+    # -- SQL ----------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SQL statement."""
+        return execute(self, parse_sql(sql))
+
+    def executescript(self, script: str) -> list[ResultSet]:
+        """Run several semicolon-separated statements."""
+        results = []
+        for statement in _split_statements(script):
+            results.append(self.execute(statement))
+        return results
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names()})"
+
+
+def _split_statements(script: str) -> list[str]:
+    """Split on semicolons outside single-quoted strings."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in script:
+        if ch == "'":
+            in_string = not in_string
+            current.append(ch)
+        elif ch == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

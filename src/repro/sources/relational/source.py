@@ -1,0 +1,74 @@
+"""The database connector implementing the DataSource protocol.
+
+Carries the connection fields the paper lists for databases — "location,
+login, password, and driver type" (section 2.3.2) — and runs SQL
+extraction rules against the attached in-memory engine.  A source whose
+credentials do not match its database raises on connect, modelling an
+unreachable remote system (used by failure-injection tests).
+"""
+
+from __future__ import annotations
+
+from ...errors import ExtractionError, S2SError
+from ..base import ConnectionInfo, DataSource
+from .database import Database
+
+
+class RelationalDataSource(DataSource):
+    """A registered database behind SQL extraction rules."""
+
+    source_type = "database"
+
+    def __init__(self, source_id: str, database: Database, *,
+                 location: str = "localhost", login: str = "s2s",
+                 password: str = "s2s", driver: str = "repro-mem",
+                 expected_password: str | None = None) -> None:
+        super().__init__(source_id)
+        self.database = database
+        self.location = location
+        self.login = login
+        self.password = password
+        self.driver = driver
+        self._expected_password = (expected_password if expected_password
+                                   is not None else password)
+        self._compiled: dict[str, object] = {}
+
+    def connect(self) -> None:
+        """Authenticate against the expected credentials."""
+        if self.password != self._expected_password:
+            raise S2SError(
+                f"authentication failed for database source "
+                f"{self.source_id!r} (login {self.login!r})")
+        super().connect()
+
+    def execute_rule(self, rule: str) -> list[str]:
+        """Run a SQL extraction rule; each row's single column is a record.
+
+        Multi-column results are an authoring error in the mapping (one
+        extraction rule feeds exactly one attribute).
+        """
+        if not self.connected:
+            self.connect()
+        statement = self._compiled.get(rule)
+        if statement is None:
+            from .sql.parser import parse_sql
+            statement = parse_sql(rule)
+            self._compiled[rule] = statement
+        from .sql.executor import execute
+        result = execute(self.database, statement)
+        if len(result.columns) != 1:
+            raise ExtractionError(
+                f"SQL extraction rule must select exactly one column, got "
+                f"{result.columns}", source_id=self.source_id)
+        return ["" if value is None else str(value)
+                for value in result.scalars()]
+
+    def connection_info(self) -> ConnectionInfo:
+        """The paper's database fields: location/login/password/driver."""
+        return ConnectionInfo(self.source_type, {
+            "location": self.location,
+            "login": self.login,
+            "password": self.password,
+            "driver": self.driver,
+            "database": self.database.name,
+        })

@@ -1,0 +1,6 @@
+"""SQL dialect: lexer, AST, parser and executor."""
+
+from .parser import parse_sql
+from .executor import execute
+
+__all__ = ["parse_sql", "execute"]

@@ -1,0 +1,178 @@
+"""SQL AST node definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# -- scalar expressions ------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    name: str
+    table: str | None = None  # optional qualifier
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class LiteralValue:
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    operator: str  # = != < > <= >= LIKE
+    left: "Scalar"
+    right: "Scalar"
+
+
+@dataclass(frozen=True, slots=True)
+class InList:
+    operand: "Scalar"
+    options: tuple["Scalar", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    operand: "Scalar"
+    negated: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class BooleanOp:
+    operator: str  # AND | OR
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Condition"
+
+
+Scalar = Union[ColumnRef, LiteralValue]
+Condition = Union[Comparison, InList, IsNull, BooleanOp, Not]
+
+
+# -- select ------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    function: str  # COUNT SUM AVG MIN MAX
+    argument: ColumnRef | None  # None means COUNT(*)
+    alias: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    expression: Union[ColumnRef, Aggregate, "Star"]
+    alias: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    table: str | None = None  # t.* when set
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referenced by (alias or table name)."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    table: TableRef
+    kind: str  # INNER | LEFT
+    condition: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Condition | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    having: Condition | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+# -- DML / DDL ----------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, object], ...]
+    where: Condition | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    table: str
+    where: Condition | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    name: str
+    type: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DropTable:
+    table: str
+
+
+@dataclass(frozen=True, slots=True)
+class RenameColumn:
+    table: str
+    old: str
+    new: str
+
+
+@dataclass(frozen=True, slots=True)
+class AddColumn:
+    table: str
+    column: ColumnDef
+
+
+@dataclass(frozen=True, slots=True)
+class CreateIndex:
+    table: str
+    column: str
+
+
+Statement = Union[Select, Insert, Update, Delete, CreateTable, DropTable,
+                  RenameColumn, AddColumn, CreateIndex]

@@ -1,0 +1,67 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ....errors import SqlSyntaxError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "INSERT", "INTO",
+    "VALUES", "CREATE", "TABLE", "DROP", "ALTER", "RENAME", "COLUMN",
+    "ADD", "UPDATE", "SET", "DELETE", "JOIN", "INNER", "LEFT", "ON",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "GROUP", "HAVING", "DISTINCT",
+    "AS", "LIKE", "IN", "IS", "NULL", "TRUE", "FALSE", "INDEX",
+    "PRIMARY", "KEY", "TO",
+})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ne><>|!=)
+  | (?P<le><=) | (?P<ge>>=)
+  | (?P<eq>=) | (?P<lt><) | (?P<gt>>)
+  | (?P<lparen>\() | (?P<rparen>\))
+  | (?P<comma>,) | (?P<dot>\.) | (?P<star>\*) | (?P<semi>;)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*|"[^"]+")
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token (kind, text, offset)."""
+    kind: str  # keyword | name | number | string | operator kinds
+    value: str
+    position: int
+
+
+def tokenize(statement: str) -> list[Token]:
+    """Tokenize one SQL statement; keywords are case-insensitive."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(statement):
+        match = _TOKEN_RE.match(statement, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {statement[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            value = match.group()
+            if kind == "name":
+                if value.startswith('"'):
+                    tokens.append(Token("name", value[1:-1], pos))
+                elif value.upper() in KEYWORDS:
+                    tokens.append(Token("keyword", value.upper(), pos))
+                else:
+                    tokens.append(Token("name", value, pos))
+            elif kind == "string":
+                tokens.append(Token("string", value[1:-1].replace("''", "'"), pos))
+            else:
+                tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens

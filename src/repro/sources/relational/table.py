@@ -1,0 +1,158 @@
+"""Tables: typed columns, row storage, hash indexes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ...errors import SqlError, SqlExecutionError
+from .types import canonical_type, coerce_value
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed table column."""
+
+    name: str
+    type: str  # canonical: INTEGER/REAL/TEXT/BOOLEAN
+    not_null: bool = False
+
+    @classmethod
+    def of(cls, name: str, declared_type: str, not_null: bool = False) -> "Column":
+        """Build a column, canonicalizing the declared SQL type."""
+        return cls(name, canonical_type(declared_type), not_null)
+
+
+class Table:
+    """An in-memory table with optional single-column hash indexes."""
+
+    def __init__(self, name: str, columns: list[Column]) -> None:
+        if not columns:
+            raise SqlError(f"table {name!r} must have at least one column")
+        names = [c.name.lower() for c in columns]
+        if len(set(names)) != len(names):
+            raise SqlError(f"duplicate column name in table {name!r}")
+        self.name = name
+        self.columns = list(columns)
+        self._index_of = {c.name.lower(): i for i, c in enumerate(columns)}
+        self.rows: list[list] = []
+        self._indexes: dict[str, dict[object, list[int]]] = {}
+
+    # -- schema ----------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        """Positional index of a column (case-insensitive)."""
+        index = self._index_of.get(name.lower())
+        if index is None:
+            raise SqlExecutionError(
+                f"no column {name!r} in table {self.name!r} "
+                f"(columns: {[c.name for c in self.columns]})")
+        return index
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table has a column named ``name``."""
+        return name.lower() in self._index_of
+
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def rename_column(self, old: str, new: str) -> None:
+        """ALTER TABLE ... RENAME COLUMN — the schema-drift primitive used
+        by the maintenance experiment (E9)."""
+        index = self.column_index(old)
+        if self.has_column(new):
+            raise SqlError(f"column {new!r} already exists in {self.name!r}")
+        column = self.columns[index]
+        self.columns[index] = Column(new, column.type, column.not_null)
+        self._index_of = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        key = old.lower()
+        if key in self._indexes:
+            self._indexes[new.lower()] = self._indexes.pop(key)
+
+    def add_column(self, column: Column) -> None:
+        """Append a column; existing rows backfill with NULL."""
+        if self.has_column(column.name):
+            raise SqlError(
+                f"column {column.name!r} already exists in {self.name!r}")
+        self.columns.append(column)
+        self._index_of[column.name.lower()] = len(self.columns) - 1
+        for row in self.rows:
+            row.append(None)
+
+    # -- data ------------------------------------------------------------
+
+    def insert(self, values: dict[str, object]) -> None:
+        """Insert one row from a column→value map, with coercion."""
+        row: list = [None] * len(self.columns)
+        for name, value in values.items():
+            index = self.column_index(name)
+            row[index] = coerce_value(value, self.columns[index].type)
+        for index, column in enumerate(self.columns):
+            if column.not_null and row[index] is None:
+                raise SqlExecutionError(
+                    f"NULL in NOT NULL column {column.name!r} of "
+                    f"{self.name!r}")
+        position = len(self.rows)
+        self.rows.append(row)
+        for column_key, index_map in self._indexes.items():
+            index_map[row[self._index_of[column_key]]].append(position)
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows matching ``predicate(row) -> bool``; rebuilds indexes."""
+        kept = [row for row in self.rows if not predicate(row)]
+        removed = len(self.rows) - len(kept)
+        self.rows = kept
+        self._rebuild_indexes()
+        return removed
+
+    def update_where(self, predicate, assignments: dict[int, object]) -> int:
+        """Set column-index -> value on matching rows."""
+        updated = 0
+        for row in self.rows:
+            if predicate(row):
+                for index, value in assignments.items():
+                    row[index] = coerce_value(value, self.columns[index].type)
+                updated += 1
+        if updated:
+            self._rebuild_indexes()
+        return updated
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Build a hash index over one column (idempotent)."""
+        key = column.lower()
+        self.column_index(column)
+        if key in self._indexes:
+            return
+        index_map: dict[object, list[int]] = defaultdict(list)
+        position = self._index_of[key]
+        for row_number, row in enumerate(self.rows):
+            index_map[row[position]].append(row_number)
+        self._indexes[key] = index_map
+
+    def indexed_lookup(self, column: str, value) -> list[list] | None:
+        """Rows where column == value via index, or None if unindexed."""
+        index_map = self._indexes.get(column.lower())
+        if index_map is None:
+            return None
+        return [self.rows[i] for i in index_map.get(value, [])]
+
+    def has_index(self, column: str) -> bool:
+        """Whether ``column`` is hash-indexed."""
+        return column.lower() in self._indexes
+
+    def _rebuild_indexes(self) -> None:
+        for column_key in list(self._indexes):
+            index_map: dict[object, list[int]] = defaultdict(list)
+            position = self._index_of[column_key]
+            for row_number, row in enumerate(self.rows):
+                index_map[row[position]].append(row_number)
+            self._indexes[column_key] = index_map
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={len(self.columns)}, rows={len(self.rows)})"

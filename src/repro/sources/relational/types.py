@@ -1,0 +1,72 @@
+"""SQL column types and value coercion."""
+
+from __future__ import annotations
+
+from ...errors import SqlError
+
+#: Canonical type names; parser synonyms map onto these.
+TYPES = ("INTEGER", "REAL", "TEXT", "BOOLEAN")
+
+_SYNONYMS = {
+    "INT": "INTEGER",
+    "INTEGER": "INTEGER",
+    "BIGINT": "INTEGER",
+    "SMALLINT": "INTEGER",
+    "REAL": "REAL",
+    "FLOAT": "REAL",
+    "DOUBLE": "REAL",
+    "DECIMAL": "REAL",
+    "NUMERIC": "REAL",
+    "TEXT": "TEXT",
+    "VARCHAR": "TEXT",
+    "CHAR": "TEXT",
+    "STRING": "TEXT",
+    "BOOLEAN": "BOOLEAN",
+    "BOOL": "BOOLEAN",
+}
+
+
+def canonical_type(name: str) -> str:
+    """Map a declared SQL type (possibly with a length suffix) to canon."""
+    base = name.upper().split("(")[0].strip()
+    canonical = _SYNONYMS.get(base)
+    if canonical is None:
+        raise SqlError(f"unsupported SQL type: {name!r}")
+    return canonical
+
+
+def coerce_value(value, type_name: str):
+    """Coerce a Python value to the column type; None passes through."""
+    if value is None:
+        return None
+    try:
+        if type_name == "INTEGER":
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float) and not value.is_integer():
+                raise SqlError(
+                    f"cannot store non-integral {value!r} in INTEGER column")
+            return int(value)
+        if type_name == "REAL":
+            if isinstance(value, bool):
+                raise SqlError("cannot store boolean in REAL column")
+            return float(value)
+        if type_name == "TEXT":
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            return str(value)
+        if type_name == "BOOLEAN":
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return bool(value)
+            text = str(value).strip().lower()
+            if text in ("true", "1"):
+                return True
+            if text in ("false", "0"):
+                return False
+            raise SqlError(f"cannot coerce {value!r} to BOOLEAN")
+    except (TypeError, ValueError) as exc:
+        raise SqlError(
+            f"cannot coerce {value!r} to {type_name}") from exc
+    raise SqlError(f"unknown column type: {type_name!r}")

@@ -1,0 +1,11 @@
+"""Plain-text file substrate.
+
+The unstructured file sources of the paper ("plain text files",
+section 2.1): a virtual file store plus a connector whose extraction rules
+are regular expressions evaluated over a named file.
+"""
+
+from .store import TextFileStore
+from .source import TextDataSource
+
+__all__ = ["TextFileStore", "TextDataSource"]

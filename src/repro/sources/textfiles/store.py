@@ -1,0 +1,65 @@
+"""A virtual filesystem of plain-text files.
+
+Keeps file access in-process and deterministic; `load_directory` can pull
+real files in for examples that want to integrate on-disk data.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...errors import S2SError
+
+
+class TextFileStore:
+    """Named text files with simple read/write access."""
+
+    def __init__(self, name: str = "files") -> None:
+        self.name = name
+        self._files: dict[str, str] = {}
+
+    def write(self, path: str, content: str) -> None:
+        """Create or replace a file."""
+        if not path:
+            raise S2SError("file path must be non-empty")
+        self._files[path] = content
+
+    def read(self, path: str) -> str:
+        """File contents, or raise with the available paths."""
+        content = self._files.get(path)
+        if content is None:
+            raise S2SError(
+                f"no file {path!r} in store {self.name!r} "
+                f"(files: {sorted(self._files)})")
+        return content
+
+    def append(self, path: str, content: str) -> None:
+        """Append to a file, creating it if missing."""
+        self._files[path] = self._files.get(path, "") + content
+
+    def delete(self, path: str) -> None:
+        """Remove a file."""
+        if self._files.pop(path, None) is None:
+            raise S2SError(f"no file {path!r} in store {self.name!r}")
+
+    def paths(self) -> list[str]:
+        """Stored file paths, sorted."""
+        return sorted(self._files)
+
+    def load_directory(self, directory: str, *, suffix: str = ".txt") -> int:
+        """Import real on-disk files; returns the number loaded."""
+        loaded = 0
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith(suffix):
+                continue
+            full = os.path.join(directory, entry)
+            with open(full, encoding="utf-8") as handle:
+                self.write(entry, handle.read())
+            loaded += 1
+        return loaded
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,75 @@
+"""Web connector implementing the DataSource protocol.
+
+A web source is one page (or site) on the simulated web; its extraction
+rules are WebL programs (paper section 2.3.1: "the data source was a Web
+page so the extraction rules were defined in a Web extraction language
+(WebL)").  The connector binds ``GetURL`` to the simulated web and exposes
+the source's own URL to rules as the ``SourceURL()`` builtin, so one WebL
+file can serve many registered pages (the paper's ``watch.webl`` +
+``wpage_81`` pairing).
+"""
+
+from __future__ import annotations
+
+from ...errors import ExtractionError, WeblError
+from ...webl.interpreter import WeblInterpreter
+from ..base import ConnectionInfo, DataSource
+from .site import SimulatedWeb
+
+
+class WebDataSource(DataSource):
+    """A registered web page behind WebL extraction rules."""
+
+    source_type = "webpage"
+
+    def __init__(self, source_id: str, web: SimulatedWeb, url: str) -> None:
+        super().__init__(source_id)
+        self.web = web
+        self.url = url
+        self._interpreter = WeblInterpreter(
+            web.fetch, extra_builtins={"SourceURL": lambda: self.url})
+        self._compiled: dict[str, object] = {}
+
+    def connect(self) -> None:
+        """Verify the page is reachable before extraction."""
+        if not self.web.has(self.url):
+            raise ExtractionError(
+                f"page not reachable at {self.url}", source_id=self.source_id)
+        super().connect()
+
+    def _compile(self, rule: str):
+        """Parse once per distinct rule text; programs are immutable ASTs."""
+        program = self._compiled.get(rule)
+        if program is None:
+            from ...webl.parser import parse_webl
+            program = parse_webl(rule)
+            self._compiled[rule] = program
+        return program
+
+    def execute_rule(self, rule: str) -> list[str]:
+        """Run a WebL program; a list result is n records, a scalar is 1."""
+        if not self.connected:
+            self.connect()
+        try:
+            program = self._compile(rule)
+            result = self._interpreter.run(program)
+        except WeblError as exc:
+            raise ExtractionError(
+                f"WebL rule failed: {exc}", source_id=self.source_id) from exc
+        if result is None:
+            return []
+        if isinstance(result, list):
+            return [self._render(item) for item in result]
+        return [self._render(result)]
+
+    @staticmethod
+    def _render(value) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def connection_info(self) -> ConnectionInfo:
+        """The page URL (all a web source needs, per the paper)."""
+        return ConnectionInfo(self.source_type, {"url": self.url})

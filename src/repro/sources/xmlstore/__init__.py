@@ -1,0 +1,12 @@
+"""XML data-source substrate.
+
+Semistructured sources: XML documents queried with XPath extraction rules
+(paper section 2.3.1 step 2: "For XML data sources, XPath and XQuery can
+be used").  The DOM, parser and XPath engine live in :mod:`repro.xmlkit`;
+this package adds the document store and the DataSource connector.
+"""
+
+from .store import XmlDocumentStore
+from .source import XmlDataSource
+
+__all__ = ["XmlDocumentStore", "XmlDataSource"]

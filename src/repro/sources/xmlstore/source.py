@@ -1,0 +1,80 @@
+"""XML connector implementing the DataSource protocol.
+
+An extraction rule is an XPath expression — or an XQuery FLWOR expression
+(``for $w in //watch where ... return ...``, paper section 2.3.1 step 2)
+— optionally prefixed with the document name it applies to
+(``doc:catalog.xml //watch/brand``); when the store holds a single
+document the prefix may be omitted.
+"""
+
+from __future__ import annotations
+
+from ...errors import ExtractionError
+from ...xmlkit import XPath
+from ...xmlkit.xquery import XQuery, is_flwor
+from ..base import ConnectionInfo, DataSource
+from .store import XmlDocumentStore
+
+_DOC_PREFIX = "doc:"
+
+
+class XmlDataSource(DataSource):
+    """A registered XML document store behind XPath extraction rules."""
+
+    source_type = "xml"
+
+    def __init__(self, source_id: str, store: XmlDocumentStore, *,
+                 default_document: str | None = None,
+                 path: str = "memory://xmlstore") -> None:
+        super().__init__(source_id)
+        self.store = store
+        self.default_document = default_document
+        self.path = path
+        self._compiled: dict[str, XPath | XQuery] = {}
+
+    def _compile(self, expression: str) -> XPath | XQuery:
+        compiled = self._compiled.get(expression)
+        if compiled is None:
+            if is_flwor(expression):
+                compiled = XQuery.compile(expression)
+            else:
+                compiled = XPath(expression)
+            self._compiled[expression] = compiled
+        return compiled
+
+    def execute_rule(self, rule: str) -> list[str]:
+        """Run an XPath or XQuery rule; one string per selected node."""
+        if not self.connected:
+            self.connect()
+        rule = rule.strip()
+        doc_name = self.default_document
+        if rule.startswith(_DOC_PREFIX):
+            head, _, rest = rule.partition(" ")
+            doc_name = head[len(_DOC_PREFIX):]
+            rule = rest.strip()
+            if not rule:
+                raise ExtractionError(
+                    "XPath rule missing after document prefix",
+                    source_id=self.source_id)
+        if doc_name is None:
+            names = self.store.names()
+            if len(names) != 1:
+                raise ExtractionError(
+                    f"XPath rule must name a document (store has "
+                    f"{len(names)}): prefix with 'doc:<name> '",
+                    source_id=self.source_id)
+            doc_name = names[0]
+        document = self.store.get(doc_name)
+        compiled = self._compile(rule)
+        if isinstance(compiled, XQuery):
+            values = compiled.evaluate(document)
+        else:
+            values = compiled.values(document)
+        return [value.strip() for value in values]
+
+    def connection_info(self) -> ConnectionInfo:
+        """Registry-persistable connection description."""
+        parameters = {"path": self.path, "store": self.store.name}
+        if self.default_document is not None:
+            parameters["document"] = self.default_document
+        return ConnectionInfo(self.source_type, parameters)

@@ -1,0 +1,55 @@
+"""A small store of named XML documents (a virtual XML message inbox).
+
+B2B partners exchange XML messages/feeds; the store models the received
+set of documents for one partner — named, parsed once, queried many times.
+"""
+
+from __future__ import annotations
+
+from ...errors import XmlError
+from ...xmlkit import Document, parse_xml, serialize_xml
+
+
+class XmlDocumentStore:
+    """Named XML documents with lazy parse-on-put."""
+
+    def __init__(self, name: str = "xmlstore") -> None:
+        self.name = name
+        self._documents: dict[str, Document] = {}
+
+    def put(self, doc_name: str, content: str | Document) -> Document:
+        """Store (parsing if needed) a document under ``doc_name``."""
+        if isinstance(content, Document):
+            document = content
+        else:
+            document = parse_xml(content)
+        self._documents[doc_name] = document
+        return document
+
+    def get(self, doc_name: str) -> Document:
+        """The parsed document, or raise with the available names."""
+        document = self._documents.get(doc_name)
+        if document is None:
+            raise XmlError(
+                f"no document {doc_name!r} in store {self.name!r} "
+                f"(documents: {sorted(self._documents)})")
+        return document
+
+    def remove(self, doc_name: str) -> None:
+        """Delete a document."""
+        if self._documents.pop(doc_name, None) is None:
+            raise XmlError(f"no document {doc_name!r} in store {self.name!r}")
+
+    def names(self) -> list[str]:
+        """Stored document names, sorted."""
+        return sorted(self._documents)
+
+    def export(self, doc_name: str) -> str:
+        """Serialize a stored document back to XML text."""
+        return serialize_xml(self.get(doc_name))
+
+    def __contains__(self, doc_name: str) -> bool:
+        return doc_name in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)

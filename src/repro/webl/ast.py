@@ -1,0 +1,128 @@
+"""WebL AST node definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class NumberLit:
+    value: float | int
+
+
+@dataclass(frozen=True, slots=True)
+class StringLit:
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class RegexLit:
+    """A backquoted regex literal; kept distinct so ``+`` concatenation of
+    string and regex parts (as in the paper's rule) still yields a pattern
+    string."""
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NilLit:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Name:
+    identifier: str
+
+
+@dataclass(frozen=True, slots=True)
+class ListLit:
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp:
+    operator: str  # + - * / % == != < > <= >= and or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp:
+    operator: str  # - not
+    operand: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Call:
+    function: str
+    arguments: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+Expr = Union[NumberLit, StringLit, RegexLit, BoolLit, NilLit, Name, ListLit,
+             BinaryOp, UnaryOp, Call, Index]
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    expression: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    condition: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class While:
+    condition: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Each:
+    """``each item in expr { ... }`` iteration."""
+    variable: str
+    iterable: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Return:
+    value: Expr | None
+
+
+Stmt = Union[VarDecl, Assign, ExprStmt, If, While, Each, Return]
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    body: tuple[Stmt, ...]

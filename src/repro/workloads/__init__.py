@@ -1,0 +1,21 @@
+"""Synthetic B2B workload generators.
+
+The paper motivates S2S with multi-organization product-data integration
+(its running example is a watch catalog).  These generators build
+deterministic, parameterized versions of that world:
+
+* :mod:`repro.workloads.catalog` — ground-truth product records;
+* :mod:`repro.workloads.heterogeneity` — injectable syntactic, schematic
+  and semantic conflicts (section 1's three heterogeneity types);
+* :mod:`repro.workloads.b2b` — full scenarios: N organizations, each
+  publishing its share of the catalog through one source technology, with
+  S2S mappings and baseline configurations built side by side;
+* :mod:`repro.workloads.scaling` — parameter sweeps for the benchmarks.
+"""
+
+from .catalog import ProductRecord, generate_products
+from .heterogeneity import ConflictProfile
+from .b2b import B2BScenario
+
+__all__ = ["ProductRecord", "generate_products", "ConflictProfile",
+           "B2BScenario"]

@@ -1,0 +1,389 @@
+"""Full B2B integration scenarios.
+
+A scenario is *N organizations*, each publishing its share of one
+ground-truth product catalog through one source technology (database, XML
+feed, web catalog page or plain-text inventory file), with schematic and
+semantic conflicts injected per organization.  From the same world the
+builder produces:
+
+* a fully mapped :class:`~repro.core.middleware.S2SMiddleware`,
+* a :class:`~repro.baselines.syntactic.SyntacticIntegrator` over the same
+  connectors (native field names, no normalization),
+* a :class:`~repro.baselines.federated.FederatedQuerier` with hand-written
+  normalizing producers,
+
+so every benchmark compares systems on identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.federated import FederatedQuerier
+from ..baselines.syntactic import SyntacticIntegrator
+from ..core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
+                               xpath_rule)
+from ..ontology.builders import watch_domain_ontology
+from ..sources.base import DataSource
+from ..sources.relational import Database, RelationalDataSource
+from ..sources.textfiles import TextDataSource, TextFileStore
+from ..sources.web import SimulatedWeb, WebDataSource
+from ..sources.xmlstore import XmlDataSource, XmlDocumentStore
+from .catalog import ProductRecord, generate_products, partition
+from .heterogeneity import ConflictProfile, DriftEvent
+
+SOURCE_TYPES = ("database", "xml", "webpage", "textfile")
+
+#: ontology attribute → canonical concept name used by publishers.
+ONTOLOGY_FIELDS = {
+    ("product", "brand"): "brand",
+    ("product", "model"): "model",
+    ("product", "price"): "price",
+    ("watch", "case"): "case",
+    ("watch", "movement"): "movement",
+    ("watch", "water_resistance"): "water_resistance",
+    ("provider", "name"): "provider",
+    ("provider", "country"): "provider_country",
+}
+
+
+@dataclass
+class Organization:
+    """One publishing organization and its substrate handles."""
+
+    index: int
+    source_id: str
+    source_type: str
+    products: list[ProductRecord]
+    database: Database | None = None
+    xml_store: XmlDocumentStore | None = None
+    text_store: TextFileStore | None = None
+    url: str | None = None
+    #: concept → native field name actually used when publishing
+    native_fields: dict[str, str] = field(default_factory=dict)
+
+
+class B2BScenario:
+    """Deterministic multi-organization integration world."""
+
+    def __init__(self, *, n_sources: int = 4, n_products: int = 40,
+                 source_mix: tuple[str, ...] = SOURCE_TYPES,
+                 conflicts: ConflictProfile | None = None,
+                 seed: int = 7, web_latency: float = 0.0) -> None:
+        if n_sources <= 0:
+            raise ValueError("n_sources must be positive")
+        for source_type in source_mix:
+            if source_type not in SOURCE_TYPES:
+                raise ValueError(f"unknown source type {source_type!r}")
+        self.conflicts = conflicts or ConflictProfile()
+        self.products = generate_products(n_products, seed=seed)
+        self.web = SimulatedWeb(latency_seconds=web_latency)
+        self.organizations: list[Organization] = []
+        shares = partition(self.products, n_sources)
+        for index in range(n_sources):
+            source_type = source_mix[index % len(source_mix)]
+            organization = Organization(
+                index=index,
+                source_id=f"{source_type}_{index}",
+                source_type=source_type,
+                products=shares[index],
+                native_fields=self.conflicts.field_style(index),
+            )
+            self._publish(organization)
+            self.organizations.append(organization)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def _publish(self, org: Organization) -> None:
+        rows = [self.conflicts.published_values(product, org.index)
+                for product in org.products]
+        fields = org.native_fields
+        if org.source_type == "database":
+            org.database = Database(f"db_{org.index}")
+            columns = ", ".join(
+                [f"{fields['brand']} TEXT", f"{fields['model']} TEXT",
+                 f"{fields['case']} TEXT", f"{fields['movement']} TEXT",
+                 f"{fields['water_resistance']} INTEGER",
+                 f"{fields['price']} TEXT",
+                 f"{fields['provider']} TEXT", "provider_country TEXT"])
+            org.database.execute(f"CREATE TABLE products ({columns})")
+            for row in rows:
+                column_names = ", ".join(
+                    [fields["brand"], fields["model"], fields["case"],
+                     fields["movement"], fields["water_resistance"],
+                     fields["price"], fields["provider"],
+                     "provider_country"])
+                values = ", ".join([
+                    _sql_quote(row["brand"]), _sql_quote(row["model"]),
+                    _sql_quote(row["case"]), _sql_quote(row["movement"]),
+                    row["water_resistance"], _sql_quote(row["price"]),
+                    _sql_quote(row["provider"]),
+                    _sql_quote(row["provider_country"])])
+                org.database.execute(
+                    f"INSERT INTO products ({column_names}) VALUES ({values})")
+        elif org.source_type == "xml":
+            org.xml_store = XmlDocumentStore(f"xml_{org.index}")
+            structure = self.conflicts.xml_structure(org.index)
+            items = []
+            for row in rows:
+                if structure == "nested":
+                    from .heterogeneity import NESTED_SECTIONS
+                    sections: dict[str, list[str]] = {}
+                    for concept, value in row.items():
+                        tag = fields.get(concept, concept)
+                        section = NESTED_SECTIONS.get(concept, "info")
+                        sections.setdefault(section, []).append(
+                            f"<{tag}>{_xml_escape(value)}</{tag}>")
+                    cells = "".join(
+                        f"<{section}>{''.join(parts)}</{section}>"
+                        for section, parts in sorted(sections.items()))
+                else:
+                    cells = "".join(
+                        f"<{fields.get(concept, concept)}>"
+                        f"{_xml_escape(value)}"
+                        f"</{fields.get(concept, concept)}>"
+                        for concept, value in row.items())
+                items.append(f"<item>{cells}</item>")
+            org.xml_store.put("catalog.xml",
+                              f"<catalog>{''.join(items)}</catalog>")
+        elif org.source_type == "webpage":
+            org.url = f"http://org{org.index}.example/catalog"
+            self.web.publish(org.url, self._render_page(org, rows))
+        elif org.source_type == "textfile":
+            org.text_store = TextFileStore(f"files_{org.index}")
+            blocks = []
+            for number, row in enumerate(rows):
+                lines = [f"# record {number}"]
+                lines.extend(
+                    f"{fields.get(concept, concept)}={value}"
+                    for concept, value in row.items())
+                blocks.append("\n".join(lines))
+            org.text_store.write("inventory.txt", "\n\n".join(blocks) + "\n")
+
+    def _render_page(self, org: Organization,
+                     rows: list[dict[str, str]]) -> str:
+        fields = org.native_fields
+        body = []
+        for row in rows:
+            cells = "".join(
+                f'<td class="{fields.get(concept, concept)}">'
+                f"{_xml_escape(value)}</td>"
+                for concept, value in row.items())
+            body.append(f'<tr class="product">{cells}</tr>')
+        return (f"<html><head><title>Org {org.index} catalog</title></head>"
+                f"<body><table>{''.join(body)}</table></body></html>")
+
+    # ------------------------------------------------------------------
+    # Connectors
+    # ------------------------------------------------------------------
+
+    def connector(self, org: Organization) -> DataSource:
+        """Build the live DataSource connector for one organization."""
+        if org.source_type == "database":
+            assert org.database is not None
+            return RelationalDataSource(org.source_id, org.database)
+        if org.source_type == "xml":
+            assert org.xml_store is not None
+            return XmlDataSource(org.source_id, org.xml_store,
+                                 default_document="catalog.xml")
+        if org.source_type == "webpage":
+            assert org.url is not None
+            return WebDataSource(org.source_id, self.web, org.url)
+        assert org.text_store is not None
+        return TextDataSource(org.source_id, org.text_store,
+                              default_file="inventory.txt")
+
+    def _native_rule_code(self, org: Organization, concept: str) -> str:
+        """The extraction rule text for one concept on one org's source."""
+        native = org.native_fields.get(concept, concept)
+        if org.source_type == "database":
+            return f"SELECT {native} FROM products"
+        if org.source_type == "xml":
+            if self.conflicts.xml_structure(org.index) == "nested":
+                from .heterogeneity import NESTED_SECTIONS
+                section = NESTED_SECTIONS.get(concept, "info")
+                return f"//item/{section}/{native}"
+            return f"//item/{native}"
+        if org.source_type == "webpage":
+            return (
+                f'var P = GetURL(SourceURL());\n'
+                f'var m = Str_Search(Text(P), '
+                f'`<td class="{native}">([^<]*)</td>`);\n'
+                f'var out = [];\n'
+                f'each g in m {{ out = Append(out, g[1]); }}\n'
+                f'return out;\n')
+        return f"^{native}=(.*)$"
+
+    @staticmethod
+    def _rule_factory(source_type: str):
+        return {"database": sql_rule, "xml": xpath_rule,
+                "webpage": webl_rule, "textfile": regex_rule}[source_type]
+
+    # ------------------------------------------------------------------
+    # System builders
+    # ------------------------------------------------------------------
+
+    def build_middleware(self, **middleware_kwargs) -> S2SMiddleware:
+        """The fully-mapped S2S middleware over every organization."""
+        s2s = S2SMiddleware(watch_domain_ontology(), **middleware_kwargs)
+        for org in self.organizations:
+            s2s.register_source(self.connector(org))
+            make_rule = self._rule_factory(org.source_type)
+            for (class_name, attribute), concept in ONTOLOGY_FIELDS.items():
+                transform = None
+                if concept == "case":
+                    transform = self.conflicts.case_transform(org.index)
+                elif concept == "price":
+                    transform = self.conflicts.price_transform(org.index)
+                rule = make_rule(self._native_rule_code(org, concept),
+                                 transform=transform)
+                s2s.register_attribute((class_name, attribute), rule,
+                                       org.source_id)
+        return s2s
+
+    def build_syntactic_baseline(self) -> SyntacticIntegrator:
+        """Same connectors and rules, native field names, no transforms."""
+        integrator = SyntacticIntegrator()
+        for org in self.organizations:
+            fields = {
+                org.native_fields.get(concept, concept):
+                    self._native_rule_code(org, concept)
+                for concept in
+                ("brand", "model", "case", "movement", "water_resistance",
+                 "price", "provider")
+            }
+            integrator.add_source(self.connector(org), fields)
+        return integrator
+
+    def build_federated_baseline(self) -> FederatedQuerier:
+        """Hand-written per-source producers with inline normalization."""
+        querier = FederatedQuerier()
+        for org in self.organizations:
+            querier.add_source(org.source_id, self._make_producer(org))
+        return querier
+
+    def _make_producer(self, org: Organization):
+        source = self.connector(org)
+        concepts = ("brand", "model", "case", "movement",
+                    "water_resistance", "price", "provider")
+        vocabulary = self.conflicts.case_vocabulary(org.index)
+        inverse_vocabulary = {published: canonical
+                              for canonical, published in vocabulary.items()}
+        factor, _name = self.conflicts.price_unit(org.index)
+
+        def produce():
+            columns = {concept: source.execute_rule(
+                self._native_rule_code(org, concept))
+                for concept in concepts}
+            count = max((len(values) for values in columns.values()),
+                        default=0)
+            for index in range(count):
+                record: dict[str, object] = {}
+                for concept in concepts:
+                    values = columns[concept]
+                    raw = values[index] if index < len(values) else None
+                    if raw is None:
+                        record[concept] = None
+                    elif concept == "case":
+                        record[concept] = inverse_vocabulary.get(raw, raw)
+                    elif concept == "price":
+                        record[concept] = round(float(raw) / factor, 2)
+                    elif concept == "water_resistance":
+                        record[concept] = int(raw)
+                    else:
+                        record[concept] = raw
+                yield record
+
+        return produce
+
+    # ------------------------------------------------------------------
+    # Ground truth and drift
+    # ------------------------------------------------------------------
+
+    def ground_truth(self) -> list[ProductRecord]:
+        """The canonical product records every source derives from."""
+        return list(self.products)
+
+    def expected_matches(self, predicate) -> list[ProductRecord]:
+        """Ground-truth records satisfying ``predicate(ProductRecord)``."""
+        return [product for product in self.products if predicate(product)]
+
+    def drift(self, fraction: float = 0.5,
+              *, suffix: str = "_v2") -> list[DriftEvent]:
+        """Rename one published field on a fraction of organizations.
+
+        Models the source-schema changes of section 2.3 ("Data sources do
+        not normally change their structures (except perhaps Web pages)").
+        Returns the events with the mapping attribute IDs each one
+        invalidates; re-registration cost is measured by E9."""
+        events: list[DriftEvent] = []
+        victim_count = max(1, int(len(self.organizations) * fraction))
+        for org in self.organizations[:victim_count]:
+            native_brand = org.native_fields.get("brand", "brand")
+            renamed = native_brand + suffix
+            if org.source_type == "database":
+                assert org.database is not None
+                org.database.execute(
+                    f"ALTER TABLE products RENAME COLUMN {native_brand} "
+                    f"TO {renamed}")
+                kind = "rename_column"
+            elif org.source_type == "xml":
+                assert org.xml_store is not None
+                document = org.xml_store.export("catalog.xml")
+                document = document.replace(f"<{native_brand}>",
+                                            f"<{renamed}>")
+                document = document.replace(f"</{native_brand}>",
+                                            f"</{renamed}>")
+                org.xml_store.put("catalog.xml", document)
+                kind = "rename_tag"
+            elif org.source_type == "webpage":
+                assert org.url is not None
+                self.web.mutate(org.url, lambda html: html.replace(
+                    f'class="{native_brand}"', f'class="{renamed}"'))
+                kind = "page_layout"
+            else:
+                assert org.text_store is not None
+                content = org.text_store.read("inventory.txt")
+                org.text_store.write(
+                    "inventory.txt",
+                    content.replace(f"{native_brand}=", f"{renamed}="))
+                kind = "rename_field"
+            org.native_fields = dict(org.native_fields)
+            org.native_fields["brand"] = renamed
+            events.append(DriftEvent(
+                org.source_id, kind, detail=f"{native_brand} -> {renamed}",
+                invalidated_attributes=["thing.product.brand"]))
+        return events
+
+    def repair_mapping(self, s2s: S2SMiddleware,
+                       events: list[DriftEvent]) -> int:
+        """Re-register the mappings a drift invalidated; returns count."""
+        repaired = 0
+        by_id = {org.source_id: org for org in self.organizations}
+        for event in events:
+            org = by_id[event.source_id]
+            make_rule = self._rule_factory(org.source_type)
+            for attribute_id in event.invalidated_attributes:
+                concept = ONTOLOGY_FIELDS[
+                    self._class_attribute_for(attribute_id)]
+                rule = make_rule(self._native_rule_code(org, concept))
+                s2s.register_attribute(attribute_id, rule, org.source_id,
+                                       replace=True)
+                repaired += 1
+        return repaired
+
+    @staticmethod
+    def _class_attribute_for(attribute_id: str) -> tuple[str, str]:
+        segments = attribute_id.split(".")
+        return (segments[-2], segments[-1])
+
+
+def _sql_quote(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _xml_escape(value: str) -> str:
+    return (value.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,78 @@
+"""Ground-truth product catalog generation.
+
+Deterministic (seeded) so every benchmark run and test sees the same
+world.  The generated attributes line up with the watch-domain ontology of
+:func:`repro.ontology.builders.watch_domain_ontology`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+BRANDS = ("Seiko", "Casio", "Orient", "Citizen", "Timex", "Swatch",
+          "Tissot", "Certina")
+CASES = ("stainless-steel", "resin", "titanium", "brass", "ceramic")
+MOVEMENTS = ("automatic", "quartz", "solar", "kinetic", "mechanical")
+PROVIDERS = (("Acme Trading", "PT"), ("WatchCo", "DE"), ("DiveShop", "US"),
+             ("TimeHouse", "JP"), ("Horology Ltd", "UK"),
+             ("Relogios SA", "BR"))
+_MODEL_PREFIXES = ("SKX", "SNK", "SRP", "F", "MDV", "BN", "T", "C")
+
+
+@dataclass(frozen=True)
+class ProductRecord:
+    """One ground-truth watch: the values every source *should* agree on."""
+
+    product_id: int
+    brand: str
+    model: str
+    case: str
+    movement: str
+    water_resistance: int  # meters
+    price: float  # canonical currency units
+    provider_name: str
+    provider_country: str
+
+    def key(self) -> tuple[str, str]:
+        """The natural identity of a product across sources."""
+        return (self.brand, self.model)
+
+
+def generate_products(count: int, *, seed: int = 7) -> list[ProductRecord]:
+    """Generate ``count`` deterministic products."""
+    rng = random.Random(seed)
+    products: list[ProductRecord] = []
+    seen_models: set[str] = set()
+    for product_id in range(count):
+        brand = rng.choice(BRANDS)
+        while True:
+            model = (f"{rng.choice(_MODEL_PREFIXES)}"
+                     f"{rng.randrange(100, 9999)}")
+            if model not in seen_models:
+                seen_models.add(model)
+                break
+        provider_name, provider_country = rng.choice(PROVIDERS)
+        products.append(ProductRecord(
+            product_id=product_id,
+            brand=brand,
+            model=model,
+            case=rng.choice(CASES),
+            movement=rng.choice(MOVEMENTS),
+            water_resistance=rng.choice((30, 50, 100, 200, 300)),
+            price=round(rng.uniform(10.0, 900.0), 2),
+            provider_name=provider_name,
+            provider_country=provider_country,
+        ))
+    return products
+
+
+def partition(products: list[ProductRecord],
+              parts: int) -> list[list[ProductRecord]]:
+    """Round-robin split of the catalog across ``parts`` organizations."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    buckets: list[list[ProductRecord]] = [[] for _ in range(parts)]
+    for index, product in enumerate(products):
+        buckets[index % parts].append(product)
+    return buckets

@@ -1,0 +1,160 @@
+"""Injectable heterogeneity (paper section 1).
+
+"At least three types of data heterogeneity may occur …: syntactic
+heterogeneity (the technology supporting the data sources differs),
+schematic heterogeneity (data sources schema have different structures),
+and semantic heterogeneity (data sources use different meanings,
+nomenclatures, vocabulary or units)."
+
+The scenario builder asks this module, per organization, *how* that
+organization spells its data:
+
+* schematic — which native field names it uses (``brand`` vs ``marke`` vs
+  ``manufacturer``);
+* semantic — which unit/vocabulary conventions it follows (price in cents
+  vs units, case material codes, country codes vs names).
+
+Each variant comes with the transform an S2S mapping author would attach
+to normalize it, so scenarios can register *correct* mappings — and with
+enough information for the syntactic baseline to demonstrate what happens
+without them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .catalog import ProductRecord
+
+#: Schematic variants: per style, the native field names an org uses.
+FIELD_STYLES: tuple[dict[str, str], ...] = (
+    {"brand": "brand", "model": "model", "case": "case_material",
+     "price": "price", "provider": "provider", "movement": "movement",
+     "water_resistance": "water_resistance"},
+    {"brand": "marke", "model": "modell", "case": "gehaeuse",
+     "price": "preis", "provider": "lieferant", "movement": "werk",
+     "water_resistance": "wasserdichte"},
+    {"brand": "manufacturer", "model": "reference", "case": "housing",
+     "price": "list_price", "provider": "vendor", "movement": "caliber",
+     "water_resistance": "wr_rating"},
+)
+
+#: Semantic variants for the case-material vocabulary: value map + the
+#: inverse map an S2S author registers as a ``map:`` transform.
+CASE_VOCABULARIES: tuple[dict[str, str], ...] = (
+    {},  # canonical
+    {"stainless-steel": "SS", "resin": "RSN", "titanium": "TI",
+     "brass": "BR", "ceramic": "CER"},
+    {"stainless-steel": "Stainless Steel", "resin": "Resin Plastic",
+     "titanium": "Titanium Grade 2", "brass": "Brass Alloy",
+     "ceramic": "High-Tech Ceramic"},
+)
+
+#: Semantic variants for price units: (factor applied when publishing,
+#: transform name that normalizes back).
+PRICE_UNITS: tuple[tuple[float, str | None], ...] = (
+    (1.0, None),              # canonical units
+    (100.0, "cents_to_units"),  # cents
+    (0.001, "scale:1000"),      # thousands (e.g. legacy feeds)
+)
+
+
+#: Structural variants for XML publishers: how an item's fields nest.
+#: ``flat`` puts every field directly under <item>; ``nested`` groups
+#: them under <info>/<pricing>/<logistics> sections — the "different
+#: structures" flavour of schematic heterogeneity (paper §1).
+XML_STRUCTURES = ("flat", "nested")
+
+#: concept → section element used by the ``nested`` XML structure.
+NESTED_SECTIONS = {
+    "brand": "info", "model": "info", "case": "info", "movement": "info",
+    "water_resistance": "info",
+    "price": "pricing",
+    "provider": "logistics", "provider_country": "logistics",
+}
+
+
+@dataclass(frozen=True)
+class ConflictProfile:
+    """How much heterogeneity a scenario injects.
+
+    ``schematic`` / ``semantic`` toggle whole conflict families; when off,
+    every organization publishes canonical names and values.  Schematic
+    heterogeneity covers both *naming* (field styles) and *structure*
+    (flat vs nested XML)."""
+
+    schematic: bool = True
+    semantic: bool = True
+
+    def field_style(self, org_index: int) -> dict[str, str]:
+        """Native field names organization ``org_index`` publishes with."""
+        if not self.schematic:
+            return FIELD_STYLES[0]
+        return FIELD_STYLES[org_index % len(FIELD_STYLES)]
+
+    def xml_structure(self, org_index: int) -> str:
+        """Whether this organization nests its XML (flat/nested)."""
+        if not self.schematic:
+            return "flat"
+        return XML_STRUCTURES[org_index % len(XML_STRUCTURES)]
+
+    def case_vocabulary(self, org_index: int) -> dict[str, str]:
+        """Case-material vocabulary this organization publishes with."""
+        if not self.semantic:
+            return CASE_VOCABULARIES[0]
+        return CASE_VOCABULARIES[org_index % len(CASE_VOCABULARIES)]
+
+    def price_unit(self, org_index: int) -> tuple[float, str | None]:
+        """(publish factor, normalizing transform) for this organization."""
+        if not self.semantic:
+            return PRICE_UNITS[0]
+        return PRICE_UNITS[org_index % len(PRICE_UNITS)]
+
+    # -- publishing helpers ---------------------------------------------------
+
+    def published_values(self, product: ProductRecord,
+                         org_index: int) -> dict[str, str]:
+        """Render a ground-truth product the way organization ``org_index``
+        publishes it: native *canonical-concept → raw string* map."""
+        vocabulary = self.case_vocabulary(org_index)
+        factor, _transform = self.price_unit(org_index)
+        price = product.price * factor
+        if factor >= 1:
+            price_text = (f"{price:.2f}" if factor == 1.0
+                          else str(int(round(price))))
+        else:
+            price_text = repr(round(price, 5))
+        return {
+            "brand": product.brand,
+            "model": product.model,
+            "case": vocabulary.get(product.case, product.case),
+            "movement": product.movement,
+            "water_resistance": str(product.water_resistance),
+            "price": price_text,
+            "provider": product.provider_name,
+            "provider_country": product.provider_country,
+        }
+
+    def case_transform(self, org_index: int) -> str | None:
+        """The ``map:`` transform normalizing this org's case vocabulary."""
+        vocabulary = self.case_vocabulary(org_index)
+        if not vocabulary:
+            return None
+        inverse = {published: canonical
+                   for canonical, published in vocabulary.items()}
+        return "map:" + json.dumps(inverse, sort_keys=True)
+
+    def price_transform(self, org_index: int) -> str | None:
+        """The transform normalizing this org's price unit, if any."""
+        return self.price_unit(org_index)[1]
+
+
+@dataclass
+class DriftEvent:
+    """One schema change applied to a source (maintenance experiment E9)."""
+
+    source_id: str
+    kind: str  # "rename_column" | "rename_tag" | "page_layout"
+    detail: str = ""
+    invalidated_attributes: list[str] = field(default_factory=list)

@@ -1,0 +1,79 @@
+"""Parameter sweeps for the benchmark harness.
+
+Each sweep yields ready-built scenario/middleware pairs so benchmark files
+stay declarative.  Scenario construction is excluded from the timed region
+by building everything up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.middleware import S2SMiddleware
+from .b2b import SOURCE_TYPES, B2BScenario
+from .heterogeneity import ConflictProfile
+
+
+@dataclass
+class SweepPoint:
+    """One configuration in a sweep."""
+
+    label: str
+    scenario: B2BScenario
+    middleware: S2SMiddleware
+
+    @property
+    def n_sources(self) -> int:
+        """Number of organizations in this sweep point."""
+        return len(self.scenario.organizations)
+
+    @property
+    def n_products(self) -> int:
+        """Catalog size of this sweep point."""
+        return len(self.scenario.products)
+
+
+def source_count_sweep(counts: list[int], *, records_per_source: int = 10,
+                       seed: int = 7) -> Iterator[SweepPoint]:
+    """Fixed records per source, growing source count (experiment E1)."""
+    for count in counts:
+        scenario = B2BScenario(n_sources=count,
+                               n_products=count * records_per_source,
+                               seed=seed)
+        yield SweepPoint(f"sources={count}", scenario,
+                         scenario.build_middleware())
+
+
+def record_count_sweep(counts: list[int], *, n_sources: int = 4,
+                       seed: int = 7) -> Iterator[SweepPoint]:
+    """Fixed source count, growing catalog size (experiments E2/E7)."""
+    for count in counts:
+        scenario = B2BScenario(n_sources=n_sources, n_products=count,
+                               seed=seed)
+        yield SweepPoint(f"products={count}", scenario,
+                         scenario.build_middleware())
+
+
+def single_type_scenarios(n_products: int = 40, *,
+                          seed: int = 7) -> Iterator[SweepPoint]:
+    """One scenario per source technology (experiment E4)."""
+    for source_type in SOURCE_TYPES:
+        scenario = B2BScenario(n_sources=1, n_products=n_products,
+                               source_mix=(source_type,), seed=seed)
+        yield SweepPoint(source_type, scenario, scenario.build_middleware())
+
+
+def conflict_scenarios(n_sources: int = 6, n_products: int = 60, *,
+                       seed: int = 7) -> Iterator[SweepPoint]:
+    """No-conflict vs schematic-only vs full heterogeneity (experiment E6)."""
+    profiles = [
+        ("none", ConflictProfile(schematic=False, semantic=False)),
+        ("schematic", ConflictProfile(schematic=True, semantic=False)),
+        ("schematic+semantic", ConflictProfile(schematic=True,
+                                               semantic=True)),
+    ]
+    for label, profile in profiles:
+        scenario = B2BScenario(n_sources=n_sources, n_products=n_products,
+                               conflicts=profile, seed=seed)
+        yield SweepPoint(label, scenario, scenario.build_middleware())

@@ -1,0 +1,24 @@
+"""A self-contained XML toolkit.
+
+Provides the DOM-lite tree model, a namespace-aware XML parser, a
+serializer, and an XPath-subset engine.  It is shared by two consumers:
+
+* :mod:`repro.rdf.rdfxml` — RDF/XML and OWL document exchange;
+* :mod:`repro.sources.xmlstore` — the XML data-source substrate whose
+  extraction rules are XPath expressions.
+"""
+
+from .dom import Document, Element, Text
+from .parser import parse_xml
+from .serializer import serialize_xml
+from .xpath import XPath, xpath_select
+
+__all__ = [
+    "Document",
+    "Element",
+    "Text",
+    "parse_xml",
+    "serialize_xml",
+    "XPath",
+    "xpath_select",
+]

@@ -1,0 +1,143 @@
+"""DOM-lite tree model for XML documents.
+
+Small on purpose: elements, text nodes and a document wrapper, with the
+navigation and search helpers the XPath engine and the serializers need.
+Namespaces are handled by storing each element's resolved ``namespace`` URI
+next to its ``name`` (local name); prefix bookkeeping lives in the parser
+and serializer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from ..errors import XmlError
+
+
+class Text:
+    """A text node."""
+
+    __slots__ = ("value", "parent")
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+        self.parent: Element | None = None
+
+    def __repr__(self) -> str:
+        return f"Text({self.value!r})"
+
+
+Node = Union["Element", Text]
+
+
+class Element:
+    """An XML element with attributes and ordered children."""
+
+    __slots__ = ("name", "namespace", "attributes", "children", "parent")
+
+    def __init__(self, name: str, attributes: dict[str, str] | None = None,
+                 *, namespace: str = "") -> None:
+        if not name:
+            raise XmlError("element name must be non-empty")
+        self.name = name
+        self.namespace = namespace
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+        self.parent: Element | None = None
+
+    # -- construction ---------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Attach a child node (Element or Text)."""
+        if not isinstance(child, (Element, Text)):
+            raise XmlError(f"cannot append {type(child).__name__} to element")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_text(self, value: str) -> Text:
+        """Attach a text node with ``value``."""
+        node = Text(value)
+        return self.append(node)  # type: ignore[return-value]
+
+    def subelement(self, name: str, attributes: dict[str, str] | None = None,
+                   *, text: str | None = None, namespace: str = "") -> "Element":
+        """Create, attach and return a child element."""
+        child = Element(name, attributes, namespace=namespace)
+        self.append(child)
+        if text is not None:
+            child.append_text(text)
+        return child
+
+    # -- navigation -----------------------------------------------------
+
+    def element_children(self) -> list["Element"]:
+        """Direct child elements (text nodes skipped)."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find(self, name: str) -> "Element | None":
+        """First child element with the given local name."""
+        for child in self.element_children():
+            if child.name == name:
+                return child
+        return None
+
+    def find_all(self, name: str) -> list["Element"]:
+        """All direct child elements with the given name."""
+        return [c for c in self.element_children() if c.name == name]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iterator over this element and all descendants."""
+        yield self
+        for child in self.element_children():
+            yield from child.iter()
+
+    def text_content(self) -> str:
+        """Concatenated text of all descendant text nodes."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.value)
+            else:
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    @property
+    def text(self) -> str:
+        """Direct text content (immediate Text children only)."""
+        return "".join(c.value for c in self.children if isinstance(c, Text))
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        """Attribute value, or ``default``."""
+        return self.attributes.get(attribute, default)
+
+    def path(self) -> str:
+        """Slash-separated element-name path from the root, for diagnostics."""
+        names: list[str] = []
+        node: Element | None = self
+        while node is not None:
+            names.append(node.name)
+            node = node.parent
+        return "/" + "/".join(reversed(names))
+
+    def __repr__(self) -> str:
+        return f"Element({self.name!r}, children={len(self.children)})"
+
+
+class Document:
+    """An XML document: one root element plus optional XML declaration."""
+
+    __slots__ = ("root", "declaration")
+
+    def __init__(self, root: Element, *, declaration: bool = True) -> None:
+        if not isinstance(root, Element):
+            raise XmlError("document root must be an Element")
+        self.root = root
+        self.declaration = declaration
+
+    def iter(self) -> Iterator[Element]:
+        """Depth-first iterator over the root and its descendants."""
+        return self.root.iter()
+
+    def __repr__(self) -> str:
+        return f"Document(root={self.root.name!r})"

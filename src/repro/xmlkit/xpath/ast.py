@@ -1,0 +1,91 @@
+"""AST node definitions for the XPath subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class NameTest:
+    """A child-element step matching a name or ``*``."""
+    name: str  # "*" means any element
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeTest:
+    """An ``@name`` step selecting attribute values."""
+    name: str  # "*" means any attribute
+
+
+@dataclass(frozen=True, slots=True)
+class TextTest:
+    """``text()`` — select text-node children."""
+
+
+@dataclass(frozen=True, slots=True)
+class SelfTest:
+    """``.`` — the context node."""
+
+
+@dataclass(frozen=True, slots=True)
+class ParentTest:
+    """``..`` — the parent node."""
+
+
+NodeTest = Union[NameTest, AttributeTest, TextTest, SelfTest, ParentTest]
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: node test, descendant flag, predicates."""
+    test: NodeTest
+    descendant: bool = False  # True when reached via //
+    predicates: tuple["Expr", ...] = field(default=())
+
+
+@dataclass(frozen=True, slots=True)
+class LocationPath:
+    absolute: bool
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class NumberLiteral:
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class StringLiteral:
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall:
+    name: str
+    arguments: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    operator: str  # = != < > <= >=
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class BooleanOp:
+    operator: str  # and | or
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class Union_:
+    """``left | right`` — node-set union."""
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[LocationPath, NumberLiteral, StringLiteral, FunctionCall,
+             Comparison, BooleanOp, Union_]

@@ -1,0 +1,58 @@
+"""Tokenizer for the XPath subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...errors import XPathError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<dcolon>::)
+  | (?P<ddot>\.\.)
+  | (?P<dot>\.)
+  | (?P<at>@)
+  | (?P<lbracket>\[) | (?P<rbracket>\])
+  | (?P<lparen>\() | (?P<rparen>\))
+  | (?P<union>\|)
+  | (?P<ne>!=) | (?P<le><=) | (?P<ge>>=) | (?P<eq>=) | (?P<lt><) | (?P<gt>>)
+  | (?P<comma>,)
+  | (?P<star>\*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token (kind, text, offset)."""
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize an XPath expression, dropping whitespace."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(expression):
+        match = _TOKEN_RE.match(expression, pos)
+        if match is None:
+            raise XPathError(
+                f"unexpected character {expression[pos]!r} at offset {pos} "
+                f"in XPath {expression!r}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            value = match.group()
+            if kind == "string":
+                value = value[1:-1]
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    return tokens

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology import OntologySchema
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.relational import Database
+from repro.sources.web import SimulatedWeb
+from repro.sources.xmlstore import XmlDocumentStore
+from repro.workloads import B2BScenario, ConflictProfile
+
+
+@pytest.fixture
+def ontology():
+    """The paper's watch-domain ontology (Figure 2)."""
+    return watch_domain_ontology()
+
+
+@pytest.fixture
+def schema(ontology):
+    return OntologySchema(ontology)
+
+
+@pytest.fixture
+def watch_db():
+    """A small watch database matching the ontology's concepts."""
+    db = Database("watchdb")
+    db.executescript("""
+    CREATE TABLE watches (id INTEGER, brand TEXT, model TEXT,
+                          casing TEXT, movement TEXT, wr INTEGER,
+                          price_cents INTEGER, provider TEXT,
+                          country TEXT);
+    INSERT INTO watches (id, brand, model, casing, movement, wr,
+                         price_cents, provider, country) VALUES
+      (1, 'Seiko', 'SKX007', 'stainless-steel', 'automatic', 200,
+       19900, 'Acme', 'PT'),
+      (2, 'Casio', 'F91W', 'resin', 'quartz', 30, 1550, 'WatchCo', 'DE'),
+      (3, 'Seiko', 'SNK809', 'stainless-steel', 'automatic', 30,
+       8900, 'Acme', 'PT');
+    """)
+    return db
+
+
+@pytest.fixture
+def watch_page_web():
+    """A simulated web hosting the paper's watch page."""
+    web = SimulatedWeb()
+    web.publish("http://shop.example/watch81", """
+<html><head><title>Watch 81</title></head><body>
+<p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+<span id="model">SRPD51</span>
+<span id="case">stainless-steel</span>
+<span class="price">$250.00</span>
+<div id="provider">DiveShop</div>
+</body></html>
+""")
+    return web
+
+
+@pytest.fixture
+def watch_xml_store():
+    store = XmlDocumentStore()
+    store.put("catalog.xml", """
+<catalog>
+  <watch><brand>Orient</brand><model>Bambino</model>
+    <case>stainless-steel</case><price>180.0</price>
+    <provider>Orient Star</provider></watch>
+  <watch><brand>Casio</brand><model>AE1200</model>
+    <case>resin</case><price>45.0</price>
+    <provider>WatchCo</provider></watch>
+</catalog>
+""")
+    return store
+
+
+@pytest.fixture
+def scenario():
+    """A standard 4-source, 20-product B2B scenario with full conflicts."""
+    return B2BScenario(n_sources=4, n_products=20)
+
+
+@pytest.fixture
+def clean_scenario():
+    """A scenario with no schematic/semantic conflicts."""
+    return B2BScenario(
+        n_sources=4, n_products=20,
+        conflicts=ConflictProfile(schematic=False, semantic=False))
+
+
+@pytest.fixture
+def middleware(scenario):
+    return scenario.build_middleware()

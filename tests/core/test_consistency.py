@@ -1,0 +1,143 @@
+"""Tests for cross-source consistency analysis."""
+
+import pytest
+
+from repro.core.instances.assembly import AssembledEntity
+from repro.core.instances.consistency import check_consistency
+from repro.ontology.model import Individual
+
+
+def entity(source_id, values, satellites=None):
+    primary = Individual(f"w_{source_id}_{values.get('model')}", "watch",
+                         dict(values))
+    return AssembledEntity(primary, satellites or [], source_id, 0)
+
+
+class TestCheckConsistency:
+    def test_agreeing_sources(self):
+        entities = [
+            entity("A", {"brand": "Seiko", "model": "SKX", "price": 199.0}),
+            entity("B", {"brand": "Seiko", "model": "SKX", "price": 199.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert report.consistent
+        assert report.multi_source_groups == 1
+        assert report.agreement_rate("price") == 1.0
+
+    def test_conflict_detected_with_provenance(self):
+        entities = [
+            entity("A", {"brand": "Seiko", "model": "SKX", "price": 199.0}),
+            entity("B", {"brand": "Seiko", "model": "SKX", "price": 250.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert not report.consistent
+        conflict = report.conflicts[0]
+        assert conflict.attribute == "price"
+        assert {source for _v, source in conflict.values} == {"A", "B"}
+        assert "A" in str(conflict) and "price" in str(conflict)
+
+    def test_numeric_tolerance(self):
+        entities = [
+            entity("A", {"brand": "S", "model": "M", "price": 199.004}),
+            entity("B", {"brand": "S", "model": "M", "price": 199.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"],
+                                   tolerance=0.01)
+        assert report.consistent
+        strict = check_consistency(entities, ["brand", "model"],
+                                   tolerance=1e-6)
+        assert not strict.consistent
+
+    def test_single_source_groups_skipped(self):
+        entities = [
+            entity("A", {"brand": "S", "model": "M1", "price": 1.0}),
+            entity("A", {"brand": "S", "model": "M2", "price": 2.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert report.multi_source_groups == 0
+        assert "no multi-source overlap" in report.summary()
+
+    def test_missing_key_attribute_skipped(self):
+        entities = [
+            entity("A", {"brand": "S", "price": 1.0}),  # no model
+            entity("B", {"brand": "S", "price": 2.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert report.multi_source_groups == 0
+
+    def test_partial_attributes_compared_where_present(self):
+        entities = [
+            entity("A", {"brand": "S", "model": "M", "case": "steel"}),
+            entity("B", {"brand": "S", "model": "M"}),  # no case
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert report.consistent  # single observation → nothing to compare
+        assert "case" not in report.agreements
+
+    def test_satellite_attributes_included(self):
+        provider_a = Individual("pA", "provider", {"name": "Acme"})
+        provider_b = Individual("pB", "provider", {"name": "Acme Corp"})
+        entities = [
+            entity("A", {"brand": "S", "model": "M"}, [provider_a]),
+            entity("B", {"brand": "S", "model": "M"}, [provider_b]),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert any(c.attribute == "name" for c in report.conflicts)
+
+    def test_agreement_rate_aggregates_groups(self):
+        entities = [
+            entity("A", {"brand": "S", "model": "M1", "price": 1.0}),
+            entity("B", {"brand": "S", "model": "M1", "price": 1.0}),
+            entity("A", {"brand": "S", "model": "M2", "price": 5.0}),
+            entity("B", {"brand": "S", "model": "M2", "price": 9.0}),
+        ]
+        report = check_consistency(entities, ["brand", "model"])
+        assert report.agreement_rate("price") == 0.5
+        assert "2 multi-source groups" in report.summary()
+
+
+class TestOnScenario:
+    def test_normalized_world_is_consistent(self, scenario, middleware):
+        """After semantic normalization, overlapping publications agree."""
+        # Publish the same catalog twice (two scenarios share ground truth
+        # by seed), query both worlds, and compare.
+        from repro.workloads import B2BScenario
+        other = B2BScenario(n_sources=3, n_products=20, seed=7)
+        combined = middleware.query("SELECT product").entities + \
+            other.build_middleware().query("SELECT product").entities
+        report = check_consistency(combined, ["brand", "model"],
+                                   tolerance=0.05)
+        assert report.multi_source_groups == 20
+        assert report.consistent, [str(c) for c in report.conflicts]
+
+    def test_un_normalized_values_conflict(self):
+        """Without the price transform, cents vs units shows up as
+        conflicts — the checker catches missing normalization."""
+        from repro.workloads import B2BScenario
+        scenario = B2BScenario(n_sources=3, n_products=12, seed=7)
+        s2s = scenario.build_middleware()
+        # Sabotage: drop the normalizing transform on the org that
+        # publishes prices in cents (org index 1 under the default
+        # conflict profile — the XML feed).
+        from repro import xpath_rule
+        cents_org = scenario.organizations[1]
+        assert scenario.conflicts.price_transform(cents_org.index) \
+            == "cents_to_units"
+        s2s.register_attribute(
+            ("product", "price"),
+            xpath_rule(scenario._native_rule_code(cents_org, "price")),
+            cents_org.source_id, replace=True)
+        other = B2BScenario(n_sources=3, n_products=12, seed=7)
+        combined = s2s.query("SELECT product").entities + \
+            other.build_middleware().query("SELECT product").entities
+        report = check_consistency(combined, ["brand", "model"],
+                                   tolerance=0.05)
+        assert any(c.attribute == "price" for c in report.conflicts)
+
+
+class TestQueryResultHelper:
+    def test_result_consistency_shortcut(self, middleware):
+        result = middleware.query("SELECT product")
+        report = result.consistency(["brand", "model"])
+        assert report.total_entities == len(result)
+        assert report.consistent  # no overlap within one world

@@ -1,0 +1,231 @@
+"""Tests for record assembly and instance generation (paper section 2.6)."""
+
+import pytest
+
+from repro.core.extractor.manager import ExtractionOutcome, ExtractionProblem
+from repro.core.extractor.records import RawFragment, SourceRecordSet
+from repro.core.instances import InstanceGenerator, RecordAssembler
+from repro.core.instances.errors import ErrorReport
+from repro.errors import InstanceGenerationError
+from repro.ids import AttributePath
+
+
+def record_set(source_id, columns):
+    rs = SourceRecordSet(source_id)
+    for attribute_id, values in columns.items():
+        rs.add(RawFragment(AttributePath.parse(attribute_id), source_id,
+                           values))
+    return rs
+
+
+class TestAssembler:
+    def test_single_class_record(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko", "thing.product.price": "199"},
+            source_id="S", record_index=0)
+        assert entity.primary.class_name == "product"
+        assert entity.primary.values == {"brand": "Seiko", "price": 199.0}
+        assert entity.satellites == []
+
+    def test_subclass_chain_merges_to_most_specific(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko",
+             "thing.product.watch.case": "steel"},
+            source_id="S", record_index=0)
+        assert entity.primary.class_name == "watch"
+        assert entity.primary.values == {"brand": "Seiko", "case": "steel"}
+
+    def test_satellite_linked_through_object_property(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko",
+             "thing.provider.name": "Acme"},
+            source_id="S", record_index=0)
+        assert len(entity.satellites) == 1
+        provider = entity.satellites[0]
+        assert provider.class_name == "provider"
+        assert entity.primary.links["hasProvider"] == [provider]
+
+    def test_identifiers_deterministic_and_sanitized(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko"},
+            source_id="db-1/x", record_index=3)
+        assert entity.primary.identifier == "product_db_1_x_3"
+
+    def test_record_without_query_class_returns_none(self, schema):
+        assembler = RecordAssembler(schema, "provider")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko"},
+            source_id="S", record_index=0)
+        assert entity is None
+
+    def test_none_values_skipped(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko", "thing.product.model": None},
+            source_id="S", record_index=0)
+        assert "model" not in entity.primary.values
+
+    def test_coercion_errors_collected_not_fatal(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko",
+             "thing.product.price": "not-a-number"},
+            source_id="S", record_index=0)
+        assert entity.coercion_errors
+        assert "price" not in entity.primary.values
+
+    def test_unlinkable_satellite_raises(self, ontology):
+        from repro.ontology import OntologySchema
+        ontology.add_class("island")
+        ontology.add_attribute("island", "population", "integer")
+        schema = OntologySchema(ontology)
+        assembler = RecordAssembler(schema, "product")
+        with pytest.raises(InstanceGenerationError):
+            assembler.assemble(
+                {"thing.product.brand": "Seiko",
+                 "island.population": "5"},
+                source_id="S", record_index=0)
+
+    def test_entity_value_lookup_spans_satellites(self, schema):
+        assembler = RecordAssembler(schema, "product")
+        entity = assembler.assemble(
+            {"thing.product.brand": "Seiko",
+             "thing.provider.name": "Acme"},
+            source_id="S", record_index=0)
+        assert entity.value("name") == "Acme"
+        assert entity.value("brand") == "Seiko"
+        assert entity.value("missing", "dflt") == "dflt"
+
+
+class TestGenerator:
+    def test_generates_per_record(self, schema):
+        outcome = ExtractionOutcome(record_sets={
+            "S": record_set("S", {
+                "thing.product.brand": ["Seiko", "Casio"],
+                "thing.product.price": ["199", "15.5"],
+            })})
+        result = InstanceGenerator(schema).generate(outcome, "product")
+        assert len(result.entities) == 2
+        assert result.errors.ok
+
+    def test_extraction_problems_forwarded_to_error_channel(self, schema):
+        outcome = ExtractionOutcome(
+            problems=[ExtractionProblem("S", "a.b", "boom")])
+        result = InstanceGenerator(schema).generate(outcome, "product")
+        assert len(result.errors.by_phase("extraction")) == 1
+
+    def test_missing_attributes_reported_as_mapping_errors(self, schema):
+        outcome = ExtractionOutcome(
+            missing_attributes=[AttributePath.parse("thing.product.model")])
+        result = InstanceGenerator(schema).generate(outcome, "product")
+        assert len(result.errors.by_phase("mapping")) == 1
+
+    def test_ragged_record_set_reported(self, schema):
+        outcome = ExtractionOutcome(record_sets={
+            "S": record_set("S", {
+                "thing.product.brand": ["Seiko", "Casio"],
+                "thing.product.price": ["199"],
+            })})
+        result = InstanceGenerator(schema).generate(outcome, "product")
+        assert any("ragged" in str(e) for e in result.errors.entries)
+        assert len(result.entities) == 2
+
+    def test_irrelevant_record_reported(self, schema):
+        outcome = ExtractionOutcome(record_sets={
+            "S": record_set("S", {"thing.provider.name": ["Acme"]})})
+        result = InstanceGenerator(schema).generate(outcome, "product")
+        assert result.entities == []
+        assert len(result.errors.by_phase("generation")) == 1
+
+    def test_validation_toggle(self, schema):
+        outcome = ExtractionOutcome(record_sets={
+            "S": record_set("S", {"thing.product.brand": ["Seiko"]})})
+        validated = InstanceGenerator(schema, validate=True).generate(
+            outcome, "product")
+        unvalidated = InstanceGenerator(schema, validate=False).generate(
+            outcome, "product")
+        assert len(validated.entities) == len(unvalidated.entities) == 1
+
+
+class TestMergeKey:
+    def _outcome(self):
+        return ExtractionOutcome(record_sets={
+            "A": record_set("A", {
+                "thing.product.brand": ["Seiko", "Casio"],
+                "thing.product.model": ["SKX007", "F91W"],
+                "thing.product.price": ["199", "15.5"],
+            }),
+            "B": record_set("B", {
+                "thing.product.brand": ["Seiko"],
+                "thing.product.model": ["SKX007"],
+                "thing.product.watch.case": ["steel"],
+            }),
+        })
+
+    def test_merge_by_key(self, schema):
+        result = InstanceGenerator(schema).generate(
+            self._outcome(), "product", merge_key=["brand", "model"])
+        assert len(result.entities) == 2
+        merged = [e for e in result.entities
+                  if e.value("model") == "SKX007"][0]
+        # values from both sources combined
+        assert merged.value("price") == 199.0
+        assert merged.value("case") == "steel"
+
+    def test_no_merge_without_key(self, schema):
+        result = InstanceGenerator(schema).generate(self._outcome(),
+                                                    "product")
+        assert len(result.entities) == 3
+
+    def test_merge_conflict_reported(self, schema):
+        outcome = self._outcome()
+        outcome.record_sets["B"] = record_set("B", {
+            "thing.product.brand": ["Seiko"],
+            "thing.product.model": ["SKX007"],
+            "thing.product.price": ["500"],  # conflicts with A's 199
+        })
+        result = InstanceGenerator(schema).generate(
+            outcome, "product", merge_key=["brand", "model"])
+        assert any("merge conflict" in str(e)
+                   for e in result.errors.entries)
+        merged = [e for e in result.entities
+                  if e.value("model") == "SKX007"][0]
+        assert merged.value("price") == 199.0  # first wins
+
+    def test_entities_missing_key_not_merged(self, schema):
+        outcome = ExtractionOutcome(record_sets={
+            "A": record_set("A", {"thing.product.brand": ["X", "X"]})})
+        result = InstanceGenerator(schema).generate(
+            outcome, "product", merge_key=["brand", "model"])
+        assert len(result.entities) == 2  # no model → no merging
+
+
+class TestErrorReport:
+    def test_summary_counts_by_phase(self):
+        report = ErrorReport()
+        report.add("extraction", "a", source_id="S")
+        report.add("extraction", "b")
+        report.add("query", "c")
+        assert "2 extraction" in report.summary()
+        assert "1 query" in report.summary()
+        assert len(report) == 3
+
+    def test_ok_and_empty_summary(self):
+        report = ErrorReport()
+        assert report.ok
+        assert report.summary() == "no errors"
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorReport().add("cooking", "x")
+
+    def test_entry_rendering(self):
+        report = ErrorReport()
+        report.add("extraction", "boom", source_id="S",
+                   attribute_id="a.b")
+        text = str(report.entries[0])
+        assert "source=S" in text and "attribute=a.b" in text

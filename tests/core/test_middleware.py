@@ -1,0 +1,149 @@
+"""Tests for the S2SMiddleware facade and full query execution."""
+
+import pytest
+
+from repro import S2SMiddleware, sql_rule, xpath_rule
+from repro.errors import QueryError
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.relational import RelationalDataSource
+from repro.sources.xmlstore import XmlDataSource
+
+
+@pytest.fixture
+def s2s(watch_db, watch_xml_store):
+    middleware = S2SMiddleware(watch_domain_ontology())
+    middleware.register_source(RelationalDataSource("DB_ID_45", watch_db))
+    middleware.register_source(
+        XmlDataSource("XML_7", watch_xml_store,
+                      default_document="catalog.xml"))
+    for attribute, column in (
+            (("product", "brand"), "brand"),
+            (("product", "model"), "model"),
+            (("watch", "case"), "casing"),
+            (("watch", "movement"), "movement"),
+            (("watch", "water_resistance"), "wr"),
+            (("provider", "name"), "provider"),
+            (("provider", "country"), "country")):
+        middleware.register_attribute(
+            attribute, sql_rule(f"SELECT {column} FROM watches"), "DB_ID_45")
+    middleware.register_attribute(
+        ("product", "price"),
+        sql_rule("SELECT price_cents FROM watches",
+                 transform="cents_to_units"), "DB_ID_45")
+    for attribute, tag in (
+            (("product", "brand"), "brand"),
+            (("product", "model"), "model"),
+            (("watch", "case"), "case"),
+            (("product", "price"), "price"),
+            (("provider", "name"), "provider")):
+        middleware.register_attribute(
+            attribute, xpath_rule(f"//watch/{tag}"), "XML_7")
+    return middleware
+
+
+class TestQueries:
+    def test_unfiltered_union_across_sources(self, s2s):
+        result = s2s.query("SELECT product")
+        assert len(result) == 5  # 3 db + 2 xml
+
+    def test_equality_filter(self, s2s):
+        result = s2s.query('SELECT product WHERE brand = "Seiko"')
+        assert len(result) == 2
+        assert all(e.value("brand") == "Seiko" for e in result.entities)
+
+    def test_paper_compound_query(self, s2s):
+        result = s2s.query('SELECT product WHERE brand = "Seiko" AND '
+                           'case = "stainless-steel"')
+        assert len(result) == 2
+
+    def test_numeric_comparison_after_normalization(self, s2s):
+        result = s2s.query("SELECT product WHERE price < 100")
+        prices = sorted(e.value("price") for e in result.entities)
+        assert prices == [15.5, 45.0, 89.0]
+
+    def test_contains_operator(self, s2s):
+        result = s2s.query('SELECT product WHERE model CONTAINS "amb"')
+        assert [e.value("model") for e in result.entities] == ["Bambino"]
+
+    def test_like_operator(self, s2s):
+        result = s2s.query('SELECT product WHERE model LIKE "S%"')
+        assert len(result) == 2
+
+    def test_not_equal(self, s2s):
+        result = s2s.query('SELECT product WHERE brand != "Seiko"')
+        assert len(result) == 3
+
+    def test_condition_on_missing_attribute_drops_record(self, s2s):
+        # XML source has no movement mapping: its records can't satisfy it.
+        result = s2s.query('SELECT product WHERE movement = "automatic"')
+        assert {e.source_id for e in result.entities} == {"DB_ID_45"}
+
+    def test_query_subclass_directly(self, s2s):
+        result = s2s.query('SELECT watch WHERE water_resistance >= 200')
+        assert len(result) == 1
+        assert result.entities[0].value("model") == "SKX007"
+
+    def test_query_linked_class(self, s2s):
+        result = s2s.query("SELECT provider")
+        names = {e.primary.values.get("name") for e in result.entities}
+        assert "Acme" in names
+
+    def test_filter_on_satellite_attribute(self, s2s):
+        result = s2s.query('SELECT product WHERE name = "Acme"')
+        assert len(result) == 2
+
+    def test_output_classes_paper_claim(self, s2s):
+        # C2: "the output classes will be Product, watch, and Provider"
+        result = s2s.query('SELECT product WHERE brand = "Seiko"')
+        assert set(result.output_classes) == {"watch", "provider"}
+
+    def test_merge_key_dedup(self, s2s, watch_xml_store):
+        watch_xml_store.put("catalog.xml", """
+<catalog><watch><brand>Seiko</brand><model>SKX007</model>
+<case>stainless-steel</case><price>210.0</price>
+<provider>Other</provider></watch></catalog>""")
+        plain = s2s.query('SELECT product WHERE brand = "Seiko"')
+        merged = s2s.query('SELECT product WHERE brand = "Seiko"',
+                           merge_key=["brand", "model"])
+        assert len(plain) == 3
+        assert len(merged) == 2
+
+    def test_timings_populated(self, s2s):
+        result = s2s.query("SELECT product")
+        assert result.elapsed_seconds > 0
+        assert result.extraction_seconds > 0
+
+    def test_parse_error_propagates(self, s2s):
+        from repro.errors import S2sqlSyntaxError
+        with pytest.raises(S2sqlSyntaxError):
+            s2s.query("SELECT product FROM warehouse")
+
+    def test_unknown_class_raises_query_error(self, s2s):
+        with pytest.raises(QueryError):
+            s2s.query("SELECT spaceship")
+
+
+class TestFacade:
+    def test_mapping_coverage(self, s2s):
+        assert s2s.mapping_coverage() == 1.0
+
+    def test_unmapped_attributes_empty(self, s2s):
+        assert s2s.unmapped_attributes() == []
+
+    def test_mapping_lines_shape(self, s2s):
+        lines = s2s.mapping_lines()
+        assert len(lines) == 13
+        assert any(line.startswith("thing.product.brand = ")
+                   for line in lines)
+
+    def test_extract_all(self, s2s):
+        outcome = s2s.extract_all()
+        assert set(outcome.record_sets) == {"DB_ID_45", "XML_7"}
+
+    def test_repr(self, s2s):
+        text = repr(s2s)
+        assert "watch-domain" in text and "sources=2" in text
+
+    def test_register_transform(self, s2s):
+        s2s.register_transform("shout", str.upper)
+        assert "shout" in s2s.transforms.names()

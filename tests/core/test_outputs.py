@@ -1,0 +1,104 @@
+"""Tests for the Instance Generator's output adapters."""
+
+import json
+
+import pytest
+
+from repro.core.instances.outputs import render_entities
+from repro.errors import InstanceGenerationError
+from repro.rdf.rdfxml import parse_rdfxml
+from repro.rdf.turtle import parse_turtle
+from repro.xmlkit import parse_xml
+
+
+@pytest.fixture
+def entities(middleware):
+    result = middleware.query('SELECT product WHERE case = "stainless-steel"')
+    assert len(result) > 0
+    return middleware.schema, result.entities
+
+
+class TestOwlOutput:
+    def test_parses_as_rdfxml(self, entities):
+        schema, items = entities
+        graph = parse_rdfxml(render_entities(schema, items, "owl"))
+        assert len(graph) > 0
+
+    def test_individual_typed_by_class(self, entities):
+        schema, items = entities
+        graph = parse_rdfxml(render_entities(schema, items, "owl"))
+        from repro.rdf.namespace import RDF, Namespace
+        ns = Namespace(schema.ontology.base_iri)
+        watches = list(graph.instances_of(ns.watch))
+        assert len(watches) == len(items)
+
+    def test_provider_links_present(self, entities):
+        schema, items = entities
+        graph = parse_rdfxml(render_entities(schema, items, "owl"))
+        from repro.rdf.namespace import Namespace
+        ns = Namespace(schema.ontology.base_iri)
+        links = list(graph.triples(None, ns.hasProvider, None))
+        assert len(links) == len(items)
+
+    def test_typed_literals(self, entities):
+        schema, items = entities
+        text = render_entities(schema, items, "owl")
+        assert "XMLSchema#double" in text
+
+
+class TestOtherFormats:
+    def test_turtle_parses(self, entities):
+        schema, items = entities
+        graph = parse_turtle(render_entities(schema, items, "turtle"))
+        assert len(graph) > 0
+
+    def test_turtle_owl_agree(self, entities):
+        schema, items = entities
+        turtle_graph = parse_turtle(render_entities(schema, items, "turtle"))
+        owl_graph = parse_rdfxml(render_entities(schema, items, "owl"))
+        assert (turtle_graph.isomorphic_signature()
+                == owl_graph.isomorphic_signature())
+
+    def test_xml_structure_mirrors_ontology(self, entities):
+        schema, items = entities
+        doc = parse_xml(render_entities(schema, items, "xml"))
+        assert doc.root.name == "results"
+        assert doc.root.get("count") == str(len(items))
+        first = doc.root.element_children()[0]
+        assert first.name == "watch"
+        assert first.find("brand") is not None
+        assert first.find("hasProvider") is not None
+
+    def test_json_records(self, entities):
+        schema, items = entities
+        records = json.loads(render_entities(schema, items, "json"))
+        assert len(records) == len(items)
+        assert records[0]["class"] == "watch"
+        assert "_source" in records[0]
+        assert isinstance(records[0]["hasProvider"], list)
+
+    def test_text_listing(self, entities):
+        schema, items = entities
+        text = render_entities(schema, items, "text")
+        assert "watch [" in text
+        assert "-> provider" in text
+        assert "case = stainless-steel" in text
+
+    def test_empty_entities(self, entities):
+        schema, _items = entities
+        assert render_entities(schema, [], "text") == ""
+        records = json.loads(render_entities(schema, [], "json"))
+        assert records == []
+
+    def test_unknown_format_rejected(self, entities):
+        schema, items = entities
+        with pytest.raises(InstanceGenerationError):
+            render_entities(schema, items, "yaml")
+
+
+class TestQueryResultSerialize:
+    def test_serialize_delegates(self, middleware):
+        result = middleware.query("SELECT provider")
+        for format in middleware.output_formats():
+            rendered = result.serialize(format)
+            assert isinstance(rendered, str)

@@ -1,0 +1,90 @@
+"""Claim C2: the paper's example query behaves as section 2.5 describes.
+
+"An example of a query would be: SELECT product WHERE brand='Seiko' AND
+case='stainless-steel'.  The result … is all products with the brand Seiko
+and case stainless-steel … the query output will have all their associated
+classes, i.e. all products have a Provider, and therefore the output
+classes will be Product, watch, and Provider."
+"""
+
+import pytest
+
+from repro import S2SMiddleware, sql_rule, webl_rule
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.relational import RelationalDataSource
+from repro.sources.web import SimulatedWeb, WebDataSource
+
+PAPER_QUERY = ("SELECT product WHERE brand = 'Seiko' "
+               "AND case = 'stainless-steel'")
+
+
+@pytest.fixture
+def s2s(watch_db):
+    middleware = S2SMiddleware(watch_domain_ontology())
+    middleware.register_source(RelationalDataSource("DB_ID_45", watch_db))
+    web = SimulatedWeb()
+    web.publish("http://shop.example/watch81", """
+<html><body><p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+<span id="case">stainless-steel</span>
+<div id="provider">DiveShop</div></body></html>""")
+    middleware.register_source(
+        WebDataSource("wpage_81", web, "http://shop.example/watch81"))
+
+    middleware.register_attribute(
+        ("product", "brand"), sql_rule("SELECT brand FROM watches"),
+        "DB_ID_45")
+    middleware.register_attribute(
+        ("watch", "case"), sql_rule("SELECT casing FROM watches"),
+        "DB_ID_45")
+    middleware.register_attribute(
+        ("provider", "name"), sql_rule("SELECT provider FROM watches"),
+        "DB_ID_45")
+    middleware.register_attribute(
+        ("product", "brand"), webl_rule('''
+var P = GetURL(SourceURL());
+var St = Str_Search(Text(P), "<p> <b>" + `[0-9a-zA-Z']+`);
+var spliter = Str_Split(St[0][0], "<> ");
+var brand = Select(spliter[2], 0, 6);
+''', name="watch.webl"), "wpage_81")
+    middleware.register_attribute(
+        ("watch", "case"), webl_rule('''
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<span id="case">([^<]+)</span>`);
+var c = m[0][1];
+''', name="watch.webl"), "wpage_81")
+    middleware.register_attribute(
+        ("provider", "name"), webl_rule('''
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<div id="provider">([^<]+)</div>`);
+var p = m[0][1];
+''', name="watch.webl"), "wpage_81")
+    return middleware
+
+
+class TestPaperQuery:
+    def test_returns_seiko_stainless_steel_products(self, s2s):
+        result = s2s.query(PAPER_QUERY)
+        assert len(result) == 3  # 2 from the database + 1 from the web page
+        for entity in result.entities:
+            assert entity.value("brand") == "Seiko"
+            assert entity.value("case") == "stainless-steel"
+
+    def test_output_class_closure_is_product_watch_provider(self, s2s):
+        result = s2s.query(PAPER_QUERY)
+        assert result.plan.output_classes == ["product", "watch", "provider"]
+        assert set(result.output_classes) == {"watch", "provider"}
+
+    def test_every_product_carries_its_provider(self, s2s):
+        result = s2s.query(PAPER_QUERY)
+        for entity in result.entities:
+            assert entity.primary.links["hasProvider"]
+
+    def test_owl_output_contains_all_three_record_sources(self, s2s):
+        result = s2s.query(PAPER_QUERY)
+        owl = result.serialize("owl")
+        assert "wpage_81" in owl  # web individual id embeds the source
+        assert "DB_ID_45" in owl
+
+    def test_mapping_entry_has_paper_shape(self, s2s):
+        lines = s2s.mapping_lines()
+        assert "thing.product.brand = watch.webl, wpage_81" in lines

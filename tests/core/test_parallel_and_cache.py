@@ -1,0 +1,181 @@
+"""Tests for parallel extraction and the fragment cache (E1 ablations)."""
+
+import pytest
+
+from repro.core.extractor.cache import FragmentCache
+from repro.core.mapping.attributes import MappingEntry
+from repro.core.mapping.rules import ExtractionRule
+from repro.ids import AttributePath
+from repro.workloads import B2BScenario
+
+
+def make_entry(code="SELECT brand FROM products", source="database_0",
+               transform=None):
+    return MappingEntry(AttributePath.parse("thing.product.brand"),
+                        ExtractionRule("sql", code, transform=transform),
+                        source)
+
+
+class TestFragmentCache:
+    def test_miss_then_hit(self):
+        cache = FragmentCache()
+        entry = make_entry()
+        assert cache.get(entry) is None
+        from repro.core.extractor.records import RawFragment
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id,
+                                     ["Seiko"]))
+        fragment = cache.get(entry)
+        assert fragment is not None and fragment.values == ["Seiko"]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_includes_rule_code(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id, ["x"]))
+        other = make_entry(code="SELECT brand_v2 FROM products")
+        assert cache.get(other) is None
+
+    def test_key_includes_transform(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id, ["x"]))
+        assert cache.get(make_entry(transform="upper")) is None
+
+    def test_cached_values_isolated_from_mutation(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id, ["x"]))
+        first = cache.get(entry)
+        first.values.append("mutated")
+        second = cache.get(entry)
+        assert second.values == ["x"]
+
+    def test_invalidate_by_source(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        a = make_entry(source="A")
+        b = make_entry(source="B")
+        cache.put(a, RawFragment(a.attribute, "A", ["1"]))
+        cache.put(b, RawFragment(b.attribute, "B", ["2"]))
+        assert cache.invalidate("A") == 1
+        assert cache.get(a) is None
+        assert cache.get(b) is not None
+
+    def test_invalidate_all(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id, ["x"]))
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_capacity_bound(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache(max_entries=2)
+        for index in range(4):
+            entry = make_entry(code=f"SELECT c{index} FROM products")
+            cache.put(entry, RawFragment(entry.attribute, entry.source_id,
+                                         []))
+        assert len(cache) <= 2
+
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FragmentCache(max_entries=0)
+
+
+class TestCachedMiddleware:
+    def test_second_query_hits_cache(self, scenario):
+        s2s = scenario.build_middleware(cache_extractions=True)
+        s2s.query("SELECT product")
+        assert s2s.cache.stats.hits == 0
+        s2s.query("SELECT product")
+        assert s2s.cache.stats.hits > 0
+        assert len(s2s.query("SELECT product")) == 20
+
+    def test_cached_answers_identical(self, scenario):
+        cached = scenario.build_middleware(cache_extractions=True)
+        plain = scenario.build_middleware()
+        query = 'SELECT product WHERE case = "stainless-steel"'
+        cached.query(query)  # warm
+        key = lambda e: (e.value("brand"), e.value("model"))
+        assert sorted(map(key, cached.query(query).entities)) == \
+            sorted(map(key, plain.query(query).entities))
+
+    def test_stale_after_source_change_until_invalidated(self, scenario):
+        s2s = scenario.build_middleware(cache_extractions=True)
+        before = len(s2s.query('SELECT product WHERE brand = "Seiko"'))
+        db_org = [o for o in scenario.organizations
+                  if o.source_type == "database"][0]
+        brand_column = db_org.native_fields.get("brand", "brand")
+        db_org.database.execute(
+            f"UPDATE products SET {brand_column} = 'Seiko'")
+        stale = len(s2s.query('SELECT product WHERE brand = "Seiko"'))
+        assert stale == before  # cache hides the change
+        removed = s2s.invalidate_cache(db_org.source_id)
+        assert removed > 0
+        fresh = len(s2s.query('SELECT product WHERE brand = "Seiko"'))
+        assert fresh >= stale
+
+    def test_replace_registration_invalidates(self, scenario):
+        s2s = scenario.build_middleware(cache_extractions=True)
+        s2s.query("SELECT product")  # warm
+        events = scenario.drift(fraction=0.25)
+        scenario.repair_mapping(s2s, events)  # registers with replace=True
+        result = s2s.query("SELECT product")
+        # repaired source answers with fresh rules, not stale cache
+        assert all(e.value("brand") is not None for e in result.entities
+                   if e.source_id == events[0].source_id)
+
+    def test_invalidate_without_cache_is_noop(self, scenario):
+        s2s = scenario.build_middleware()
+        assert s2s.invalidate_cache() == 0
+
+
+class TestParallelExtraction:
+    def test_parallel_matches_serial(self, scenario):
+        serial = scenario.build_middleware()
+        parallel = scenario.build_middleware(parallel=True)
+        key = lambda e: (e.value("brand"), e.value("model"), e.source_id)
+        for query in ("SELECT product",
+                      'SELECT product WHERE price < 300'):
+            assert sorted(map(key, serial.query(query).entities)) == \
+                sorted(map(key, parallel.query(query).entities))
+
+    def test_parallel_wins_under_latency(self):
+        scenario = B2BScenario(n_sources=6, n_products=12,
+                               source_mix=("webpage",), web_latency=0.01)
+        serial = scenario.build_middleware()
+        parallel = scenario.build_middleware(parallel=True)
+        serial_outcome = serial.extract_all()
+        parallel_outcome = parallel.extract_all()
+        assert parallel_outcome.total_records() == \
+            serial_outcome.total_records()
+        # 6 sources x 8 attributes x 10ms serial vs fanned out
+        assert parallel_outcome.elapsed_seconds < \
+            serial_outcome.elapsed_seconds
+
+    def test_parallel_collects_failures(self, scenario):
+        s2s = scenario.build_middleware(parallel=True)
+        web_org = [o for o in scenario.organizations
+                   if o.source_type == "webpage"][0]
+        scenario.web.unpublish(web_org.url)
+        result = s2s.query("SELECT product")
+        assert len(result) == 15
+        assert not result.errors.ok
+
+    def test_parallel_strict_raises(self, scenario):
+        from repro.errors import S2SError
+        s2s = scenario.build_middleware(parallel=True,
+                                        strict_extraction=True)
+        web_org = [o for o in scenario.organizations
+                   if o.source_type == "webpage"][0]
+        scenario.web.unpublish(web_org.url)
+        with pytest.raises(S2SError):
+            s2s.query("SELECT product")
+
+    def test_max_workers_respected(self, scenario):
+        s2s = scenario.build_middleware(parallel=True, max_workers=1)
+        assert len(s2s.query("SELECT product")) == 20

@@ -1,0 +1,100 @@
+"""Tests for mapping persistence (save/load of both repositories)."""
+
+import json
+
+import pytest
+
+from repro.core.mapping.persistence import dump_mapping, load_mapping
+from repro.errors import MappingError
+from repro.sources.relational import Database, RelationalDataSource
+from repro.workloads import B2BScenario
+
+
+@pytest.fixture
+def loaded(scenario):
+    """Dump a scenario's mapping and reload it with a live factory."""
+    s2s = scenario.build_middleware()
+    text = s2s.dump_mapping()
+    by_id = {org.source_id: org for org in scenario.organizations}
+
+    def factory(source_id, info):
+        return scenario.connector(by_id[source_id])
+
+    attributes, sources = load_mapping(text, factory)
+    return text, attributes, sources, s2s
+
+
+class TestDump:
+    def test_valid_json(self, loaded):
+        text, *_ = loaded
+        document = json.loads(text)
+        assert document["version"] == 1
+        assert document["sources"]
+        assert document["attributes"]
+
+    def test_connection_parameters_persisted(self, loaded):
+        text, *_ = loaded
+        document = json.loads(text)
+        database_sources = [s for s in document["sources"].values()
+                            if s["type"] == "database"]
+        assert database_sources[0]["parameters"]["driver"] == "repro-mem"
+
+    def test_transforms_persisted(self, loaded):
+        text, *_ = loaded
+        document = json.loads(text)
+        transforms = {record["rule"]["transform"]
+                      for record in document["attributes"]}
+        assert "cents_to_units" in transforms
+
+
+class TestLoad:
+    def test_roundtrip_preserves_entries(self, loaded):
+        _text, attributes, _sources, s2s = loaded
+        assert sorted(attributes.paper_lines()) == \
+            sorted(s2s.attribute_repository.paper_lines())
+
+    def test_roundtrip_preserves_sources(self, loaded):
+        _text, _attributes, sources, s2s = loaded
+        assert sources.ids() == s2s.source_repository.ids()
+
+    def test_reloaded_mapping_queryable(self, scenario):
+        s2s = scenario.build_middleware()
+        text = s2s.dump_mapping()
+        by_id = {org.source_id: org for org in scenario.organizations}
+        s2s.load_mapping(text,
+                         lambda sid, info: scenario.connector(by_id[sid]))
+        result = s2s.query("SELECT product")
+        assert len(result) == 20
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(MappingError):
+            load_mapping("{not json", lambda s, i: None)
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(MappingError):
+            load_mapping('{"version": 99}', lambda s, i: None)
+
+    def test_factory_id_mismatch_rejected(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a TEXT)")
+        text = json.dumps({
+            "version": 1,
+            "sources": {"A": {"type": "database", "parameters": {}}},
+            "attributes": [],
+        })
+        with pytest.raises(MappingError):
+            load_mapping(text,
+                         lambda sid, info: RelationalDataSource("OTHER", db))
+
+    def test_entry_with_unknown_source_rejected(self):
+        text = json.dumps({
+            "version": 1,
+            "sources": {},
+            "attributes": [{
+                "attribute": "a.b", "source": "GHOST",
+                "rule": {"language": "sql", "code": "SELECT a FROM t",
+                         "name": "", "transform": None},
+            }],
+        })
+        with pytest.raises(MappingError):
+            load_mapping(text, lambda s, i: None)

@@ -1,0 +1,90 @@
+"""Tests for query planning (extraction step 1)."""
+
+import pytest
+
+from repro.core.query import QueryPlanner, parse_s2sql
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def planner(schema):
+    return QueryPlanner(schema)
+
+
+class TestPlanning:
+    def test_output_class_closure(self, planner):
+        plan = planner.plan(parse_s2sql("SELECT product"))
+        assert plan.output_classes == ["product", "watch", "provider"]
+
+    def test_required_attributes_cover_closure(self, planner):
+        plan = planner.plan(parse_s2sql("SELECT product"))
+        required = {str(p) for p in plan.required_attributes}
+        assert "thing.product.brand" in required
+        assert "thing.product.watch.case" in required
+        assert "thing.provider.name" in required
+
+    def test_class_resolution_case_insensitive(self, planner):
+        plan = planner.plan(parse_s2sql("SELECT Product"))
+        assert plan.class_name == "product"
+
+    def test_unknown_class(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_s2sql("SELECT spaceship"))
+
+    def test_condition_resolved_to_canonical_path(self, planner):
+        plan = planner.plan(parse_s2sql('SELECT product WHERE brand = "S"'))
+        assert str(plan.conditions[0].path) == "thing.product.brand"
+
+    def test_subclass_condition_resolved(self, planner):
+        # `case` lives on watch, queried through product (paper's example).
+        plan = planner.plan(parse_s2sql('SELECT product WHERE case = "x"'))
+        assert str(plan.conditions[0].path) == "thing.product.watch.case"
+
+    def test_linked_class_condition_resolved(self, planner):
+        plan = planner.plan(parse_s2sql('SELECT product WHERE name = "Acme"'))
+        assert str(plan.conditions[0].path) == "thing.provider.name"
+
+    def test_dotted_condition(self, planner):
+        plan = planner.plan(parse_s2sql(
+            'SELECT product WHERE thing.product.brand = "S"'))
+        assert str(plan.conditions[0].path) == "thing.product.brand"
+
+    def test_unknown_dotted_condition(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_s2sql(
+                'SELECT product WHERE thing.product.ghost = "S"'))
+
+    def test_unknown_bare_condition(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_s2sql('SELECT product WHERE ghost = "S"'))
+
+    def test_condition_for_lookup(self, planner):
+        plan = planner.plan(parse_s2sql(
+            'SELECT product WHERE brand = "S" AND price < 10'))
+        brand_path = plan.conditions[0].path
+        assert len(plan.condition_for(brand_path)) == 1
+
+
+class TestConstraintTyping:
+    def test_numeric_constraint_coerced_to_double(self, planner):
+        plan = planner.plan(parse_s2sql("SELECT product WHERE price < 100"))
+        assert plan.conditions[0].value == 100.0
+        assert isinstance(plan.conditions[0].value, float)
+
+    def test_string_number_for_integer_attribute(self, planner):
+        plan = planner.plan(parse_s2sql(
+            'SELECT product WHERE water_resistance >= "200"'))
+        assert plan.conditions[0].value == 200
+
+    def test_invalid_numeric_constraint(self, planner):
+        with pytest.raises(QueryError):
+            planner.plan(parse_s2sql('SELECT product WHERE price < "cheap"'))
+
+    def test_like_keeps_string(self, planner):
+        plan = planner.plan(parse_s2sql(
+            'SELECT product WHERE price LIKE "1%"'))
+        assert plan.conditions[0].value == "1%"
+
+    def test_string_attribute_numeric_value_stringified(self, planner):
+        plan = planner.plan(parse_s2sql("SELECT product WHERE brand = 7"))
+        assert plan.conditions[0].value == "7"

@@ -1,0 +1,93 @@
+"""Tests for the 3-step attribute registration workflow (Figure 3)."""
+
+import pytest
+
+from repro.core.mapping import (AttributeRegistrar, AttributeRepository,
+                                DataSourceRepository)
+from repro.core.mapping.rules import ExtractionRule
+from repro.errors import MappingError
+from repro.sources.relational import Database, RelationalDataSource
+from repro.sources.web import SimulatedWeb, WebDataSource
+
+
+@pytest.fixture
+def registrar(schema):
+    attributes = AttributeRepository()
+    sources = DataSourceRepository()
+    db = Database("d")
+    db.execute("CREATE TABLE watches (brand TEXT)")
+    sources.register(RelationalDataSource("DB_ID_45", db))
+    web = SimulatedWeb()
+    web.publish("http://x.example/p", "<html/>")
+    sources.register(WebDataSource("wpage_81", web, "http://x.example/p"))
+    return AttributeRegistrar(schema, attributes, sources)
+
+
+class TestStep1Naming:
+    def test_full_path_accepted(self, registrar):
+        path = registrar.name_attribute("thing.product.brand")
+        assert str(path) == "thing.product.brand"
+
+    def test_class_attribute_pair_resolved(self, registrar):
+        path = registrar.name_attribute(("watch", "case"))
+        assert str(path) == "thing.product.watch.case"
+
+    def test_inherited_pair_resolves_to_declaring_class(self, registrar):
+        path = registrar.name_attribute(("watch", "brand"))
+        assert str(path) == "thing.product.brand"
+
+    def test_unknown_path_rejected(self, registrar):
+        with pytest.raises(MappingError):
+            registrar.name_attribute("thing.product.ghost")
+
+    def test_unknown_pair_rejected(self, registrar):
+        with pytest.raises(Exception):
+            registrar.name_attribute(("watch", "ghost"))
+
+
+class TestStep2Rules:
+    def test_language_source_type_agreement(self, registrar):
+        rule = ExtractionRule("webl", "var x = 1;")
+        with pytest.raises(MappingError) as excinfo:
+            registrar.check_rule(rule, "DB_ID_45")
+        assert "webpage" in str(excinfo.value)
+
+    def test_syntax_checked(self, registrar):
+        from repro.errors import SqlSyntaxError
+        rule = ExtractionRule("sql", "SELECT FROM nothing")
+        with pytest.raises(SqlSyntaxError):
+            registrar.check_rule(rule, "DB_ID_45")
+
+    def test_unknown_source(self, registrar):
+        rule = ExtractionRule("sql", "SELECT brand FROM watches")
+        from repro.errors import UnknownDataSourceError
+        with pytest.raises(UnknownDataSourceError):
+            registrar.check_rule(rule, "GHOST")
+
+
+class TestStep3Mapping:
+    def test_full_registration(self, registrar):
+        entry = registrar.register(
+            ("product", "brand"),
+            ExtractionRule("sql", "SELECT brand FROM watches"), "DB_ID_45")
+        assert entry.paper_line() == \
+            "thing.product.brand = SELECT brand FROM watches, DB_ID_45"
+        assert registrar.attributes.is_registered("thing.product.brand")
+
+    def test_duplicate_registration_rejected(self, registrar):
+        rule = ExtractionRule("sql", "SELECT brand FROM watches")
+        registrar.register(("product", "brand"), rule, "DB_ID_45")
+        with pytest.raises(MappingError):
+            registrar.register(("product", "brand"), rule, "DB_ID_45")
+        registrar.register(("product", "brand"), rule, "DB_ID_45",
+                           replace=True)
+
+    def test_coverage_and_todo_list(self, registrar):
+        assert registrar.coverage() == 0.0
+        assert len(registrar.unregistered_paths()) == 8
+        registrar.register(
+            ("product", "brand"),
+            ExtractionRule("sql", "SELECT brand FROM watches"), "DB_ID_45")
+        assert registrar.coverage() == pytest.approx(1 / 8)
+        assert "thing.product.brand" not in [
+            str(p) for p in registrar.unregistered_paths()]

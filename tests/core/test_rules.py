@@ -1,0 +1,152 @@
+"""Tests for extraction rules and the transform registry."""
+
+import pytest
+
+from repro.core.mapping.rules import ExtractionRule, TransformRegistry
+from repro.errors import MappingError
+
+
+class TestExtractionRule:
+    def test_unknown_language(self):
+        with pytest.raises(MappingError):
+            ExtractionRule("prolog", "likes(x, y).")
+
+    def test_empty_code(self):
+        with pytest.raises(MappingError):
+            ExtractionRule("sql", "   ")
+
+    def test_source_type_mapping(self):
+        assert ExtractionRule("sql", "SELECT a FROM t").source_type == \
+            "database"
+        assert ExtractionRule("xpath", "//a").source_type == "xml"
+        assert ExtractionRule("webl", "var x = 1;").source_type == "webpage"
+        assert ExtractionRule("regex", "a(b)").source_type == "textfile"
+
+    def test_display_name_prefers_name(self):
+        rule = ExtractionRule("webl", "var x = 1;", name="watch.webl")
+        assert rule.display_name() == "watch.webl"
+
+    def test_display_name_falls_back_to_code(self):
+        rule = ExtractionRule("sql", "SELECT  a\nFROM t")
+        assert rule.display_name() == "SELECT a FROM t"
+
+    def test_display_name_truncates_long_code(self):
+        rule = ExtractionRule("sql", "SELECT " + "a" * 100 + " FROM t")
+        assert len(rule.display_name()) == 60
+        assert rule.display_name().endswith("...")
+
+
+class TestRuleValidation:
+    def test_valid_sql(self):
+        ExtractionRule("sql", "SELECT a FROM t WHERE b = 1").validate()
+
+    def test_sql_must_be_select(self):
+        with pytest.raises(MappingError):
+            ExtractionRule("sql", "DROP TABLE t").validate()
+
+    def test_sql_syntax_error_propagates(self):
+        from repro.errors import SqlSyntaxError
+        with pytest.raises(SqlSyntaxError):
+            ExtractionRule("sql", "SELECT FROM WHERE").validate()
+
+    def test_valid_xpath(self):
+        ExtractionRule("xpath", "//watch/brand[1]").validate()
+
+    def test_xpath_with_doc_prefix(self):
+        ExtractionRule("xpath", "doc:catalog.xml //watch/brand").validate()
+
+    def test_xpath_doc_prefix_without_expression(self):
+        with pytest.raises(MappingError):
+            ExtractionRule("xpath", "doc:catalog.xml ").validate()
+
+    def test_invalid_xpath(self):
+        from repro.errors import XPathError
+        with pytest.raises(XPathError):
+            ExtractionRule("xpath", "//watch[").validate()
+
+    def test_valid_webl(self):
+        ExtractionRule("webl", 'var x = GetURL("http://a/");').validate()
+
+    def test_invalid_webl(self):
+        from repro.errors import WeblSyntaxError
+        with pytest.raises(WeblSyntaxError):
+            ExtractionRule("webl", "var x = ;").validate()
+
+    def test_valid_regex(self):
+        ExtractionRule("regex", r"^brand=(.*)$").validate()
+
+    def test_invalid_regex(self):
+        with pytest.raises(MappingError):
+            ExtractionRule("regex", "([unclosed").validate()
+
+    def test_regex_with_file_prefix(self):
+        ExtractionRule("regex", r"file:inv.txt ^a=(.*)$").validate()
+        with pytest.raises(MappingError):
+            ExtractionRule("regex", "file:inv.txt ").validate()
+
+
+class TestTransformRegistry:
+    @pytest.fixture
+    def registry(self):
+        return TransformRegistry()
+
+    def test_builtin_transforms(self, registry):
+        assert registry.apply("identity", ["x"]) == ["x"]
+        assert registry.apply("strip", ["  x "]) == ["x"]
+        assert registry.apply("upper", ["abc"]) == ["ABC"]
+        assert registry.apply("lower", ["ABC"]) == ["abc"]
+        assert registry.apply("title", ["seiko dive"]) == ["Seiko Dive"]
+        assert registry.apply("collapse_spaces", ["a   b"]) == ["a b"]
+
+    def test_none_is_identity(self, registry):
+        values = ["a", "b"]
+        assert registry.apply(None, values) is values
+
+    def test_cents_to_units(self, registry):
+        assert registry.apply("cents_to_units", ["19900"]) == ["199"]
+        assert registry.apply("cents_to_units", ["1550"]) == ["15.5"]
+
+    def test_strip_currency(self, registry):
+        assert registry.apply("strip_currency", ["$1,299.50"]) == ["1299.50"]
+
+    def test_scale_transform(self, registry):
+        assert registry.apply("scale:1000", ["0.18"]) == ["180"]
+
+    def test_scale_bad_factor(self, registry):
+        with pytest.raises(MappingError):
+            registry.resolve("scale:abc")
+
+    def test_scale_non_numeric_value(self, registry):
+        with pytest.raises(MappingError):
+            registry.apply("scale:2", ["not a number"])
+
+    def test_map_transform(self, registry):
+        transform = 'map:{"SS": "stainless-steel"}'
+        assert registry.apply(transform, ["SS", "resin"]) == \
+            ["stainless-steel", "resin"]
+
+    def test_map_bad_json(self, registry):
+        with pytest.raises(MappingError):
+            registry.resolve("map:{not json")
+
+    def test_map_requires_object(self, registry):
+        with pytest.raises(MappingError):
+            registry.resolve("map:[1,2]")
+
+    def test_unknown_transform(self, registry):
+        with pytest.raises(MappingError):
+            registry.resolve("frobnicate")
+
+    def test_custom_registration(self, registry):
+        registry.register("reverse", lambda v: v[::-1])
+        assert registry.apply("reverse", ["abc"]) == ["cba"]
+
+    def test_custom_transform_error_wrapped(self, registry):
+        registry.register("boom", lambda v: 1 / 0)
+        with pytest.raises(MappingError):
+            registry.apply("boom", ["x"])
+
+    def test_names_sorted(self, registry):
+        names = registry.names()
+        assert names == sorted(names)
+        assert "identity" in names

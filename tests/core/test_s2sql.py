@@ -1,0 +1,114 @@
+"""Tests for the S2SQL language (paper section 2.5)."""
+
+import pytest
+
+from repro.core.query import parse_s2sql
+from repro.core.query.ast import Condition, S2sqlQuery
+from repro.errors import S2sqlSyntaxError
+
+
+class TestParsing:
+    def test_paper_example(self):
+        query = parse_s2sql(
+            'SELECT product WHERE brand = "Seiko" AND '
+            'case = "stainless-steel"')
+        assert query.class_name == "product"
+        assert query.conditions == (
+            Condition("brand", "=", "Seiko"),
+            Condition("case", "=", "stainless-steel"),
+        )
+
+    def test_select_without_where(self):
+        query = parse_s2sql("SELECT provider")
+        assert query.class_name == "provider"
+        assert query.conditions == ()
+
+    def test_keywords_case_insensitive(self):
+        query = parse_s2sql('select product where brand = "Seiko"')
+        assert query.class_name == "product"
+
+    def test_single_quoted_strings(self):
+        query = parse_s2sql("SELECT product WHERE brand = 'Seiko'")
+        assert query.conditions[0].value == "Seiko"
+
+    def test_numeric_constraints(self):
+        query = parse_s2sql("SELECT product WHERE price < 199.5 AND "
+                            "water_resistance >= 200")
+        assert query.conditions[0].value == 199.5
+        assert query.conditions[1].value == 200
+
+    def test_negative_number(self):
+        query = parse_s2sql("SELECT product WHERE price > -5")
+        assert query.conditions[0].value == -5
+
+    def test_boolean_constraints(self):
+        query = parse_s2sql("SELECT product WHERE in_stock = TRUE")
+        assert query.conditions[0].value is True
+
+    def test_all_operators(self):
+        for operator in ("=", "!=", "<", ">", "<=", ">="):
+            query = parse_s2sql(f"SELECT product WHERE price {operator} 5")
+            assert query.conditions[0].operator == operator
+
+    def test_diamond_means_not_equal(self):
+        query = parse_s2sql("SELECT product WHERE price <> 5")
+        assert query.conditions[0].operator == "!="
+
+    def test_like_and_contains(self):
+        query = parse_s2sql('SELECT product WHERE brand LIKE "S%" AND '
+                            'model CONTAINS "007"')
+        assert query.conditions[0].operator == "LIKE"
+        assert query.conditions[1].operator == "CONTAINS"
+
+    def test_dotted_attribute_path(self):
+        query = parse_s2sql(
+            'SELECT product WHERE thing.product.brand = "Seiko"')
+        assert query.conditions[0].attribute == "thing.product.brand"
+
+    def test_bare_word_constraint(self):
+        query = parse_s2sql("SELECT product WHERE brand = Seiko")
+        assert query.conditions[0].value == "Seiko"
+
+    def test_str_rendering(self):
+        query = parse_s2sql('SELECT product WHERE brand = "Seiko"')
+        assert str(query) == 'SELECT product WHERE brand = "Seiko"'
+
+
+class TestErrors:
+    def test_from_rejected_with_explanation(self):
+        with pytest.raises(S2sqlSyntaxError) as excinfo:
+            parse_s2sql("SELECT product FROM warehouse")
+        assert "location-" in str(excinfo.value) or \
+            "location" in str(excinfo.value)
+
+    def test_empty_query(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql("  ")
+
+    def test_missing_class(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql("SELECT")
+
+    def test_missing_select(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql('product WHERE brand = "Seiko"')
+
+    def test_where_without_condition(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql("SELECT product WHERE")
+
+    def test_condition_without_operator(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql('SELECT product WHERE brand "Seiko"')
+
+    def test_trailing_condition_needs_and(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql('SELECT product WHERE a = 1 b = 2')
+
+    def test_unterminated_after_and(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql('SELECT product WHERE a = 1 AND')
+
+    def test_bad_character(self):
+        with pytest.raises(S2sqlSyntaxError):
+            parse_s2sql("SELECT product WHERE a = #")

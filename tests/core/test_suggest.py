@@ -1,0 +1,181 @@
+"""Tests for field introspection and mapping suggestion."""
+
+import pytest
+
+from repro import S2SMiddleware
+from repro.core.mapping.suggest import (MappingSuggester, discover_fields,
+                                        similarity)
+from repro.errors import S2SError
+from repro.ontology.builders import watch_domain_ontology
+from repro.workloads import B2BScenario
+from repro.workloads.b2b import ONTOLOGY_FIELDS
+
+
+@pytest.fixture
+def unmapped_world(scenario):
+    """A middleware with sources registered but no mappings yet."""
+    s2s = S2SMiddleware(watch_domain_ontology())
+    for org in scenario.organizations:
+        s2s.register_source(scenario.connector(org))
+    return scenario, s2s
+
+
+class TestSimilarity:
+    def test_exact_match_is_one(self):
+        assert similarity("brand", "brand") == pytest.approx(1.0)
+
+    def test_synonym_scores_high(self):
+        assert similarity("brand", "marke") > 0.6
+        assert similarity("case", "gehaeuse") > 0.6
+        assert similarity("price", "list_price") > 0.4
+
+    def test_unrelated_scores_low(self):
+        assert similarity("brand", "provider_country") < 0.35
+
+    def test_token_overlap(self):
+        assert similarity("water_resistance", "water_resistance") == \
+            pytest.approx(1.0)
+        assert similarity("water_resistance", "wr_rating") > 0.5
+
+    def test_empty_inputs(self):
+        assert similarity("", "brand") == 0.0
+        assert similarity("brand", "--") == 0.0
+
+
+class TestDiscovery:
+    def test_database_fields(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "database")
+        fields = discover_fields(s2s.source_repository.get(org.source_id))
+        names = {f.name for f in fields}
+        assert org.native_fields["brand"] in names
+        assert all(f.rule_language == "sql" for f in fields)
+
+    def test_xml_leaf_tags(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "xml")
+        fields = discover_fields(s2s.source_repository.get(org.source_id))
+        names = {f.name for f in fields}
+        assert org.native_fields["brand"] in names
+        assert "item" not in names  # structural tags excluded
+        assert "catalog" not in names
+
+    def test_web_markers(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "webpage")
+        fields = discover_fields(s2s.source_repository.get(org.source_id))
+        names = {f.name for f in fields}
+        assert org.native_fields["brand"] in names
+        assert all(f.rule_language == "webl" for f in fields)
+
+    def test_text_keys(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "textfile")
+        fields = discover_fields(s2s.source_repository.get(org.source_id))
+        names = {f.name for f in fields}
+        assert org.native_fields["brand"] in names
+
+    def test_discovered_rules_actually_extract(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        for org in scenario.organizations:
+            source = s2s.source_repository.get(org.source_id)
+            for descriptor in discover_fields(source):
+                values = source.execute_rule(descriptor.rule_code)
+                assert len(values) == len(org.products), \
+                    (org.source_id, descriptor.name)
+
+    def test_unknown_source_type(self):
+        from repro.sources.base import ConnectionInfo, DataSource
+
+        class Oddball(DataSource):
+            source_type = "oddball"
+
+            def execute_rule(self, rule):
+                return []
+
+            def connection_info(self):
+                return ConnectionInfo("oddball", {})
+
+        with pytest.raises(S2SError):
+            discover_fields(Oddball("X"))
+
+
+class TestSuggester:
+    def test_top1_accuracy_on_full_conflicts(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        suggester = MappingSuggester(s2s.registrar)
+        correct = 0
+        total = 0
+        for org in scenario.organizations:
+            source = s2s.source_repository.get(org.source_id)
+            suggestions = suggester.suggest_for_source(source)
+            expected = {
+                s2s.registrar.schema.path_for(cls, attr).segments[-1]:
+                    org.native_fields.get(concept, concept)
+                for (cls, attr), concept in ONTOLOGY_FIELDS.items()}
+            for suggestion in suggestions:
+                total += 1
+                if suggestion.descriptor.name == expected.get(
+                        suggestion.attribute.attribute):
+                    correct += 1
+        assert total > 0
+        assert correct / total >= 0.8  # cross-language hits via synonyms
+
+    def test_accept_registers_working_mapping(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        suggester = MappingSuggester(s2s.registrar)
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "database")
+        source = s2s.source_repository.get(org.source_id)
+        suggestions = suggester.suggest_for_source(source)
+        brand = next(s for s in suggestions
+                     if s.attribute.attribute == "brand")
+        entry = suggester.accept(brand)
+        assert s2s.attribute_repository.is_registered("thing.product.brand")
+        result = s2s.query("SELECT product")
+        from_db = [e for e in result.entities
+                   if e.source_id == org.source_id]
+        assert len(from_db) == len(org.products)
+        assert all(e.value("brand") for e in from_db)
+
+    def test_suggestions_only_for_unmapped_by_default(self, middleware,
+                                                      scenario):
+        suggester = MappingSuggester(middleware.registrar)
+        org = scenario.organizations[0]
+        source = middleware.source_repository.get(org.source_id)
+        assert suggester.suggest_for_source(source) == []
+
+    def test_threshold_filters_noise(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        strict = MappingSuggester(s2s.registrar, threshold=0.99)
+        org = next(o for o in scenario.organizations
+                   if o.source_type == "xml")  # German field names
+        source = s2s.source_repository.get(org.source_id)
+        suggestions = strict.suggest_for_source(source)
+        assert all(s.score >= 0.99 for s in suggestions)
+
+    def test_top_k(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        suggester = MappingSuggester(s2s.registrar, threshold=0.0)
+        source = s2s.source_repository.get(
+            scenario.organizations[0].source_id)
+        paths = [p for p in s2s.registrar.schema.attribute_paths()
+                 if p.attribute == "brand"]
+        suggestions = suggester.suggest_for_source(source,
+                                                   attributes=paths,
+                                                   top_k=3)
+        assert len(suggestions) == 3
+        assert suggestions[0].score >= suggestions[1].score
+
+    def test_suggestion_string_rendering(self, unmapped_world):
+        scenario, s2s = unmapped_world
+        suggester = MappingSuggester(s2s.registrar)
+        source = s2s.source_repository.get(
+            scenario.organizations[0].source_id)
+        suggestion = suggester.suggest_for_source(source)[0]
+        text = str(suggestion)
+        assert "<-" in text and "score" in text

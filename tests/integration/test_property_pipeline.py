@@ -1,0 +1,115 @@
+"""Property-based tests on the SQL engine and the S2SQL pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import parse_s2sql
+from repro.sources.relational import Database
+
+_brands = st.sampled_from(["Seiko", "Casio", "Orient", "Timex"])
+_prices = st.floats(min_value=1, max_value=1000,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def watch_tables(draw):
+    rows = draw(st.lists(st.tuples(_brands, _prices), min_size=0,
+                         max_size=25))
+    db = Database("prop")
+    db.execute("CREATE TABLE w (id INTEGER, brand TEXT, price REAL)")
+    for index, (brand, price) in enumerate(rows):
+        db.execute(f"INSERT INTO w (id, brand, price) VALUES "
+                   f"({index}, '{brand}', {price!r})")
+    return db, rows
+
+
+class TestSqlEngineProperties:
+    @settings(max_examples=60)
+    @given(watch_tables())
+    def test_where_partition(self, table):
+        """rows(P) + rows(not P) == all rows."""
+        db, rows = table
+        matching = len(db.execute("SELECT id FROM w WHERE price < 500"))
+        complement = len(db.execute(
+            "SELECT id FROM w WHERE NOT price < 500"))
+        assert matching + complement == len(rows)
+
+    @settings(max_examples=60)
+    @given(watch_tables())
+    def test_count_matches_python(self, table):
+        db, rows = table
+        for brand in ("Seiko", "Casio"):
+            engine = db.execute(
+                f"SELECT COUNT(*) FROM w WHERE brand = '{brand}'").rows[0][0]
+            python = sum(1 for b, _ in rows if b == brand)
+            assert engine == python
+
+    @settings(max_examples=60)
+    @given(watch_tables())
+    def test_order_by_sorted(self, table):
+        db, _rows = table
+        prices = db.execute("SELECT price FROM w ORDER BY price").scalars()
+        assert prices == sorted(prices)
+
+    @settings(max_examples=60)
+    @given(watch_tables())
+    def test_index_equivalent_to_scan(self, table):
+        db, _rows = table
+        scan = sorted(db.execute(
+            "SELECT id FROM w WHERE brand = 'Seiko'").scalars())
+        db.execute("CREATE INDEX ON w (brand)")
+        indexed = sorted(db.execute(
+            "SELECT id FROM w WHERE brand = 'Seiko'").scalars())
+        assert scan == indexed
+
+    @settings(max_examples=60)
+    @given(watch_tables())
+    def test_distinct_is_set(self, table):
+        db, rows = table
+        distinct = db.execute("SELECT DISTINCT brand FROM w").scalars()
+        assert sorted(distinct) == sorted({b for b, _ in rows})
+
+    @settings(max_examples=40)
+    @given(watch_tables(), st.floats(min_value=1, max_value=1000,
+                                     allow_nan=False))
+    def test_aggregates_match_python(self, table, threshold):
+        db, rows = table
+        kept = [p for _, p in rows if p < threshold]
+        result = db.execute(
+            f"SELECT COUNT(*), SUM(price) FROM w WHERE price < {threshold!r}"
+        ).rows[0]
+        assert result[0] == len(kept)
+        if kept:
+            assert abs(result[1] - sum(kept)) < 1e-6
+        else:
+            assert result[1] is None
+
+
+class TestS2sqlProperties:
+    _values = st.one_of(
+        st.text(alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"),
+        ), min_size=1, max_size=10),
+        st.integers(-10**6, 10**6),
+    )
+
+    @settings(max_examples=80)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["brand", "model", "price", "case"]),
+        st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+        _values), min_size=0, max_size=5))
+    def test_render_parse_roundtrip(self, conditions):
+        clauses = " AND ".join(
+            f'{attr} {op} "{value}"' if isinstance(value, str)
+            else f"{attr} {op} {value}"
+            for attr, op, value in conditions)
+        query_text = "SELECT product" + (f" WHERE {clauses}" if clauses
+                                         else "")
+        query = parse_s2sql(query_text)
+        assert parse_s2sql(str(query)) == query
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10**6))
+    def test_numeric_values_parse_as_numbers(self, number):
+        query = parse_s2sql(f"SELECT product WHERE price = {number}")
+        assert query.conditions[0].value == number

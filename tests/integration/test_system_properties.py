@@ -1,0 +1,79 @@
+"""System-level property tests: random worlds, invariant answers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import B2BScenario, ConflictProfile
+
+_worlds = st.builds(
+    lambda sources, products, seed, schematic, semantic: B2BScenario(
+        n_sources=sources, n_products=products, seed=seed,
+        conflicts=ConflictProfile(schematic=schematic, semantic=semantic)),
+    sources=st.integers(1, 5),
+    products=st.integers(1, 15),
+    seed=st.integers(0, 50),
+    schematic=st.booleans(),
+    semantic=st.booleans(),
+)
+
+
+class TestGroundTruthRecovery:
+    @settings(max_examples=12, deadline=None)
+    @given(_worlds)
+    def test_every_world_integrates_exactly(self, scenario):
+        """Whatever the size, mix, seed and conflicts: SELECT product
+        returns every ground-truth product exactly once with normalized
+        values."""
+        s2s = scenario.build_middleware()
+        result = s2s.query("SELECT product")
+        assert result.errors.ok
+        truth = {p.key(): p for p in scenario.ground_truth()}
+        found = {}
+        for entity in result.entities:
+            key = (entity.value("brand"), entity.value("model"))
+            assert key not in found, "duplicate entity"
+            found[key] = entity
+        assert set(found) == set(truth)
+        for key, entity in found.items():
+            product = truth[key]
+            assert entity.value("case") == product.case
+            assert abs(entity.value("price") - product.price) < 0.05
+            assert entity.value("name") == product.provider_name
+
+    @settings(max_examples=8, deadline=None)
+    @given(_worlds, st.floats(min_value=10, max_value=1000,
+                              allow_nan=False))
+    def test_filtered_counts_match_ground_truth(self, scenario, threshold):
+        s2s = scenario.build_middleware()
+        result = s2s.query(f"SELECT product WHERE price < {threshold!r}")
+        expected = scenario.expected_matches(
+            lambda p: p.price < threshold)
+        # tolerance band: products whose price sits within rounding
+        # distance of the threshold may legitimately fall either side
+        borderline = scenario.expected_matches(
+            lambda p: abs(p.price - threshold) < 0.05)
+        assert abs(len(result) - len(expected)) <= len(borderline)
+
+    @settings(max_examples=8, deadline=None)
+    @given(_worlds)
+    def test_serialization_total(self, scenario):
+        """Every world's every result serializes in every format."""
+        s2s = scenario.build_middleware()
+        result = s2s.query("SELECT product")
+        for format in s2s.output_formats():
+            rendered = result.serialize(format)
+            assert isinstance(rendered, str)
+            if result.entities:
+                assert rendered.strip()
+
+    @settings(max_examples=8, deadline=None)
+    @given(_worlds)
+    def test_owl_roundtrip_preserves_instance_count(self, scenario):
+        from repro.rdf.namespace import Namespace
+        from repro.rdf.rdfxml import parse_rdfxml
+        s2s = scenario.build_middleware()
+        result = s2s.query("SELECT product")
+        graph = parse_rdfxml(result.serialize("owl"))
+        ns = Namespace(s2s.ontology.base_iri)
+        watches = set(graph.instances_of(ns.watch))
+        assert len(watches) == len(result)

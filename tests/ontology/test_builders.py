@@ -1,0 +1,42 @@
+"""Tests for the fluent ontology builder."""
+
+from repro.ontology import OntologyBuilder
+from repro.ontology.builders import watch_domain_ontology
+
+
+class TestBuilder:
+    def test_chainable(self):
+        ontology = (OntologyBuilder("t")
+                    .klass("a")
+                    .klass("b", parent="a")
+                    .attribute("b", "x", "integer")
+                    .object_property("b", "rel", "a")
+                    .build())
+        assert ontology.ancestors("b") == ["a"]
+        assert ontology.find_attribute("b", "x").range == "integer"
+
+    def test_build_schema_shortcut(self):
+        schema = (OntologyBuilder("t")
+                  .klass("a")
+                  .attribute("a", "x")
+                  .build_schema())
+        assert schema.has_path("a.x")
+
+    def test_custom_base_iri(self):
+        ontology = OntologyBuilder("t", "http://custom/v#").klass("a").build()
+        assert ontology.iri_for_class("a").value == "http://custom/v#a"
+
+
+class TestWatchDomain:
+    def test_matches_paper_figure_2(self):
+        ontology = watch_domain_ontology()
+        assert ontology.ancestors("watch") == ["product", "thing"]
+        assert ontology.find_attribute("watch", "case") is not None
+        assert ontology.find_attribute("product", "brand") is not None
+        props = ontology.all_object_properties("product")
+        assert [p.name for p in props] == ["hasProvider"]
+
+    def test_deterministic(self):
+        first = watch_domain_ontology()
+        second = watch_domain_ontology()
+        assert first.class_names() == second.class_names()

@@ -1,0 +1,134 @@
+"""Tests for OWL import/export."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology import OntologySchema
+from repro.ontology.builders import OntologyBuilder, watch_domain_ontology
+from repro.ontology.owlxml import (graph_to_ontology, ontology_to_graph,
+                                   parse_ontology, serialize_ontology)
+from repro.rdf.namespace import OWL, RDF, RDFS, Namespace
+
+
+class TestExport:
+    def test_classes_typed_owl_class(self, ontology):
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        assert (ns.watch, RDF.type, OWL.Class) in set(
+            (t.subject, t.predicate, t.object) for t in graph)
+
+    def test_subclass_edges(self, ontology):
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        assert graph.value(ns.watch, RDFS.subClassOf, None) == ns.product
+
+    def test_datatype_property_domain_range(self, ontology):
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        assert graph.value(ns.brand, RDFS.domain, None) == ns.product
+        assert graph.value(ns.brand, RDFS.range, None).local_name == "string"
+
+    def test_functional_property_marker(self, ontology):
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        types = set(graph.objects(ns.brand, RDF.type))
+        assert OWL.FunctionalProperty in types
+
+    def test_object_property(self, ontology):
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        assert graph.value(ns.hasProvider, RDFS.range, None) == ns.provider
+
+    def test_individuals_serialized(self, ontology):
+        ontology.add_individual("w1", "watch", {"brand": "Seiko"})
+        graph = ontology_to_graph(ontology)
+        ns = Namespace(ontology.base_iri)
+        assert graph.value(ns.w1, ns.brand, None).lexical == "Seiko"
+
+    def test_individuals_excluded_on_request(self, ontology):
+        ontology.add_individual("w1", "watch", {"brand": "Seiko"})
+        graph = ontology_to_graph(ontology, include_individuals=False)
+        ns = Namespace(ontology.base_iri)
+        assert list(graph.triples(ns.w1)) == []
+
+    def test_unsupported_format(self, ontology):
+        with pytest.raises(OntologyError):
+            serialize_ontology(ontology, "json-ld")
+
+
+class TestRoundtrip:
+    def _roundtrip(self, ontology, format):
+        text = serialize_ontology(ontology, format)
+        return parse_ontology(text, ontology.name, format)
+
+    @pytest.mark.parametrize("format", ["rdfxml", "turtle"])
+    def test_schema_roundtrip(self, format):
+        original = watch_domain_ontology()
+        rebuilt = self._roundtrip(original, format)
+        assert sorted(rebuilt.class_names()) == sorted(
+            original.class_names())
+        original_paths = {str(p) for p in
+                          OntologySchema(original).attribute_paths()}
+        rebuilt_paths = {str(p) for p in
+                         OntologySchema(rebuilt).attribute_paths()}
+        assert rebuilt_paths == original_paths
+
+    def test_hierarchy_preserved(self):
+        original = watch_domain_ontology()
+        rebuilt = self._roundtrip(original, "rdfxml")
+        assert rebuilt.ancestors("watch") == ["product", "thing"]
+
+    def test_individuals_roundtrip(self):
+        original = watch_domain_ontology()
+        w = original.add_individual("w1", "watch",
+                                    {"brand": "Seiko", "price": 199.5,
+                                     "water_resistance": 200})
+        p = original.add_individual("p1", "provider", {"name": "Acme"})
+        w.link("hasProvider", p)
+        rebuilt = self._roundtrip(original, "rdfxml")
+        w2 = rebuilt.individual("w1")
+        assert w2.values["brand"] == "Seiko"
+        assert w2.values["price"] == 199.5
+        assert w2.values["water_resistance"] == 200
+        assert w2.links["hasProvider"][0].identifier == "p1"
+
+    def test_functional_flag_roundtrip(self):
+        original = (OntologyBuilder("t")
+                    .klass("a")
+                    .attribute("a", "multi", functional=False)
+                    .attribute("a", "single", functional=True)
+                    .build())
+        rebuilt = self._roundtrip(original, "rdfxml")
+        attrs = {p.name: p for p in rebuilt.own_attributes("a")}
+        assert attrs["multi"].functional is False
+        assert attrs["single"].functional is True
+
+    def test_base_iri_inferred(self):
+        original = watch_domain_ontology()
+        text = serialize_ontology(original)
+        rebuilt = parse_ontology(text, "again")
+        assert rebuilt.base_iri == original.base_iri
+
+
+class TestImportEdgeCases:
+    def test_unknown_format(self):
+        with pytest.raises(OntologyError):
+            parse_ontology("<a/>", "x", format="n3")
+
+    def test_infer_base_fails_on_empty_graph(self):
+        from repro.rdf.graph import Graph
+        with pytest.raises(OntologyError):
+            graph_to_ontology(Graph(), "x")
+
+    def test_foreign_vocabulary_ignored(self):
+        text = """<rdf:RDF
+  xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+  xmlns:owl="http://www.w3.org/2002/07/owl#"
+  xmlns:onto="http://mine.org/v#"
+  xmlns:other="http://theirs.org/v#">
+  <owl:Class rdf:about="http://mine.org/v#watch"/>
+  <owl:Class rdf:about="http://theirs.org/v#spaceship"/>
+</rdf:RDF>"""
+        ontology = parse_ontology(text, "mine",
+                                  base_iri="http://mine.org/v#")
+        assert ontology.class_names() == ["watch"]

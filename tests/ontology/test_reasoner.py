@@ -1,0 +1,115 @@
+"""Tests for the structural reasoner."""
+
+import datetime
+
+import pytest
+
+from repro.errors import OntologyError, ValidationError
+from repro.ontology import Ontology, Reasoner
+
+
+@pytest.fixture
+def reasoner(ontology):
+    return Reasoner(ontology)
+
+
+class TestSubclassing:
+    def test_reflexive(self, reasoner):
+        assert reasoner.is_subclass("watch", "watch")
+
+    def test_direct(self, reasoner):
+        assert reasoner.is_subclass("watch", "product")
+
+    def test_transitive(self, reasoner):
+        assert reasoner.is_subclass("watch", "thing")
+
+    def test_not_inverse(self, reasoner):
+        assert not reasoner.is_subclass("product", "watch")
+
+    def test_unrelated(self, reasoner):
+        assert not reasoner.is_subclass("provider", "product")
+
+    def test_unknown_class_raises(self, reasoner):
+        with pytest.raises(OntologyError):
+            reasoner.is_subclass("ghost", "ghost")
+
+    def test_ancestor_cache_consistency(self, reasoner):
+        first = reasoner.ancestors("watch")
+        second = reasoner.ancestors("watch")
+        assert first is second  # cached
+        assert first == frozenset({"product", "thing"})
+
+    def test_common_ancestor(self, reasoner):
+        assert reasoner.common_ancestor("watch", "provider") == "thing"
+        assert reasoner.common_ancestor("watch", "product") == "product"
+
+    def test_satisfies_class(self, reasoner, ontology):
+        individual = ontology.add_individual("w", "watch")
+        assert reasoner.satisfies_class(individual, "product")
+        assert not reasoner.satisfies_class(individual, "provider")
+
+
+class TestCoercion:
+    def test_string(self, reasoner):
+        assert reasoner.coerce("product", "brand", "Seiko") == "Seiko"
+
+    def test_double_from_text(self, reasoner):
+        assert reasoner.coerce("product", "price", " 199.5 ") == 199.5
+
+    def test_integer_from_text(self, reasoner):
+        assert reasoner.coerce("watch", "water_resistance", "200") == 200
+
+    def test_integer_rejects_garbage(self, reasoner):
+        with pytest.raises(ValidationError):
+            reasoner.coerce("watch", "water_resistance", "deep")
+
+    def test_double_rejects_garbage(self, reasoner):
+        with pytest.raises(ValidationError):
+            reasoner.coerce("product", "price", "$12")
+
+    def test_inherited_attribute_coerces(self, reasoner):
+        assert reasoner.coerce("watch", "price", "10") == 10.0
+
+    def test_unknown_attribute_raises(self, reasoner):
+        with pytest.raises(OntologyError):
+            reasoner.coerce("watch", "ghost", "x")
+
+
+class TestBooleanAndTemporalCoercion:
+    @pytest.fixture
+    def onto(self):
+        o = Ontology("t")
+        o.add_class("event")
+        o.add_attribute("event", "active", "boolean")
+        o.add_attribute("event", "day", "date")
+        o.add_attribute("event", "at", "dateTime")
+        return o
+
+    def test_boolean_truthy_spellings(self, onto):
+        r = Reasoner(onto)
+        for text in ("true", "True", "1", "yes"):
+            assert r.coerce("event", "active", text) is True
+
+    def test_boolean_falsy_spellings(self, onto):
+        r = Reasoner(onto)
+        for text in ("false", "0", "no"):
+            assert r.coerce("event", "active", text) is False
+
+    def test_boolean_garbage(self, onto):
+        with pytest.raises(ValidationError):
+            Reasoner(onto).coerce("event", "active", "maybe")
+
+    def test_boolean_passthrough(self, onto):
+        assert Reasoner(onto).coerce("event", "active", True) is True
+
+    def test_date(self, onto):
+        assert Reasoner(onto).coerce("event", "day", "2006-07-04") == \
+            datetime.date(2006, 7, 4)
+
+    def test_date_garbage(self, onto):
+        with pytest.raises(ValidationError):
+            Reasoner(onto).coerce("event", "day", "July 4")
+
+    def test_datetime(self, onto):
+        value = Reasoner(onto).coerce("event", "at", "2006-07-04T10:30:00")
+        assert value == datetime.datetime(2006, 7, 4, 10, 30)

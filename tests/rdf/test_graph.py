@@ -1,0 +1,147 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import RdfError
+from repro.rdf import Graph, IRI, Literal
+from repro.rdf.namespace import RDF, Namespace
+from repro.rdf.terms import Triple
+
+EX = Namespace("http://example.org/t#")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(EX.w1, RDF.type, EX.Watch)
+    g.add(EX.w1, EX.brand, Literal("Seiko"))
+    g.add(EX.w1, EX.price, Literal("199"))
+    g.add(EX.w2, RDF.type, EX.Watch)
+    g.add(EX.w2, EX.brand, Literal("Casio"))
+    g.add(EX.p1, RDF.type, EX.Provider)
+    g.add(EX.w1, EX.hasProvider, EX.p1)
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add(EX.a, EX.p, EX.b) is True
+
+    def test_duplicate_add_returns_false(self, graph):
+        assert graph.add(EX.w1, EX.brand, Literal("Seiko")) is False
+        assert len(graph) == 7
+
+    def test_update_counts_inserted(self, graph):
+        triples = [Triple(EX.w3, RDF.type, EX.Watch),
+                   Triple(EX.w1, EX.brand, Literal("Seiko"))]  # dup
+        assert graph.update(triples) == 1
+
+    def test_remove_exact(self, graph):
+        assert graph.remove(EX.w1, EX.brand, Literal("Seiko")) == 1
+        assert len(graph) == 6
+
+    def test_remove_by_subject(self, graph):
+        removed = graph.remove(EX.w1)
+        assert removed == 4
+        assert list(graph.triples(EX.w1)) == []
+
+    def test_remove_by_predicate(self, graph):
+        assert graph.remove(None, EX.brand, None) == 2
+
+    def test_remove_keeps_indexes_consistent(self, graph):
+        graph.remove(EX.w1, EX.brand, None)
+        assert list(graph.triples(None, EX.brand, None)) == [
+            Triple(EX.w2, EX.brand, Literal("Casio"))]
+        assert Literal("Seiko") not in list(graph.objects(EX.w1))
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert list(graph) == []
+
+
+class TestPatterns:
+    def test_fully_bound_hit(self, graph):
+        assert len(list(graph.triples(EX.w1, EX.brand, Literal("Seiko")))) == 1
+
+    def test_fully_bound_miss(self, graph):
+        assert list(graph.triples(EX.w1, EX.brand, Literal("Omega"))) == []
+
+    def test_subject_bound(self, graph):
+        assert len(list(graph.triples(EX.w1))) == 4
+
+    def test_subject_predicate_bound(self, graph):
+        triples = list(graph.triples(EX.w1, EX.brand))
+        assert [t.object for t in triples] == [Literal("Seiko")]
+
+    def test_predicate_bound(self, graph):
+        assert len(list(graph.triples(None, RDF.type, None))) == 3
+
+    def test_predicate_object_bound(self, graph):
+        subjects = {t.subject for t in graph.triples(None, RDF.type, EX.Watch)}
+        assert subjects == {EX.w1, EX.w2}
+
+    def test_object_bound(self, graph):
+        triples = list(graph.triples(None, None, EX.p1))
+        assert triples == [Triple(EX.w1, EX.hasProvider, EX.p1)]
+
+    def test_wildcard_everything(self, graph):
+        assert len(list(graph.triples())) == 7
+
+    def test_subjects_deduplicated(self, graph):
+        assert len(list(graph.subjects())) == 3
+
+    def test_objects_for_subject(self, graph):
+        objects = set(graph.objects(EX.w1))
+        assert Literal("Seiko") in objects and EX.p1 in objects
+
+    def test_predicates(self, graph):
+        predicates = set(graph.predicates(EX.w1))
+        assert predicates == {RDF.type, EX.brand, EX.price, EX.hasProvider}
+
+
+class TestValue:
+    def test_single_value(self, graph):
+        assert graph.value(EX.w1, EX.brand, None) == Literal("Seiko")
+
+    def test_missing_returns_none(self, graph):
+        assert graph.value(EX.w2, EX.price, None) is None
+
+    def test_ambiguous_raises(self, graph):
+        graph.add(EX.w1, EX.brand, Literal("Alt"))
+        with pytest.raises(RdfError):
+            graph.value(EX.w1, EX.brand, None)
+
+    def test_requires_exactly_one_unbound(self, graph):
+        with pytest.raises(RdfError):
+            graph.value(EX.w1, None, None)
+        with pytest.raises(RdfError):
+            graph.value(EX.w1, EX.brand, Literal("Seiko"))
+
+
+class TestConvenience:
+    def test_instances_of(self, graph):
+        assert set(graph.instances_of(EX.Watch)) == {EX.w1, EX.w2}
+
+    def test_contains(self, graph):
+        assert Triple(EX.w1, EX.brand, Literal("Seiko")) in graph
+
+    def test_copy_independent(self, graph):
+        clone = graph.copy()
+        clone.add(EX.w9, RDF.type, EX.Watch)
+        assert len(clone) == len(graph) + 1
+
+    def test_union_operator(self, graph):
+        other = Graph()
+        other.add(EX.w9, RDF.type, EX.Watch)
+        other.add(EX.w1, RDF.type, EX.Watch)  # overlap
+        merged = graph | other
+        assert len(merged) == len(graph) + 1
+
+    def test_isomorphic_signature_ignores_bnode_labels(self):
+        from repro.rdf.terms import BlankNode
+        g1, g2 = Graph(), Graph()
+        g1.add(BlankNode("a"), EX.brand, Literal("Seiko"))
+        g2.add(BlankNode("zzz"), EX.brand, Literal("Seiko"))
+        assert g1.isomorphic_signature() == g2.isomorphic_signature()

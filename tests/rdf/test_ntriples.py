@@ -1,0 +1,96 @@
+"""Tests for the N-Triples serializer/parser."""
+
+import pytest
+
+from repro.errors import RdfSyntaxError
+from repro.rdf import Graph, IRI, Literal
+from repro.rdf.namespace import RDF, XSD, Namespace
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BlankNode
+
+EX = Namespace("http://example.org/t#")
+
+
+def make_graph() -> Graph:
+    g = Graph()
+    g.add(EX.w1, RDF.type, EX.Watch)
+    g.add(EX.w1, EX.brand, Literal("Seiko"))
+    g.add(EX.w1, EX.price, Literal("199.5", XSD.double))
+    g.add(EX.w1, EX.label, Literal("montre", language="fr"))
+    node = BlankNode("p")
+    g.add(EX.w1, EX.hasProvider, node)
+    g.add(node, EX.name, Literal('Acme "and" Co\nLtd'))
+    return g
+
+
+class TestSerializer:
+    def test_one_line_per_triple_sorted(self):
+        lines = serialize_ntriples(make_graph()).splitlines()
+        assert len(lines) == 6
+        assert lines == sorted(lines)
+        assert all(line.endswith(" .") for line in lines)
+
+    def test_full_iris_no_prefixes(self):
+        text = serialize_ntriples(make_graph())
+        assert "<http://example.org/t#brand>" in text
+        assert "@prefix" not in text
+
+    def test_escaping(self):
+        text = serialize_ntriples(make_graph())
+        assert r'\"and\"' in text
+        assert r"\n" in text
+
+
+class TestParser:
+    def test_roundtrip(self):
+        graph = make_graph()
+        parsed = parse_ntriples(serialize_ntriples(graph))
+        assert parsed.isomorphic_signature() == graph.isomorphic_signature()
+
+    def test_comments_and_blank_lines(self):
+        text = ("# a comment\n\n"
+                '<http://e/a> <http://e/p> "x" .\n')
+        assert len(parse_ntriples(text)) == 1
+
+    def test_datatype_and_language(self):
+        text = ('<http://e/a> <http://e/p> '
+                '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+                '<http://e/a> <http://e/q> "chat"@fr .\n')
+        graph = parse_ntriples(text)
+        objects = {t.object for t in graph}
+        assert Literal("5", XSD.integer) in objects
+        assert Literal("chat", language="fr") in objects
+
+    def test_shared_bnode_labels(self):
+        text = ('_:b <http://e/p> "x" .\n'
+                '_:b <http://e/q> "y" .\n')
+        graph = parse_ntriples(text)
+        assert len(list(graph.subjects())) == 1
+
+    def test_unicode_escape(self):
+        text = '<http://e/a> <http://e/p> "\\u00e9" .\n'
+        assert next(iter(parse_ntriples(text))).object.lexical == "é"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_ntriples("this is not a triple .\n")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_ntriples('<http://e/a> <http://e/p> "x"\n')
+
+
+class TestOutputAdapter:
+    def test_query_result_as_ntriples(self, middleware):
+        result = middleware.query("SELECT provider")
+        text = result.serialize("ntriples")
+        parsed = parse_ntriples(text)
+        assert len(parsed) > 0
+
+    def test_ntriples_agrees_with_owl(self, middleware):
+        from repro.rdf.rdfxml import parse_rdfxml
+        result = middleware.query('SELECT product WHERE price < 400')
+        nt_graph = parse_ntriples(result.serialize("ntriples"))
+        owl_graph = parse_rdfxml(result.serialize("owl"))
+        assert nt_graph.isomorphic_signature() == \
+            owl_graph.isomorphic_signature()

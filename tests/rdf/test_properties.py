@@ -1,0 +1,99 @@
+"""Property-based tests for the RDF substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, IRI, Literal
+from repro.rdf.namespace import Namespace, XSD
+from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+from repro.rdf.terms import Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+EX = Namespace("http://example.org/prop#")
+
+_local_names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+_lexicals = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=0, max_size=40)
+
+
+@st.composite
+def triples(draw):
+    subject = EX[draw(_local_names)]
+    predicate = EX[draw(_local_names)]
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        obj = EX[draw(_local_names)]
+    elif kind == 1:
+        obj = Literal(draw(_lexicals))
+    elif kind == 2:
+        obj = Literal(str(draw(st.integers(-10**6, 10**6))), XSD.integer)
+    else:
+        obj = Literal(draw(_lexicals), language="en")
+    return Triple(subject, predicate, obj)
+
+
+def make_graph(items) -> Graph:
+    graph = Graph()
+    graph.namespace_manager.bind("ex", EX)
+    graph.update(items)
+    return graph
+
+
+class TestGraphInvariants:
+    @given(st.lists(triples(), max_size=30))
+    def test_length_equals_distinct_triples(self, items):
+        graph = make_graph(items)
+        assert len(graph) == len(set(items))
+
+    @given(st.lists(triples(), max_size=30))
+    def test_every_pattern_dimension_consistent(self, items):
+        graph = make_graph(items)
+        for triple in items:
+            assert triple in graph
+            assert triple in list(graph.triples(triple.subject))
+            assert triple in list(graph.triples(None, triple.predicate))
+            assert triple in list(graph.triples(None, None, triple.object))
+
+    @given(st.lists(triples(), max_size=25), st.lists(triples(), max_size=25))
+    def test_union_is_set_union(self, left, right):
+        merged = make_graph(left) | make_graph(right)
+        assert len(merged) == len(set(left) | set(right))
+
+    @given(st.lists(triples(), max_size=25))
+    def test_remove_then_empty(self, items):
+        graph = make_graph(items)
+        graph.remove()
+        assert len(graph) == 0
+
+    @given(st.lists(triples(), max_size=25))
+    def test_add_is_idempotent(self, items):
+        graph = make_graph(items)
+        before = len(graph)
+        graph.update(items)
+        assert len(graph) == before
+
+
+class TestSerializationRoundtrips:
+    @settings(max_examples=60)
+    @given(st.lists(triples(), max_size=15))
+    def test_turtle_roundtrip(self, items):
+        graph = make_graph(items)
+        parsed = parse_turtle(serialize_turtle(graph))
+        assert parsed.isomorphic_signature() == graph.isomorphic_signature()
+
+    @settings(max_examples=60)
+    @given(st.lists(triples(), max_size=15))
+    def test_rdfxml_roundtrip(self, items):
+        graph = make_graph(items)
+        parsed = parse_rdfxml(serialize_rdfxml(graph))
+        assert parsed.isomorphic_signature() == graph.isomorphic_signature()
+
+    @settings(max_examples=40)
+    @given(st.lists(triples(), max_size=12))
+    def test_cross_format_agreement(self, items):
+        graph = make_graph(items)
+        via_turtle = parse_turtle(serialize_turtle(graph))
+        via_rdfxml = parse_rdfxml(serialize_rdfxml(graph))
+        assert (via_turtle.isomorphic_signature()
+                == via_rdfxml.isomorphic_signature())

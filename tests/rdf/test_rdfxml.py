@@ -1,0 +1,151 @@
+"""Tests for the RDF/XML serializer and parser."""
+
+import pytest
+
+from repro.errors import RdfError, RdfSyntaxError
+from repro.rdf import Graph, IRI, Literal
+from repro.rdf.namespace import RDF, XSD, Namespace
+from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
+from repro.rdf.terms import BlankNode
+
+EX = Namespace("http://example.org/t#")
+
+
+def make_graph() -> Graph:
+    g = Graph()
+    g.namespace_manager.bind("ex", EX)
+    g.add(EX.w1, RDF.type, EX.Watch)
+    g.add(EX.w1, EX.brand, Literal("Seiko"))
+    g.add(EX.w1, EX.price, Literal("199.5", XSD.double))
+    g.add(EX.w1, EX.hasProvider, EX.p1)
+    g.add(EX.p1, RDF.type, EX.Provider)
+    g.add(EX.p1, EX.name, Literal("Acme & Co"))
+    return g
+
+
+class TestSerializer:
+    def test_typed_node_element(self):
+        text = serialize_rdfxml(make_graph())
+        assert "<ex:Watch" in text
+
+    def test_about_attribute(self):
+        text = serialize_rdfxml(make_graph())
+        assert 'rdf:about="http://example.org/t#w1"' in text
+
+    def test_resource_reference(self):
+        text = serialize_rdfxml(make_graph())
+        assert 'rdf:resource="http://example.org/t#p1"' in text
+
+    def test_datatype_attribute(self):
+        text = serialize_rdfxml(make_graph())
+        assert 'rdf:datatype="http://www.w3.org/2001/XMLSchema#double"' in text
+
+    def test_xml_escaping(self):
+        text = serialize_rdfxml(make_graph())
+        assert "Acme &amp; Co" in text
+
+    def test_blank_node_uses_nodeid(self):
+        g = Graph()
+        g.namespace_manager.bind("ex", EX)
+        node = BlankNode("inner")
+        g.add(EX.w1, EX.hasProvider, node)
+        g.add(node, EX.name, Literal("X"))
+        text = serialize_rdfxml(g)
+        assert 'rdf:nodeID="inner"' in text
+
+    def test_unprefixed_predicate_raises(self):
+        g = Graph()
+        g.add(EX.a, IRI("http://unbound.org/p"), Literal("x"))
+        with pytest.raises(RdfError):
+            serialize_rdfxml(g)
+
+    def test_language_attribute(self):
+        g = Graph()
+        g.namespace_manager.bind("ex", EX)
+        g.add(EX.a, EX.label, Literal("montre", language="fr"))
+        assert 'xml:lang="fr"' in serialize_rdfxml(g)
+
+
+class TestParser:
+    def test_roundtrip(self):
+        graph = make_graph()
+        parsed = parse_rdfxml(serialize_rdfxml(graph))
+        assert parsed.isomorphic_signature() == graph.isomorphic_signature()
+
+    def test_description_node(self):
+        text = """<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <rdf:Description rdf:about="http://example.org/t#w1">
+    <ex:brand>Seiko</ex:brand>
+  </rdf:Description>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        assert g.value(EX.w1, EX.brand, None) == Literal("Seiko")
+
+    def test_typed_node_adds_rdf_type(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:about="http://example.org/t#w1"/>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        assert (EX.w1, RDF.type, EX.Watch) == tuple(next(iter(g)))
+
+    def test_nested_node_element(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:about="http://example.org/t#w1">
+    <ex:hasProvider>
+      <ex:Provider rdf:about="http://example.org/t#p1"/>
+    </ex:hasProvider>
+  </ex:Watch>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        assert g.value(EX.w1, EX.hasProvider, None) == EX.p1
+        assert g.value(EX.p1, RDF.type, None) == EX.Provider
+
+    def test_rdf_id_becomes_fragment(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:ID="w1"/>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        assert next(iter(g)).subject == IRI("#w1")
+
+    def test_nodeid_shared_across_elements(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:about="http://example.org/t#w1">
+    <ex:hasProvider rdf:nodeID="p"/>
+  </ex:Watch>
+  <ex:Provider rdf:nodeID="p"/>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        provider = g.value(EX.w1, EX.hasProvider, None)
+        assert isinstance(provider, BlankNode)
+        assert g.value(provider, RDF.type, None) == EX.Provider
+
+    def test_attribute_shorthand_properties(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:about="http://example.org/t#w1" ex:brand="Seiko"/>
+</rdf:RDF>"""
+        g = parse_rdfxml(text)
+        assert g.value(EX.w1, EX.brand, None) == Literal("Seiko")
+
+    def test_multiple_children_in_property_raises(self):
+        text = """<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://example.org/t#">
+  <ex:Watch rdf:about="http://example.org/t#w1">
+    <ex:hasProvider><ex:Provider/><ex:Provider/></ex:hasProvider>
+  </ex:Watch>
+</rdf:RDF>"""
+        with pytest.raises(RdfSyntaxError):
+            parse_rdfxml(text)
+
+    def test_single_node_document_without_rdf_root(self):
+        text = """<ex:Watch xmlns:ex="http://example.org/t#"
+            xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+            rdf:about="http://example.org/t#w1"/>"""
+        g = parse_rdfxml(text)
+        assert len(g) == 1

@@ -1,0 +1,162 @@
+"""Tests for the RDF term model."""
+
+import pytest
+
+from repro.errors import RdfError
+from repro.rdf.terms import (IRI, BlankNode, Literal, Triple,
+                             python_to_literal)
+
+
+class TestIri:
+    def test_value_roundtrip(self):
+        iri = IRI("http://example.org/thing#brand")
+        assert str(iri) == "http://example.org/thing#brand"
+
+    def test_n3_rendering(self):
+        assert IRI("http://x.org/a").n3() == "<http://x.org/a>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(RdfError):
+            IRI("")
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(RdfError):
+            IRI("http://x.org/a b")
+
+    def test_angle_brackets_rejected(self):
+        with pytest.raises(RdfError):
+            IRI("http://x.org/<a>")
+
+    def test_local_name_after_hash(self):
+        assert IRI("http://x.org/onto#brand").local_name == "brand"
+
+    def test_local_name_after_slash(self):
+        assert IRI("http://x.org/onto/brand").local_name == "brand"
+
+    def test_namespace_part(self):
+        iri = IRI("http://x.org/onto#brand")
+        assert iri.namespace_part == "http://x.org/onto#"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://x.org/a") == IRI("http://x.org/a")
+        assert hash(IRI("http://x.org/a")) == hash(IRI("http://x.org/a"))
+        assert IRI("http://x.org/a") != IRI("http://x.org/b")
+
+
+class TestBlankNode:
+    def test_fresh_labels_distinct(self):
+        assert BlankNode().label != BlankNode().label
+
+    def test_explicit_label(self):
+        assert BlankNode("b42").label == "b42"
+
+    def test_n3(self):
+        assert BlankNode("x1").n3() == "_:x1"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(RdfError):
+            BlankNode("not valid!")
+
+    def test_equality_by_label(self):
+        assert BlankNode("a") == BlankNode("a")
+        assert BlankNode("a") != BlankNode("b")
+
+
+class TestLiteral:
+    def test_plain(self):
+        literal = Literal("Seiko")
+        assert literal.lexical == "Seiko"
+        assert literal.datatype is None
+        assert literal.language is None
+
+    def test_datatype_and_language_exclusive(self):
+        with pytest.raises(RdfError):
+            Literal("x", datatype=IRI("http://x.org/t"), language="en")
+
+    def test_bad_language_tag(self):
+        with pytest.raises(RdfError):
+            Literal("x", language="english language")
+
+    def test_n3_escaping(self):
+        literal = Literal('say "hi"\nplease')
+        assert literal.n3() == '"say \\"hi\\"\\nplease"'
+
+    def test_n3_language(self):
+        assert Literal("chat", language="fr").n3() == '"chat"@fr'
+
+    def test_n3_datatype(self):
+        xsd_int = IRI("http://www.w3.org/2001/XMLSchema#integer")
+        assert Literal("5", xsd_int).n3() == \
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_to_python_integer(self):
+        xsd_int = IRI("http://www.w3.org/2001/XMLSchema#integer")
+        assert Literal("42", xsd_int).to_python() == 42
+
+    def test_to_python_double(self):
+        xsd_double = IRI("http://www.w3.org/2001/XMLSchema#double")
+        assert Literal("2.5", xsd_double).to_python() == 2.5
+
+    def test_to_python_boolean(self):
+        xsd_bool = IRI("http://www.w3.org/2001/XMLSchema#boolean")
+        assert Literal("true", xsd_bool).to_python() is True
+        assert Literal("false", xsd_bool).to_python() is False
+
+    def test_to_python_plain_is_string(self):
+        assert Literal("free text").to_python() == "free text"
+
+    def test_to_python_invalid_integer(self):
+        xsd_int = IRI("http://www.w3.org/2001/XMLSchema#integer")
+        with pytest.raises(RdfError):
+            Literal("not-a-number", xsd_int).to_python()
+
+
+class TestTriple:
+    def test_construction(self):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("o"))
+        assert triple.subject == IRI("http://x/s")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(RdfError):
+            Triple(Literal("nope"), IRI("http://x/p"), Literal("o"))
+
+    def test_blank_predicate_rejected(self):
+        with pytest.raises(RdfError):
+            Triple(IRI("http://x/s"), BlankNode(), Literal("o"))
+
+    def test_bad_object_rejected(self):
+        with pytest.raises(RdfError):
+            Triple(IRI("http://x/s"), IRI("http://x/p"), 42)
+
+    def test_iteration(self):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))
+        s, p, o = triple
+        assert (s, p, o) == (triple.subject, triple.predicate, triple.object)
+
+    def test_n3_line(self):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal("v"))
+        assert triple.n3() == '<http://x/s> <http://x/p> "v" .'
+
+
+class TestPythonToLiteral:
+    def test_bool_before_int(self):
+        literal = python_to_literal(True)
+        assert literal.lexical == "true"
+        assert literal.datatype.local_name == "boolean"
+
+    def test_int(self):
+        assert python_to_literal(7).datatype.local_name == "integer"
+
+    def test_float(self):
+        assert python_to_literal(1.5).datatype.local_name == "double"
+
+    def test_str_plain(self):
+        assert python_to_literal("x").datatype is None
+
+    def test_passthrough(self):
+        literal = Literal("x")
+        assert python_to_literal(literal) is literal
+
+    def test_unsupported(self):
+        with pytest.raises(RdfError):
+            python_to_literal(object())

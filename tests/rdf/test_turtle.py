@@ -1,0 +1,148 @@
+"""Tests for the Turtle serializer and parser."""
+
+import pytest
+
+from repro.errors import RdfSyntaxError
+from repro.rdf import Graph, IRI, Literal
+from repro.rdf.namespace import RDF, XSD, Namespace
+from repro.rdf.terms import BlankNode
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+EX = Namespace("http://example.org/t#")
+
+
+def make_graph() -> Graph:
+    g = Graph()
+    g.namespace_manager.bind("ex", EX)
+    g.add(EX.w1, RDF.type, EX.Watch)
+    g.add(EX.w1, EX.brand, Literal("Seiko"))
+    g.add(EX.w1, EX.price, Literal("199.5", XSD.double))
+    g.add(EX.w1, EX.label, Literal("montre", language="fr"))
+    return g
+
+
+class TestSerializer:
+    def test_prefixes_emitted(self):
+        text = serialize_turtle(make_graph())
+        assert "@prefix ex: <http://example.org/t#> ." in text
+
+    def test_rdf_type_shortened_to_a(self):
+        text = serialize_turtle(make_graph())
+        assert "a ex:Watch" in text
+
+    def test_qualified_names_used(self):
+        text = serialize_turtle(make_graph())
+        assert "ex:brand" in text and "<http://example.org/t#brand>" not in text
+
+    def test_datatype_rendered(self):
+        text = serialize_turtle(make_graph())
+        assert '"199.5"^^xsd:double' in text
+
+    def test_language_tag_rendered(self):
+        assert '"montre"@fr' in serialize_turtle(make_graph())
+
+    def test_empty_graph(self):
+        text = serialize_turtle(Graph())
+        assert "@prefix rdf:" in text
+
+
+class TestParser:
+    def test_roundtrip(self):
+        graph = make_graph()
+        parsed = parse_turtle(serialize_turtle(graph))
+        assert parsed.isomorphic_signature() == graph.isomorphic_signature()
+
+    def test_prefix_directive(self):
+        g = parse_turtle('@prefix ex: <http://e/> . ex:a ex:p ex:b .')
+        assert len(g) == 1
+
+    def test_a_keyword(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a a ex:Watch .')
+        triple = next(iter(g))
+        assert triple.predicate == RDF.type
+
+    def test_object_list(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:p "x", "y" .')
+        assert len(g) == 2
+
+    def test_predicate_list(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:p "x" ; ex:q "y" .')
+        assert len(g) == 2
+
+    def test_trailing_semicolon_before_dot(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:p "x" ; .')
+        assert len(g) == 1
+
+    def test_numbers(self):
+        g = parse_turtle('@prefix ex: <http://e/> . '
+                         'ex:a ex:i 42 ; ex:d 3.14 ; ex:e 1e3 .')
+        datatypes = {t.object.datatype.local_name for t in g}
+        assert datatypes == {"integer", "decimal", "double"}
+
+    def test_booleans(self):
+        g = parse_turtle('@prefix ex: <http://e/> . ex:a ex:p true .')
+        assert next(iter(g)).object == Literal(
+            "true", XSD.boolean)
+
+    def test_typed_literal(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . '
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> . '
+            'ex:a ex:p "5"^^xsd:integer .')
+        assert next(iter(g)).object.datatype == XSD.integer
+
+    def test_language_literal(self):
+        g = parse_turtle('@prefix ex: <http://e/> . ex:a ex:p "x"@en-GB .')
+        assert next(iter(g)).object.language == "en-GB"
+
+    def test_escapes_in_string(self):
+        g = parse_turtle(r'@prefix ex: <http://e/> . ex:a ex:p "a\nb\"c" .')
+        assert next(iter(g)).object.lexical == 'a\nb"c'
+
+    def test_unicode_escape(self):
+        g = parse_turtle(r'@prefix ex: <http://e/> . ex:a ex:p "é" .')
+        assert next(iter(g)).object.lexical == "é"
+
+    def test_long_string(self):
+        g = parse_turtle(
+            '@prefix ex: <http://e/> . ex:a ex:p """line1\nline2""" .')
+        assert next(iter(g)).object.lexical == "line1\nline2"
+
+    def test_blank_node_labels_shared(self):
+        g = parse_turtle('@prefix ex: <http://e/> . '
+                         '_:b ex:p "x" . _:b ex:q "y" .')
+        assert len(list(g.subjects())) == 1
+
+    def test_anonymous_blank_node(self):
+        g = parse_turtle('@prefix ex: <http://e/> . '
+                         'ex:a ex:p [ ex:q "y" ] .')
+        assert len(g) == 2
+
+    def test_empty_anonymous_node(self):
+        g = parse_turtle('@prefix ex: <http://e/> . ex:a ex:p [] .')
+        assert isinstance(next(iter(g)).object, BlankNode)
+
+    def test_comments_skipped(self):
+        g = parse_turtle('# comment\n@prefix ex: <http://e/> . '
+                         '# more\nex:a ex:p "x" . # trailing')
+        assert len(g) == 1
+
+    def test_base_directive(self):
+        g = parse_turtle('@base <http://host/> . <a> <p> <b> .')
+        assert next(iter(g)).subject == IRI("http://host/a")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_turtle('nope:a nope:p "x" .')
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_turtle('@prefix ex: <http://e/> . ex:a ex:p "x"')
+
+    def test_garbage_raises(self):
+        with pytest.raises(RdfSyntaxError):
+            parse_turtle('@prefix ex: <http://e/> . ~~~')

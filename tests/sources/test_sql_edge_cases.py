@@ -1,0 +1,155 @@
+"""Deeper SQL engine edge cases."""
+
+import pytest
+
+from repro.errors import SqlExecutionError, SqlSyntaxError
+from repro.sources.relational import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("edge")
+    database.executescript("""
+    CREATE TABLE t (id INTEGER, name TEXT, price REAL, flag BOOLEAN);
+    INSERT INTO t (id, name, price, flag) VALUES
+      (1, 'a_b', 10.0, TRUE),
+      (2, 'a%b', 20.0, FALSE),
+      (3, 'AB', 30.0, TRUE),
+      (4, NULL, NULL, NULL);
+    """)
+    return database
+
+
+class TestLikeEscaping:
+    def test_underscore_is_single_char_wildcard(self, db):
+        result = db.execute("SELECT id FROM t WHERE name LIKE 'a_b'")
+        assert sorted(result.scalars()) == [1, 2]
+
+    def test_percent_wildcard_case_insensitive(self, db):
+        # The dialect's LIKE is case-insensitive (MySQL-style), so 'a%'
+        # also matches 'AB'.
+        result = db.execute("SELECT id FROM t WHERE name LIKE 'a%'")
+        assert sorted(result.scalars()) == [1, 2, 3]
+
+    def test_regex_specials_in_pattern_are_literal(self, db):
+        db.execute("INSERT INTO t (id, name) VALUES (9, 'x.y[z]')")
+        result = db.execute(r"SELECT id FROM t WHERE name LIKE 'x.y[z]'")
+        assert result.scalars() == [9]
+
+    def test_null_never_matches_like(self, db):
+        result = db.execute("SELECT id FROM t WHERE name LIKE '%'")
+        assert 4 not in result.scalars()
+
+
+class TestBooleans:
+    def test_boolean_equality(self, db):
+        result = db.execute("SELECT id FROM t WHERE flag = TRUE")
+        assert sorted(result.scalars()) == [1, 3]
+
+    def test_boolean_null_excluded(self, db):
+        true_ids = set(db.execute(
+            "SELECT id FROM t WHERE flag = TRUE").scalars())
+        false_ids = set(db.execute(
+            "SELECT id FROM t WHERE flag = FALSE").scalars())
+        assert 4 not in true_ids | false_ids
+
+
+class TestParenthesizedConditions:
+    def test_nested_parens(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE ((id = 1 OR id = 2) AND NOT (id = 2))")
+        assert result.scalars() == [1]
+
+    def test_not_binds_tighter_than_and(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE NOT id = 1 AND id < 3")
+        assert result.scalars() == [2]
+
+
+class TestDistinctAndOrdering:
+    def test_distinct_multi_column(self, db):
+        db.execute("INSERT INTO t (id, name, price) VALUES (1, 'a_b', 10.0)")
+        result = db.execute("SELECT DISTINCT id, name FROM t WHERE id = 1")
+        assert len(result) == 1
+
+    def test_order_by_alias_column_in_projection(self, db):
+        result = db.execute(
+            "SELECT name AS label FROM t WHERE name IS NOT NULL "
+            "ORDER BY name")
+        assert result.columns == ["label"]
+        assert result.scalars() == sorted(result.scalars())
+
+    def test_limit_zero(self, db):
+        assert len(db.execute("SELECT id FROM t LIMIT 0")) == 0
+
+    def test_limit_larger_than_result(self, db):
+        assert len(db.execute("SELECT id FROM t LIMIT 100")) == 4
+
+
+class TestAggregatesEdge:
+    def test_avg_over_nulls_only(self, db):
+        result = db.execute("SELECT AVG(price) FROM t WHERE id = 4")
+        assert result.rows == [(None,)]
+
+    def test_min_max_of_text(self, db):
+        row = db.execute(
+            "SELECT MIN(name), MAX(name) FROM t WHERE name IS NOT NULL"
+        ).rows[0]
+        assert row == ("AB", "a_b") or row == ("AB", "a%b")
+
+    def test_group_by_with_null_group(self, db):
+        result = db.execute(
+            "SELECT flag, COUNT(*) FROM t GROUP BY flag")
+        groups = dict(result.rows)
+        assert groups[None] == 1
+        assert groups[True] == 2
+
+    def test_count_distinct_not_supported_cleanly(self, db):
+        # COUNT(DISTINCT x) is not in the dialect; it must *fail loudly*,
+        # not silently return a wrong answer.
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT COUNT(DISTINCT name) FROM t")
+
+
+class TestJoinEdge:
+    def test_self_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT a.id, b.id FROM t a JOIN t b ON a.id = b.id "
+            "WHERE a.id <= 2 ORDER BY a.id")
+        assert result.rows == [(1, 1), (2, 2)]
+
+    def test_join_on_null_keys_never_matches(self, db):
+        db.execute("CREATE TABLE u (ref INTEGER)")
+        db.execute("INSERT INTO u (ref) VALUES (NULL)")
+        result = db.execute(
+            "SELECT t.id FROM t JOIN u ON t.price = u.ref")
+        assert len(result) == 0
+
+    def test_three_way_left_join_chain(self, db):
+        db.execute("CREATE TABLE u (tid INTEGER, v TEXT)")
+        db.execute("INSERT INTO u (tid, v) VALUES (1, 'x')")
+        db.execute("CREATE TABLE w (uv TEXT, z INTEGER)")
+        result = db.execute(
+            "SELECT t.id, u.v, w.z FROM t "
+            "LEFT JOIN u ON t.id = u.tid "
+            "LEFT JOIN w ON u.v = w.uv ORDER BY t.id")
+        assert result.rows[0] == (1, "x", None)
+        assert result.rows[1] == (2, None, None)
+
+
+class TestDdlEdge:
+    def test_rename_column_then_old_name_gone(self, db):
+        db.execute("ALTER TABLE t RENAME COLUMN name TO label")
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT name FROM t")
+
+    def test_add_not_null_column_to_populated_table(self, db):
+        # new column backfills NULL; inserting NULL later is rejected
+        db.execute("ALTER TABLE t ADD COLUMN req TEXT NOT NULL")
+        with pytest.raises(SqlExecutionError):
+            db.execute("INSERT INTO t (id) VALUES (99)")
+
+    def test_quoted_identifier_collides_with_keyword(self, db):
+        db.execute('CREATE TABLE "select" (a INTEGER)')
+        db.execute('INSERT INTO "select" (a) VALUES (1)')
+        assert db.execute('SELECT a FROM "select"').scalars() == [1]

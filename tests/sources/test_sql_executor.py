@@ -1,0 +1,292 @@
+"""Tests for SQL execution."""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sources.relational import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.executescript("""
+    CREATE TABLE watches (id INTEGER, brand TEXT, model TEXT,
+                          price REAL, wr INTEGER);
+    INSERT INTO watches (id, brand, model, price, wr) VALUES
+      (1, 'Seiko', 'SKX007', 199.0, 200),
+      (2, 'Casio', 'F91W', 15.5, 30),
+      (3, 'Seiko', 'SNK809', 89.0, 30),
+      (4, 'Orient', 'Bambino', 180.0, 30),
+      (5, 'Casio', 'AE1200', 45.0, 100);
+    CREATE TABLE providers (pid INTEGER, pname TEXT);
+    INSERT INTO providers (pid, pname) VALUES (1, 'Acme'), (2, 'WatchCo');
+    CREATE TABLE stock (watch_id INTEGER, provider_id INTEGER);
+    INSERT INTO stock (watch_id, provider_id) VALUES
+      (1, 1), (2, 2), (3, 1), (4, 2);
+    """)
+    return database
+
+
+class TestProjection:
+    def test_single_column(self, db):
+        result = db.execute("SELECT brand FROM watches WHERE id = 1")
+        assert result.scalars() == ["Seiko"]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM watches WHERE id = 2")
+        assert result.columns == ["id", "brand", "model", "price", "wr"]
+        assert result.rows == [(2, "Casio", "F91W", 15.5, 30)]
+
+    def test_alias(self, db):
+        result = db.execute("SELECT brand AS maker FROM watches WHERE id=1")
+        assert result.columns == ["maker"]
+
+    def test_as_dicts(self, db):
+        dicts = db.execute("SELECT id, brand FROM watches WHERE id=1"
+                           ).as_dicts()
+        assert dicts == [{"id": 1, "brand": "Seiko"}]
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT ghost FROM watches")
+
+    def test_scalars_requires_single_column(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT id, brand FROM watches").scalars()
+
+
+class TestFiltering:
+    def test_comparison_operators(self, db):
+        assert len(db.execute("SELECT id FROM watches WHERE price < 50")) == 2
+        assert len(db.execute("SELECT id FROM watches WHERE price >= 180")) == 2
+        assert len(db.execute("SELECT id FROM watches WHERE brand != 'Casio'")) == 3
+
+    def test_and_or_precedence(self, db):
+        # AND binds tighter than OR
+        result = db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko' AND price < 100 "
+            "OR id = 2")
+        assert sorted(result.scalars()) == [2, 3]
+
+    def test_not(self, db):
+        result = db.execute("SELECT id FROM watches WHERE NOT brand = 'Seiko'")
+        assert sorted(result.scalars()) == [2, 4, 5]
+
+    def test_like_prefix(self, db):
+        result = db.execute("SELECT model FROM watches WHERE model LIKE 'S%'")
+        assert sorted(result.scalars()) == ["SKX007", "SNK809"]
+
+    def test_like_underscore(self, db):
+        result = db.execute("SELECT model FROM watches WHERE model LIKE 'F9_W'")
+        assert result.scalars() == ["F91W"]
+
+    def test_like_case_insensitive(self, db):
+        result = db.execute("SELECT model FROM watches WHERE brand LIKE 'seiko'")
+        assert len(result) == 2
+
+    def test_in_list(self, db):
+        result = db.execute("SELECT id FROM watches WHERE brand IN ('Seiko', 'Orient')")
+        assert sorted(result.scalars()) == [1, 3, 4]
+
+    def test_null_handling(self, db):
+        db.execute("INSERT INTO watches (id, brand) VALUES (9, NULL)")
+        assert db.execute(
+            "SELECT id FROM watches WHERE brand IS NULL").scalars() == [9]
+        assert 9 not in db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko'").scalars()
+        assert len(db.execute(
+            "SELECT id FROM watches WHERE brand IS NOT NULL")) == 5
+
+    def test_type_error_comparison(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT id FROM watches WHERE brand < 5")
+
+
+class TestJoins:
+    def test_two_way_hash_join(self, db):
+        result = db.execute(
+            "SELECT w.model, s.provider_id FROM watches w "
+            "JOIN stock s ON w.id = s.watch_id ORDER BY w.id")
+        assert len(result) == 4
+
+    def test_three_way_join(self, db):
+        result = db.execute(
+            "SELECT w.model, p.pname FROM watches w "
+            "JOIN stock s ON w.id = s.watch_id "
+            "JOIN providers p ON s.provider_id = p.pid "
+            "WHERE p.pname = 'Acme' ORDER BY w.model")
+        assert result.rows == [("SKX007", "Acme"), ("SNK809", "Acme")]
+
+    def test_left_join_preserves_unmatched(self, db):
+        result = db.execute(
+            "SELECT w.id, s.provider_id FROM watches w "
+            "LEFT JOIN stock s ON w.id = s.watch_id ORDER BY w.id")
+        assert len(result) == 5
+        assert result.rows[-1] == (5, None)
+
+    def test_left_join_null_filter(self, db):
+        result = db.execute(
+            "SELECT w.id FROM watches w "
+            "LEFT JOIN stock s ON w.id = s.watch_id "
+            "WHERE s.provider_id IS NULL")
+        assert result.scalars() == [5]
+
+    def test_non_equality_join_falls_back_to_nested_loop(self, db):
+        result = db.execute(
+            "SELECT w.id, p.pid FROM watches w "
+            "JOIN providers p ON w.id > p.pid WHERE w.id = 2")
+        assert result.rows == [(2, 1)]
+
+    def test_ambiguous_column_rejected(self, db):
+        db.execute("CREATE TABLE other (id INTEGER)")
+        db.execute("INSERT INTO other (id) VALUES (1)")
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT id FROM watches w JOIN other o ON w.id = o.id")
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM watches").rows == [(5,)]
+
+    def test_count_column_skips_nulls(self, db):
+        db.execute("INSERT INTO watches (id, brand) VALUES (9, NULL)")
+        assert db.execute("SELECT COUNT(brand) FROM watches").rows == [(5,)]
+
+    def test_sum_avg_min_max(self, db):
+        row = db.execute(
+            "SELECT SUM(wr), AVG(wr), MIN(wr), MAX(wr) FROM watches").rows[0]
+        assert row == (390, 78.0, 30, 200)
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT brand, COUNT(*) AS n FROM watches GROUP BY brand "
+            "ORDER BY brand")
+        assert result.rows == [("Casio", 2), ("Orient", 1), ("Seiko", 2)]
+
+    def test_group_by_requires_grouped_columns(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("SELECT model, COUNT(*) FROM watches GROUP BY brand")
+
+    def test_aggregate_over_empty_input(self, db):
+        result = db.execute(
+            "SELECT COUNT(*), SUM(price) FROM watches WHERE id > 100")
+        assert result.rows == [(0, None)]
+
+    def test_aggregate_ordering_and_limit(self, db):
+        result = db.execute(
+            "SELECT brand, COUNT(*) AS n FROM watches GROUP BY brand "
+            "ORDER BY n DESC LIMIT 1")
+        assert result.rows[0][1] == 2
+
+
+class TestOrderingLimits:
+    def test_order_by_asc_desc(self, db):
+        ascending = db.execute(
+            "SELECT price FROM watches ORDER BY price").scalars()
+        assert ascending == sorted(ascending)
+        descending = db.execute(
+            "SELECT price FROM watches ORDER BY price DESC").scalars()
+        assert descending == sorted(descending, reverse=True)
+
+    def test_multi_key_order(self, db):
+        result = db.execute(
+            "SELECT brand, price FROM watches ORDER BY brand, price DESC")
+        assert result.rows[0] == ("Casio", 45.0)
+        assert result.rows[1] == ("Casio", 15.5)
+
+    def test_limit(self, db):
+        assert len(db.execute("SELECT id FROM watches LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT brand FROM watches")
+        assert sorted(result.scalars()) == ["Casio", "Orient", "Seiko"]
+
+    def test_order_with_nulls_first(self, db):
+        db.execute("INSERT INTO watches (id, brand) VALUES (9, NULL)")
+        prices = db.execute("SELECT price FROM watches ORDER BY price").scalars()
+        assert prices[0] is None
+
+
+class TestDml:
+    def test_update_with_where(self, db):
+        db.execute("UPDATE watches SET price = 20.0 WHERE brand = 'Casio'")
+        assert db.execute(
+            "SELECT price FROM watches WHERE brand = 'Casio'").scalars() == \
+            [20.0, 20.0]
+
+    def test_update_all(self, db):
+        result = db.execute("UPDATE watches SET wr = 0")
+        assert result.rows == [(5,)]
+
+    def test_delete_with_where(self, db):
+        db.execute("DELETE FROM watches WHERE price > 100")
+        assert len(db.execute("SELECT id FROM watches")) == 3
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM watches")
+        assert len(db.execute("SELECT id FROM watches")) == 0
+
+    def test_insert_coerces_types(self, db):
+        db.execute("INSERT INTO watches (id, price) VALUES (9, 10)")
+        assert db.execute(
+            "SELECT price FROM watches WHERE id = 9").scalars() == [10.0]
+
+
+class TestIndexes:
+    def test_indexed_equality_matches_scan(self, db):
+        before = db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko'").scalars()
+        db.execute("CREATE INDEX ON watches (brand)")
+        after = db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko'").scalars()
+        assert sorted(before) == sorted(after)
+
+    def test_index_sees_inserts(self, db):
+        db.execute("CREATE INDEX ON watches (brand)")
+        db.execute("INSERT INTO watches (id, brand) VALUES (9, 'Seiko')")
+        assert len(db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko'")) == 3
+
+    def test_index_survives_delete(self, db):
+        db.execute("CREATE INDEX ON watches (brand)")
+        db.execute("DELETE FROM watches WHERE id = 1")
+        assert db.execute(
+            "SELECT id FROM watches WHERE brand = 'Seiko'").scalars() == [3]
+
+    def test_index_follows_rename(self, db):
+        db.execute("CREATE INDEX ON watches (brand)")
+        db.execute("ALTER TABLE watches RENAME COLUMN brand TO maker")
+        assert len(db.execute(
+            "SELECT id FROM watches WHERE maker = 'Seiko'")) == 2
+
+
+class TestCatalog:
+    def test_create_duplicate_table(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("CREATE TABLE watches (x INTEGER)")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.execute("DROP TABLE ghost")
+
+    def test_unknown_table_mentions_candidates(self, db):
+        with pytest.raises(SqlExecutionError) as excinfo:
+            db.execute("SELECT x FROM ghost")
+        assert "watches" in str(excinfo.value)
+
+    def test_add_column_backfills_null(self, db):
+        db.execute("ALTER TABLE watches ADD COLUMN color TEXT")
+        assert db.execute(
+            "SELECT color FROM watches WHERE id = 1").scalars() == [None]
+
+    def test_executescript_splits_on_semicolons_outside_strings(self, db):
+        db.executescript(
+            "INSERT INTO watches (id, brand) VALUES (10, 'a;b');"
+            "INSERT INTO watches (id, brand) VALUES (11, 'c')")
+        assert db.execute(
+            "SELECT brand FROM watches WHERE id = 10").scalars() == ["a;b"]
+
+    def test_not_null_enforced(self, db):
+        db.execute("CREATE TABLE strict_t (a INTEGER NOT NULL)")
+        with pytest.raises(SqlExecutionError):
+            db.execute("INSERT INTO strict_t (a) VALUES (NULL)")

@@ -1,0 +1,183 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sources.relational.sql.ast import (Aggregate, BooleanOp, ColumnRef,
+                                              Comparison, CreateTable, Delete,
+                                              InList, Insert, IsNull,
+                                              LiteralValue, Not, Select, Star,
+                                              Update)
+from repro.sources.relational.sql.lexer import tokenize
+from repro.sources.relational.sql.parser import parse_sql
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select FROM WhErE")]
+        assert kinds == ["keyword"] * 3
+
+    def test_string_escape_doubled_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].kind == "name" and tokens[0].value == "select"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .5")
+        assert [t.value for t in tokens] == ["1", "2.5", ".5"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n x")
+        assert [t.value for t in tokens] == ["SELECT", "x"]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+
+class TestSelectParsing:
+    def test_star(self):
+        statement = parse_sql("SELECT * FROM t")
+        assert isinstance(statement, Select)
+        assert isinstance(statement.items[0].expression, Star)
+
+    def test_columns_and_aliases(self):
+        statement = parse_sql("SELECT a, b AS bee, t.c FROM t")
+        assert statement.items[0].expression == ColumnRef("a")
+        assert statement.items[1].alias == "bee"
+        assert statement.items[2].expression == ColumnRef("c", "t")
+
+    def test_where_condition_tree(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE x = 1 AND y > 2 OR z != 'q'")
+        assert isinstance(statement.where, BooleanOp)
+        assert statement.where.operator == "OR"
+
+    def test_not_and_parens(self):
+        statement = parse_sql("SELECT a FROM t WHERE NOT (x = 1 OR y = 2)")
+        assert isinstance(statement.where, Not)
+
+    def test_like(self):
+        statement = parse_sql("SELECT a FROM t WHERE name LIKE 'S%'")
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.operator == "LIKE"
+
+    def test_not_like(self):
+        statement = parse_sql("SELECT a FROM t WHERE name NOT LIKE 'S%'")
+        assert isinstance(statement.where, Not)
+
+    def test_in_list(self):
+        statement = parse_sql("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(statement.where, InList)
+        assert len(statement.where.options) == 3
+
+    def test_not_in(self):
+        statement = parse_sql("SELECT a FROM t WHERE x NOT IN (1)")
+        assert statement.where.negated is True
+
+    def test_is_null_and_not_null(self):
+        s1 = parse_sql("SELECT a FROM t WHERE x IS NULL")
+        s2 = parse_sql("SELECT a FROM t WHERE x IS NOT NULL")
+        assert isinstance(s1.where, IsNull) and not s1.where.negated
+        assert s2.where.negated
+
+    def test_joins(self):
+        statement = parse_sql(
+            "SELECT a FROM t JOIN u ON t.id = u.tid "
+            "LEFT JOIN v ON u.id = v.uid")
+        assert len(statement.joins) == 2
+        assert statement.joins[0].kind == "INNER"
+        assert statement.joins[1].kind == "LEFT"
+
+    def test_table_alias(self):
+        statement = parse_sql("SELECT a FROM things t WHERE t.a = 1")
+        assert statement.table.binding == "t"
+
+    def test_group_by_and_aggregates(self):
+        statement = parse_sql(
+            "SELECT brand, COUNT(*), AVG(price) AS avgp FROM t "
+            "GROUP BY brand")
+        assert isinstance(statement.items[1].expression, Aggregate)
+        assert statement.items[2].expression.alias == "avgp"
+        assert statement.group_by[0] == ColumnRef("brand")
+
+    def test_order_by_limit_distinct(self):
+        statement = parse_sql(
+            "SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert statement.distinct
+        assert statement.order_by[0].descending is True
+        assert statement.order_by[1].descending is False
+        assert statement.limit == 5
+
+    def test_boolean_literals(self):
+        statement = parse_sql("SELECT a FROM t WHERE flag = TRUE")
+        assert statement.where.right == LiteralValue(True)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t nonsense extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a")
+
+    def test_empty_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("   ")
+
+
+class TestDmlDdlParsing:
+    def test_insert_multi_row(self):
+        statement = parse_sql(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, Insert)
+        assert statement.rows == ((1, "x"), (2, "y"))
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_insert_null(self):
+        statement = parse_sql("INSERT INTO t (a) VALUES (NULL)")
+        assert statement.rows == ((None,),)
+
+    def test_update(self):
+        statement = parse_sql("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(statement, Update)
+        assert statement.assignments == (("a", 1), ("b", "x"))
+
+    def test_delete_without_where(self):
+        statement = parse_sql("DELETE FROM t")
+        assert isinstance(statement, Delete) and statement.where is None
+
+    def test_create_table(self):
+        statement = parse_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(50), "
+            "price REAL NOT NULL)")
+        assert isinstance(statement, CreateTable)
+        assert statement.columns[0].not_null  # PRIMARY KEY implies NOT NULL
+        assert statement.columns[1].type == "VARCHAR"
+        assert statement.columns[2].not_null
+
+    def test_alter_rename_column(self):
+        statement = parse_sql("ALTER TABLE t RENAME COLUMN a TO b")
+        assert (statement.table, statement.old, statement.new) == \
+            ("t", "a", "b")
+
+    def test_alter_add_column(self):
+        statement = parse_sql("ALTER TABLE t ADD COLUMN x INTEGER")
+        assert statement.column.name == "x"
+
+    def test_create_index(self):
+        statement = parse_sql("CREATE INDEX ON t (brand)")
+        assert (statement.table, statement.column) == ("t", "brand")
+
+    def test_drop_table(self):
+        assert parse_sql("DROP TABLE t").table == "t"
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("GRANT ALL ON t")

@@ -1,0 +1,107 @@
+"""Tests for the text-file store and connector."""
+
+import pytest
+
+from repro.errors import ExtractionError, S2SError
+from repro.sources.textfiles import TextDataSource, TextFileStore
+
+INVENTORY = """# record 0
+brand=Seiko
+model=SKX007
+price=199.00
+
+# record 1
+brand=Casio
+model=F91W
+price=15.50
+"""
+
+
+class TestStore:
+    def test_write_read(self):
+        store = TextFileStore()
+        store.write("a.txt", "hello")
+        assert store.read("a.txt") == "hello"
+
+    def test_read_missing_lists_files(self):
+        store = TextFileStore("files")
+        store.write("a.txt", "x")
+        with pytest.raises(S2SError) as excinfo:
+            store.read("b.txt")
+        assert "a.txt" in str(excinfo.value)
+
+    def test_append(self):
+        store = TextFileStore()
+        store.append("log.txt", "one\n")
+        store.append("log.txt", "two\n")
+        assert store.read("log.txt") == "one\ntwo\n"
+
+    def test_delete(self):
+        store = TextFileStore()
+        store.write("a.txt", "x")
+        store.delete("a.txt")
+        assert "a.txt" not in store
+        with pytest.raises(S2SError):
+            store.delete("a.txt")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(S2SError):
+            TextFileStore().write("", "x")
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "one.txt").write_text("1", encoding="utf-8")
+        (tmp_path / "two.txt").write_text("2", encoding="utf-8")
+        (tmp_path / "skip.csv").write_text("no", encoding="utf-8")
+        store = TextFileStore()
+        assert store.load_directory(str(tmp_path)) == 2
+        assert store.read("one.txt") == "1"
+
+
+class TestConnector:
+    @pytest.fixture
+    def source(self):
+        store = TextFileStore()
+        store.write("inventory.txt", INVENTORY)
+        return TextDataSource("TXT_1", store,
+                              default_file="inventory.txt")
+
+    def test_group_extraction(self, source):
+        assert source.execute_rule(r"^brand=(.*)$") == ["Seiko", "Casio"]
+
+    def test_whole_match_without_groups(self, source):
+        values = source.execute_rule(r"^model=\w+$")
+        assert values == ["model=SKX007", "model=F91W"]
+
+    def test_values_stripped(self, source):
+        assert source.execute_rule(r"^price=(.*)$") == ["199.00", "15.50"]
+
+    def test_file_prefix(self):
+        store = TextFileStore()
+        store.write("a.txt", "k=1\n")
+        store.write("b.txt", "k=2\n")
+        source = TextDataSource("T", store)
+        assert source.execute_rule(r"file:b.txt ^k=(\d+)$") == ["2"]
+
+    def test_file_prefix_without_regex(self, source):
+        with pytest.raises(ExtractionError):
+            source.execute_rule("file:inventory.txt ")
+
+    def test_ambiguous_file_without_default(self):
+        store = TextFileStore()
+        store.write("a.txt", "")
+        store.write("b.txt", "")
+        source = TextDataSource("T", store)
+        with pytest.raises(ExtractionError):
+            source.execute_rule("x")
+
+    def test_invalid_regex(self, source):
+        with pytest.raises(ExtractionError):
+            source.execute_rule("([unclosed")
+
+    def test_no_matches_is_empty(self, source):
+        assert source.execute_rule(r"^color=(.*)$") == []
+
+    def test_connection_info(self, source):
+        info = source.connection_info()
+        assert info.source_type == "textfile"
+        assert info.parameters["file"] == "inventory.txt"

@@ -1,0 +1,167 @@
+"""Tests for the HTML parser, simulated web and web connector."""
+
+import pytest
+
+from repro.errors import ExtractionError, PageNotFoundError, WebError
+from repro.sources.web import (SimulatedWeb, WebDataSource, parse_html)
+from repro.sources.web.html import decode_html_entities
+
+
+class TestHtmlParser:
+    def test_simple_structure(self):
+        doc = parse_html("<html><body><p>hi</p></body></html>")
+        assert doc.find("p").text() == "hi"
+
+    def test_unclosed_tags_tolerated(self):
+        doc = parse_html("<ul><li>one<li>two<li>three</ul>")
+        assert len(doc.find_all("li")) == 3
+
+    def test_stray_close_tag_dropped(self):
+        doc = parse_html("<div>x</span></div>")
+        assert doc.find("div").text() == "x"
+
+    def test_void_elements(self):
+        doc = parse_html("<p>a<br>b<img src='x.png'>c</p>")
+        assert doc.find("p").text() == "abc"
+        assert doc.find("img").get("src") == "x.png"
+
+    def test_attributes_variants(self):
+        doc = parse_html('<a href="x" id=plain checked>link</a>')
+        node = doc.find("a")
+        assert node.get("href") == "x"
+        assert node.get("id") == "plain"
+        assert node.get("checked") == ""
+
+    def test_attribute_names_lowercased(self):
+        assert parse_html('<a HREF="x"/>').find("a").get("href") == "x"
+
+    def test_comments_skipped(self):
+        doc = parse_html("<p>a<!-- <b>not parsed</b> -->b</p>")
+        assert doc.find("b") is None
+        assert doc.find("p").text() == "ab"
+
+    def test_entities_decoded_in_text(self):
+        doc = parse_html("<p>Seiko &amp; Co &lt;3</p>")
+        assert doc.find("p").text() == "Seiko & Co <3"
+
+    def test_unknown_entity_left_alone(self):
+        assert decode_html_entities("&unknown;") == "&unknown;"
+
+    def test_numeric_entities(self):
+        assert decode_html_entities("&#65;&#x42;") == "AB"
+
+    def test_autoclose_siblings(self):
+        doc = parse_html("<table><tr><td>a<td>b<tr><td>c</table>")
+        assert len(doc.find_all("tr")) == 2
+
+    def test_text_rendering_blocks(self):
+        doc = parse_html(
+            "<html><head><title>T</title><style>p{}</style></head>"
+            "<body><p>line one</p><p>line   two</p>"
+            "<script>var x;</script></body></html>")
+        text = doc.text()
+        assert "line one\nline two" in text
+        assert "var x" not in text
+        assert "p{}" not in text
+
+    def test_title(self):
+        assert parse_html("<title> My Shop </title>").title() == "My Shop"
+
+    def test_never_raises_on_garbage(self):
+        parse_html("<<<>>><p <b></b")  # must not raise
+
+
+class TestSimulatedWeb:
+    def test_publish_and_fetch(self):
+        web = SimulatedWeb()
+        web.publish("http://x.example/p", "<html/>")
+        assert web.fetch("http://x.example/p") == "<html/>"
+
+    def test_unknown_url_raises(self):
+        with pytest.raises(PageNotFoundError):
+            SimulatedWeb().fetch("http://nowhere.example/x")
+
+    def test_relative_url_rejected(self):
+        with pytest.raises(WebError):
+            SimulatedWeb().fetch("page.html")
+
+    def test_fetch_counts(self):
+        web = SimulatedWeb()
+        page = web.publish("http://x.example/p", "x")
+        web.fetch("http://x.example/p")
+        web.fetch("http://x.example/p")
+        assert page.fetch_count == 2
+        assert web.total_fetches == 2
+
+    def test_mutate(self):
+        web = SimulatedWeb()
+        web.publish("http://x.example/p", "before")
+        web.mutate("http://x.example/p", lambda html: html.upper())
+        assert web.fetch("http://x.example/p") == "BEFORE"
+
+    def test_unpublish(self):
+        web = SimulatedWeb()
+        web.publish("http://x.example/p", "x")
+        web.unpublish("http://x.example/p")
+        with pytest.raises(PageNotFoundError):
+            web.fetch("http://x.example/p")
+
+    def test_urls_listing(self):
+        web = SimulatedWeb()
+        web.publish("http://b.example/x", "")
+        web.publish("http://a.example/x", "")
+        assert web.urls() == ["http://a.example/x", "http://b.example/x"]
+
+
+class TestWebConnector:
+    def test_webl_rule_scalar(self, watch_page_web):
+        source = WebDataSource("wpage_81", watch_page_web,
+                               "http://shop.example/watch81")
+        values = source.execute_rule('''
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<span id="model">([^<]+)</span>`);
+var model = m[0][1];
+''')
+        assert values == ["SRPD51"]
+
+    def test_webl_rule_list_means_n_records(self, watch_page_web):
+        watch_page_web.publish("http://shop.example/list", """
+<table><td class="b">one</td><td class="b">two</td></table>""")
+        source = WebDataSource("L", watch_page_web,
+                               "http://shop.example/list")
+        values = source.execute_rule('''
+var P = GetURL(SourceURL());
+var m = Str_Search(Text(P), `<td class="b">([^<]+)</td>`);
+var out = [];
+each g in m { out = Append(out, g[1]); }
+return out;
+''')
+        assert values == ["one", "two"]
+
+    def test_connect_fails_for_dead_url(self, watch_page_web):
+        source = WebDataSource("X", watch_page_web,
+                               "http://shop.example/removed")
+        with pytest.raises(ExtractionError):
+            source.connect()
+
+    def test_rule_error_wrapped(self, watch_page_web):
+        source = WebDataSource("wpage_81", watch_page_web,
+                               "http://shop.example/watch81")
+        with pytest.raises(ExtractionError):
+            source.execute_rule("var x = Undefined_Function();")
+
+    def test_numeric_results_rendered_plainly(self, watch_page_web):
+        source = WebDataSource("wpage_81", watch_page_web,
+                               "http://shop.example/watch81")
+        assert source.execute_rule("var x = 2 + 3;") == ["5"]
+
+    def test_nil_result_is_no_records(self, watch_page_web):
+        source = WebDataSource("wpage_81", watch_page_web,
+                               "http://shop.example/watch81")
+        assert source.execute_rule("return nil;") == []
+
+    def test_connection_info_is_url(self, watch_page_web):
+        source = WebDataSource("wpage_81", watch_page_web,
+                               "http://shop.example/watch81")
+        info = source.connection_info()
+        assert info.parameters == {"url": "http://shop.example/watch81"}

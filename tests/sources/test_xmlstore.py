@@ -1,0 +1,91 @@
+"""Tests for the XML store and connector."""
+
+import pytest
+
+from repro.errors import ExtractionError, XmlError
+from repro.sources.xmlstore import XmlDataSource, XmlDocumentStore
+
+
+class TestStore:
+    def test_put_parses_strings(self):
+        store = XmlDocumentStore()
+        doc = store.put("a.xml", "<a><b>x</b></a>")
+        assert doc.root.find("b").text == "x"
+
+    def test_get_missing_lists_available(self):
+        store = XmlDocumentStore("mystore")
+        store.put("a.xml", "<a/>")
+        with pytest.raises(XmlError) as excinfo:
+            store.get("b.xml")
+        assert "a.xml" in str(excinfo.value)
+
+    def test_replace_document(self):
+        store = XmlDocumentStore()
+        store.put("a.xml", "<a/>")
+        store.put("a.xml", "<b/>")
+        assert store.get("a.xml").root.name == "b"
+
+    def test_remove(self):
+        store = XmlDocumentStore()
+        store.put("a.xml", "<a/>")
+        store.remove("a.xml")
+        assert "a.xml" not in store
+        with pytest.raises(XmlError):
+            store.remove("a.xml")
+
+    def test_export_roundtrip(self):
+        store = XmlDocumentStore()
+        store.put("a.xml", "<a><b>x</b></a>")
+        assert "<b>x</b>" in store.export("a.xml")
+
+    def test_len_and_names(self):
+        store = XmlDocumentStore()
+        store.put("b.xml", "<b/>")
+        store.put("a.xml", "<a/>")
+        assert len(store) == 2
+        assert store.names() == ["a.xml", "b.xml"]
+
+
+class TestConnector:
+    @pytest.fixture
+    def source(self, watch_xml_store):
+        return XmlDataSource("XML_7", watch_xml_store,
+                             default_document="catalog.xml")
+
+    def test_xpath_rule(self, source):
+        assert source.execute_rule("//watch/brand") == ["Orient", "Casio"]
+
+    def test_values_stripped(self, source):
+        # Document contains indentation whitespace around text
+        values = source.execute_rule("//watch/provider")
+        assert values == ["Orient Star", "WatchCo"]
+
+    def test_doc_prefix_selects_document(self, watch_xml_store):
+        watch_xml_store.put("other.xml", "<r><v>42</v></r>")
+        source = XmlDataSource("XML_7", watch_xml_store)
+        assert source.execute_rule("doc:other.xml //v") == ["42"]
+
+    def test_doc_prefix_without_rule(self, source):
+        with pytest.raises(ExtractionError):
+            source.execute_rule("doc:catalog.xml ")
+
+    def test_ambiguous_document_without_default(self, watch_xml_store):
+        watch_xml_store.put("other.xml", "<r/>")
+        source = XmlDataSource("XML_7", watch_xml_store)
+        with pytest.raises(ExtractionError):
+            source.execute_rule("//watch/brand")
+
+    def test_single_document_needs_no_default(self):
+        store = XmlDocumentStore()
+        store.put("only.xml", "<r><v>1</v></r>")
+        source = XmlDataSource("X", store)
+        assert source.execute_rule("//v") == ["1"]
+
+    def test_compiled_xpath_cached(self, source):
+        source.execute_rule("//watch/brand")
+        assert "//watch/brand" in source._compiled
+
+    def test_connection_info(self, source):
+        info = source.connection_info()
+        assert info.source_type == "xml"
+        assert info.parameters["document"] == "catalog.xml"

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code, out, _err = run_cli(capsys, "demo", "--sources", "2",
+                                  "--products", "8")
+        assert code == 0
+        assert "products integrated" in out
+        assert "no errors" in out
+
+    def test_demo_parallel(self, capsys):
+        code, out, _err = run_cli(capsys, "demo", "--sources", "2",
+                                  "--products", "8", "--parallel")
+        assert code == 0
+
+
+class TestQuery:
+    def test_text_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query", "SELECT product", "--format", "text",
+            "--sources", "2", "--products", "6")
+        assert code == 0
+        assert out.count("watch [") + out.count("product [") == 6
+
+    def test_json_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query", "SELECT product", "--format", "json",
+            "--sources", "2", "--products", "6")
+        assert code == 0
+        assert len(json.loads(out)) == 6
+
+    def test_owl_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query", "SELECT product", "--format", "owl",
+            "--sources", "2", "--products", "4")
+        assert code == 0
+        from repro.rdf.rdfxml import parse_rdfxml
+        assert len(parse_rdfxml(out)) > 0
+
+    def test_merge_key(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query", "SELECT product", "--format", "json",
+            "--merge-key", "brand,model", "--sources", "2",
+            "--products", "6")
+        assert code == 0
+        assert len(json.loads(out)) == 6  # no duplicates in this world
+
+    def test_conflict_level_none(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "query",
+            'SELECT product WHERE case = "stainless-steel"',
+            "--format", "json", "--conflicts", "none",
+            "--sources", "3", "--products", "9")
+        assert code == 0
+        records = json.loads(out)
+        assert all(r["case"] == "stainless-steel" for r in records)
+
+    def test_bad_query_reports_error(self, capsys):
+        code, _out, err = run_cli(capsys, "query",
+                                  "SELECT product FROM warehouse")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestPlanAndMapping:
+    def test_plan_shows_closure(self, capsys):
+        code, out, _err = run_cli(capsys, "plan",
+                                  'SELECT product WHERE brand = "Seiko"')
+        assert code == 0
+        assert "output classes: product, watch, provider" in out
+        assert "thing.product.brand = 'Seiko' (string)" in out.replace(
+            "brand", "brand", 1) or "thing.product.brand" in out
+
+    def test_mapping_lines(self, capsys):
+        code, out, err = run_cli(capsys, "mapping", "--sources", "2",
+                                 "--products", "4")
+        assert code == 0
+        assert "thing.product.brand = " in out
+        assert "coverage 100%" in err
+
+    def test_ontology_rdfxml(self, capsys):
+        code, out, _err = run_cli(capsys, "ontology")
+        assert code == 0
+        from repro.ontology.owlxml import parse_ontology
+        ontology = parse_ontology(out, "demo")
+        assert "watch" in ontology.class_names()
+
+    def test_ontology_turtle(self, capsys):
+        code, out, _err = run_cli(capsys, "ontology", "--format", "turtle")
+        assert code == 0
+        assert "owl:Class" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSuggest:
+    def test_suggest_lists_candidates(self, capsys):
+        code, out, _err = run_cli(capsys, "suggest", "--sources", "2",
+                                  "--products", "4")
+        assert code == 0
+        assert "thing.product.brand <-" in out
+        assert "score" in out

@@ -1,0 +1,129 @@
+"""Tests for the WebL builtin functions."""
+
+import pytest
+
+from repro.errors import WeblRuntimeError
+from repro.webl import run_webl
+
+PAGE = """
+<html><head><title> Dive Watches </title></head><body>
+<p> <b>Seiko Men's Automatic Dive Watch</b> </p>
+<span class="price">$199.00</span>
+<a href="/one">first</a> <a href="/two">second</a>
+</body></html>
+"""
+
+
+def fetch(url: str) -> str:
+    if url == "http://shop.example/watch":
+        return PAGE
+    raise WeblRuntimeError(f"no page at {url}")
+
+
+def run(program: str):
+    return run_webl(program, fetch)
+
+
+GET = 'var P = GetURL("http://shop.example/watch");\n'
+
+
+class TestWebBuiltins:
+    def test_geturl_requires_string(self):
+        with pytest.raises(WeblRuntimeError):
+            run("var P = GetURL(42);")
+
+    def test_text_returns_markup(self):
+        assert run(GET + "var t = Text(P);").startswith("\n<html>")
+
+    def test_plaintext_strips_tags(self):
+        text = run(GET + "var t = PlainText(P);")
+        assert "<b>" not in text
+        assert "Seiko Men's Automatic Dive Watch" in text
+
+    def test_title(self):
+        assert run(GET + "var t = Title(P);") == "Dive Watches"
+
+    def test_elem_inner_texts(self):
+        assert run(GET + 'var links = Elem(P, "a");') == ["first", "second"]
+
+    def test_attr(self):
+        assert run(GET + 'var hrefs = Attr(P, "a", "href");') == \
+            ["/one", "/two"]
+
+    def test_elem_requires_page(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var links = Elem("not a page", "a");')
+
+
+class TestStringBuiltins:
+    def test_str_search_groups(self):
+        matches = run(GET +
+                      r'var m = Str_Search(Text(P), `\$([0-9]+)\.([0-9]+)`);')
+        assert matches == [["$199.00", "199", "00"]]
+
+    def test_str_search_no_matches(self):
+        assert run('var m = Str_Search("abc", `\\d+`);') == []
+
+    def test_str_search_invalid_regex(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var m = Str_Search("abc", "([");')
+
+    def test_str_split_drops_empty(self):
+        assert run('var s = Str_Split("<p><b>Seiko", "<>");') == \
+            ["p", "b", "Seiko"]
+
+    def test_str_split_requires_delimiters(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var s = Str_Split("abc", "");')
+
+    def test_select_string(self):
+        assert run('var s = Select("abcdef", 1, 4);') == "bcd"
+
+    def test_select_clamps(self):
+        assert run('var s = Select("abc", 0, 100);') == "abc"
+
+    def test_select_open_ended(self):
+        assert run('var s = Select("abcdef", 3);') == "def"
+
+    def test_select_list(self):
+        assert run("var s = Select([1, 2, 3, 4], 1, 3);") == [2, 3]
+
+    def test_str_replace(self):
+        assert run('var s = Str_Replace("a-b-c", `-`, "+");') == "a+b+c"
+
+    def test_str_trim_lower_upper(self):
+        assert run('var s = Str_Trim("  x  ");') == "x"
+        assert run('var s = Str_Lower("ABC");') == "abc"
+        assert run('var s = Str_Upper("abc");') == "ABC"
+
+    def test_str_contains_and_index(self):
+        assert run('var b = Str_Contains("hello", "ell");') is True
+        assert run('var i = Str_Index("hello", "l");') == 2
+        assert run('var i = Str_Index("hello", "z");') == -1
+
+    def test_length(self):
+        assert run('var n = Length("abc");') == 3
+        assert run("var n = Length([1, 2]);") == 2
+
+    def test_length_of_number_rejected(self):
+        with pytest.raises(WeblRuntimeError):
+            run("var n = Length(5);")
+
+    def test_tonumber_strips_currency(self):
+        assert run('var n = ToNumber("$1,299.50");') == 1299.5
+
+    def test_tonumber_garbage(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var n = ToNumber("no digits");')
+
+    def test_tostring(self):
+        assert run("var s = ToString(5);") == "5"
+        assert run("var s = ToString(true);") == "true"
+        assert run("var s = ToString(nil);") == ""
+
+    def test_append(self):
+        assert run("var l = []; l = Append(l, 1); l = Append(l, 2);") == [1, 2]
+
+    def test_append_requires_list(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var l = Append("x", 1);')

@@ -1,0 +1,183 @@
+"""Tests for WebL lexing, parsing and interpretation."""
+
+import pytest
+
+from repro.errors import WeblRuntimeError, WeblSyntaxError
+from repro.webl import parse_webl, run_webl
+from repro.webl.lexer import tokenize
+
+
+def run(program: str, pages: dict[str, str] | None = None):
+    pages = pages or {}
+
+    def fetch(url: str) -> str:
+        if url in pages:
+            return pages[url]
+        raise WeblRuntimeError(f"no page at {url}")
+
+    return run_webl(program, fetch)
+
+
+class TestLexer:
+    def test_string_escapes(self):
+        tokens = tokenize(r'var x = "a\nb\"c";')
+        string_token = [t for t in tokens if t.kind == "string"][0]
+        assert string_token.value == 'a\nb"c'
+
+    def test_regex_literal_verbatim(self):
+        tokens = tokenize(r"var r = `[0-9a-zA-Z']+\d`;")
+        regex_token = [t for t in tokens if t.kind == "regex"][0]
+        assert regex_token.value == r"[0-9a-zA-Z']+\d"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("var x = 1; // comment\n# another\nvar y = 2;")
+        assert len([t for t in tokens if t.kind == "number"]) == 2
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("var x = 1;\nvar y = 2;")
+        assert tokens[-1].line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(WeblSyntaxError):
+            tokenize("var x = @;")
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("var x = 2 + 3 * 4 - 6 / 2;") == 11.0
+
+    def test_modulo(self):
+        assert run("var x = 10 % 3;") == 1
+
+    def test_unary_minus(self):
+        assert run("var x = -5 + 2;") == -3
+
+    def test_string_concat(self):
+        assert run('var x = "a" + "b" + 1;') == "ab1"
+
+    def test_regex_concat_as_in_paper(self):
+        assert run('var x = "<p><b>" + `[0-9]+`;') == "<p><b>[0-9]+"
+
+    def test_comparisons(self):
+        assert run("var x = 1 < 2;") is True
+        assert run('var x = "a" == "a";') is True
+        assert run("var x = 3 >= 4;") is False
+        assert run('var x = "a" != "b";') is True
+
+    def test_and_or_short_circuit(self):
+        assert run("var x = false and Undefined_Call();") is False
+        assert run("var x = true or Undefined_Call();") is True
+
+    def test_not(self):
+        assert run("var x = not true;") is False
+
+    def test_list_literal_and_index(self):
+        assert run("var l = [10, 20, 30]; var x = l[1];") == 20
+
+    def test_nested_index(self):
+        assert run("var l = [[1, 2], [3, 4]]; var x = l[1][0];") == 3
+
+    def test_index_out_of_range(self):
+        with pytest.raises(WeblRuntimeError):
+            run("var l = [1]; var x = l[5];")
+
+    def test_string_index(self):
+        assert run('var s = "abc"; var x = s[1];') == "b"
+
+    def test_division_by_zero(self):
+        with pytest.raises(WeblRuntimeError):
+            run("var x = 1 / 0;")
+
+    def test_type_error_in_arithmetic(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var x = "a" - 1;')
+
+    def test_nil(self):
+        assert run("return nil;") is None
+
+
+class TestStatements:
+    def test_var_and_assignment(self):
+        assert run("var x = 1; x = x + 1;") == 2
+
+    def test_assignment_requires_declaration(self):
+        with pytest.raises(WeblRuntimeError):
+            run("x = 1;")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(WeblRuntimeError):
+            run('var Select = 1;')
+
+    def test_if_else(self):
+        program = """
+var x = 5;
+var result = "";
+if (x > 3) { result = "big"; } else { result = "small"; }
+"""
+        assert run(program) == "big"
+
+    def test_else_if_chain(self):
+        program = """
+var x = 2;
+var result = "";
+if (x == 1) { result = "one"; }
+else if (x == 2) { result = "two"; }
+else { result = "other"; }
+"""
+        assert run(program) == "two"
+
+    def test_while_loop(self):
+        program = """
+var i = 0;
+var total = 0;
+while (i < 5) { total = total + i; i = i + 1; }
+return total;
+"""
+        assert run(program) == 10
+
+    def test_each_loop(self):
+        program = """
+var total = 0;
+each n in [1, 2, 3] { total = total + n; }
+return total;
+"""
+        assert run(program) == 6
+
+    def test_each_requires_list(self):
+        with pytest.raises(WeblRuntimeError):
+            run('each c in "abc" { }')
+
+    def test_return_exits_early(self):
+        assert run("return 1; var x = 2;") == 1
+
+    def test_return_void(self):
+        assert run("var x = 1; return;") is None
+
+    def test_result_is_last_assignment(self):
+        assert run("var a = 1; var b = 2; b = 3;") == 3
+
+    def test_infinite_loop_hits_step_budget(self):
+        from repro.webl import WeblInterpreter
+        interpreter = WeblInterpreter(lambda url: "", step_budget=1000)
+        with pytest.raises(WeblRuntimeError) as excinfo:
+            interpreter.run("var x = 1; while (true) { x = x + 1; }")
+        assert "step budget" in str(excinfo.value)
+
+
+class TestSyntaxErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(WeblSyntaxError):
+            parse_webl("var x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(WeblSyntaxError):
+            parse_webl("if (true) { var x = 1;")
+
+    def test_empty_program(self):
+        with pytest.raises(WeblSyntaxError):
+            parse_webl("   ")
+
+    def test_error_carries_line(self):
+        with pytest.raises(WeblSyntaxError) as excinfo:
+            parse_webl("var x = 1;\nvar y = ;")
+        assert "line 2" in str(excinfo.value)

@@ -1,0 +1,176 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import B2BScenario, ConflictProfile, generate_products
+from repro.workloads.catalog import partition
+from repro.workloads.heterogeneity import (CASE_VOCABULARIES, FIELD_STYLES,
+                                           PRICE_UNITS)
+from repro.workloads.scaling import (conflict_scenarios, record_count_sweep,
+                                     single_type_scenarios,
+                                     source_count_sweep)
+
+
+class TestCatalog:
+    def test_deterministic(self):
+        assert generate_products(20) == generate_products(20)
+
+    def test_seed_changes_world(self):
+        assert generate_products(20, seed=1) != generate_products(20, seed=2)
+
+    def test_models_unique(self):
+        products = generate_products(500)
+        models = [p.model for p in products]
+        assert len(set(models)) == len(models)
+
+    def test_key_is_brand_model(self):
+        product = generate_products(1)[0]
+        assert product.key() == (product.brand, product.model)
+
+    def test_partition_round_robin(self):
+        products = generate_products(10)
+        buckets = partition(products, 3)
+        assert [len(b) for b in buckets] == [4, 3, 3]
+        assert buckets[0][0] is products[0]
+        assert buckets[1][0] is products[1]
+
+    def test_partition_requires_positive(self):
+        with pytest.raises(ValueError):
+            partition([], 0)
+
+
+class TestConflictProfile:
+    def test_profiles_cycle_by_org(self):
+        profile = ConflictProfile()
+        assert profile.field_style(0) is FIELD_STYLES[0]
+        assert profile.field_style(1) is FIELD_STYLES[1]
+        assert profile.field_style(len(FIELD_STYLES)) is FIELD_STYLES[0]
+
+    def test_disabled_schematic_always_canonical(self):
+        profile = ConflictProfile(schematic=False)
+        for index in range(5):
+            assert profile.field_style(index) is FIELD_STYLES[0]
+
+    def test_disabled_semantic_always_canonical(self):
+        profile = ConflictProfile(semantic=False)
+        for index in range(5):
+            assert profile.case_vocabulary(index) == {}
+            assert profile.price_unit(index) == (1.0, None)
+
+    def test_published_values_canonical_org(self):
+        profile = ConflictProfile()
+        product = generate_products(1)[0]
+        values = profile.published_values(product, 0)
+        assert values["brand"] == product.brand
+        assert values["case"] == product.case
+        assert float(values["price"]) == pytest.approx(product.price)
+
+    def test_published_values_cents_org(self):
+        profile = ConflictProfile()
+        product = generate_products(1)[0]
+        values = profile.published_values(product, 1)  # cents unit
+        assert int(values["price"]) == int(round(product.price * 100))
+
+    def test_case_transform_inverts_vocabulary(self):
+        profile = ConflictProfile()
+        from repro.core.mapping.rules import TransformRegistry
+        registry = TransformRegistry()
+        for org in range(len(CASE_VOCABULARIES)):
+            transform = profile.case_transform(org)
+            vocabulary = profile.case_vocabulary(org)
+            for canonical, published in vocabulary.items():
+                assert registry.apply(transform, [published]) == [canonical]
+
+    def test_price_transform_inverts_unit(self):
+        profile = ConflictProfile()
+        from repro.core.mapping.rules import TransformRegistry
+        registry = TransformRegistry()
+        for org in range(len(PRICE_UNITS)):
+            factor, transform = profile.price_unit(org)
+            published = f"{123.0 * factor:g}"
+            normalized = registry.apply(transform, [published])
+            assert float(normalized[0]) == pytest.approx(123.0)
+
+
+class TestScenario:
+    def test_source_mix_cycles(self):
+        scenario = B2BScenario(n_sources=6, n_products=12)
+        types = [o.source_type for o in scenario.organizations]
+        assert types == ["database", "xml", "webpage", "textfile",
+                         "database", "xml"]
+
+    def test_every_product_published_once(self, scenario):
+        total = sum(len(o.products) for o in scenario.organizations)
+        assert total == len(scenario.products)
+
+    def test_middleware_full_coverage(self, middleware):
+        assert middleware.mapping_coverage() == 1.0
+
+    def test_all_products_recovered_with_normalization(self, scenario,
+                                                       middleware):
+        result = middleware.query("SELECT product")
+        truth = {p.key(): p for p in scenario.ground_truth()}
+        assert len(result) == len(truth)
+        for entity in result.entities:
+            product = truth[(entity.value("brand"), entity.value("model"))]
+            assert entity.value("case") == product.case
+            assert entity.value("price") == pytest.approx(product.price,
+                                                          abs=0.05)
+            assert entity.value("movement") == product.movement
+            assert entity.value("name") == product.provider_name
+
+    def test_clean_scenario_same_answers(self, clean_scenario):
+        s2s = clean_scenario.build_middleware()
+        result = s2s.query('SELECT product WHERE case = "stainless-steel"')
+        expected = clean_scenario.expected_matches(
+            lambda p: p.case == "stainless-steel")
+        assert len(result) == len(expected)
+
+    def test_filtered_query_matches_ground_truth(self, scenario, middleware):
+        result = middleware.query("SELECT product WHERE price < 300")
+        expected = scenario.expected_matches(lambda p: p.price < 300)
+        assert len(result) == len(expected)
+
+    def test_single_type_mix(self):
+        scenario = B2BScenario(n_sources=2, n_products=10,
+                               source_mix=("xml",))
+        assert all(o.source_type == "xml" for o in scenario.organizations)
+        s2s = scenario.build_middleware()
+        assert len(s2s.query("SELECT product")) == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            B2BScenario(n_sources=0)
+        with pytest.raises(ValueError):
+            B2BScenario(source_mix=("carrier-pigeon",))
+
+    def test_web_latency_respected(self):
+        scenario = B2BScenario(n_sources=1, n_products=2,
+                               source_mix=("webpage",), web_latency=0.0)
+        assert scenario.web.latency_seconds == 0.0
+
+
+class TestSweeps:
+    def test_source_count_sweep(self):
+        points = list(source_count_sweep([1, 2], records_per_source=5))
+        assert [p.n_sources for p in points] == [1, 2]
+        assert [p.n_products for p in points] == [5, 10]
+        for point in points:
+            assert len(point.middleware.query("SELECT product")) == \
+                point.n_products
+
+    def test_record_count_sweep(self):
+        points = list(record_count_sweep([4, 8], n_sources=2))
+        assert [p.n_products for p in points] == [4, 8]
+
+    def test_single_type_scenarios(self):
+        points = list(single_type_scenarios(n_products=8))
+        assert [p.label for p in points] == \
+            ["database", "xml", "webpage", "textfile"]
+        for point in points:
+            assert len(point.middleware.query("SELECT product")) == 8
+
+    def test_conflict_scenarios(self):
+        points = list(conflict_scenarios(n_sources=3, n_products=9))
+        assert [p.label for p in points] == \
+            ["none", "schematic", "schematic+semantic"]

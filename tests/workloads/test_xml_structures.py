@@ -1,0 +1,87 @@
+"""Tests for structural schematic heterogeneity (flat vs nested XML)."""
+
+import pytest
+
+from repro.workloads import B2BScenario, ConflictProfile
+from repro.workloads.heterogeneity import NESTED_SECTIONS
+
+
+class TestXmlStructures:
+    def test_structure_cycles_with_schematic_conflicts(self):
+        profile = ConflictProfile()
+        assert profile.xml_structure(0) == "flat"
+        assert profile.xml_structure(1) == "nested"
+        assert profile.xml_structure(2) == "flat"
+
+    def test_structure_canonical_without_schematic(self):
+        profile = ConflictProfile(schematic=False)
+        for index in range(4):
+            assert profile.xml_structure(index) == "flat"
+
+    def test_nested_document_shape(self):
+        scenario = B2BScenario(n_sources=2, n_products=4,
+                               source_mix=("xml",))
+        nested_org = scenario.organizations[1]  # index 1 → nested
+        document = nested_org.xml_store.get("catalog.xml")
+        item = document.root.find("item")
+        assert item.find("info") is not None
+        assert item.find("pricing") is not None
+        assert item.find("logistics") is not None
+        # fields live under their sections, not directly under <item>
+        brand_tag = nested_org.native_fields["brand"]
+        assert item.find(brand_tag) is None
+        assert item.find("info").find(brand_tag) is not None
+
+    def test_flat_document_shape(self):
+        scenario = B2BScenario(n_sources=2, n_products=4,
+                               source_mix=("xml",))
+        flat_org = scenario.organizations[0]  # index 0 → flat
+        document = flat_org.xml_store.get("catalog.xml")
+        item = document.root.find("item")
+        brand_tag = flat_org.native_fields["brand"]
+        assert item.find(brand_tag) is not None
+
+    def test_rules_follow_structure(self):
+        scenario = B2BScenario(n_sources=2, n_products=4,
+                               source_mix=("xml",))
+        nested_org = scenario.organizations[1]
+        rule = scenario._native_rule_code(nested_org, "price")
+        assert "/pricing/" in rule
+        flat_rule = scenario._native_rule_code(scenario.organizations[0],
+                                               "price")
+        assert "/pricing/" not in flat_rule
+
+    def test_integration_unaffected_by_structure(self):
+        """The mapping absorbs structural differences: queries return
+        ground truth regardless of how each partner nests its XML."""
+        scenario = B2BScenario(n_sources=4, n_products=16,
+                               source_mix=("xml",))
+        s2s = scenario.build_middleware()
+        result = s2s.query("SELECT product")
+        assert len(result) == 16
+        assert result.errors.ok
+        truth = {p.key(): p for p in scenario.ground_truth()}
+        for entity in result.entities:
+            product = truth[(entity.value("brand"), entity.value("model"))]
+            assert entity.value("price") == pytest.approx(product.price,
+                                                          abs=0.05)
+
+    def test_sections_cover_all_concepts(self):
+        published = {"brand", "model", "case", "movement",
+                     "water_resistance", "price", "provider",
+                     "provider_country"}
+        assert set(NESTED_SECTIONS) == published
+
+    def test_suggester_sees_nested_leaves(self):
+        from repro import S2SMiddleware
+        from repro.core.mapping.suggest import discover_fields
+        from repro.ontology.builders import watch_domain_ontology
+        scenario = B2BScenario(n_sources=2, n_products=4,
+                               source_mix=("xml",))
+        s2s = S2SMiddleware(watch_domain_ontology())
+        nested_org = scenario.organizations[1]
+        source = scenario.connector(nested_org)
+        s2s.register_source(source)
+        names = {f.name for f in discover_fields(source)}
+        assert nested_org.native_fields["brand"] in names
+        assert "info" not in names  # section wrappers are not fields

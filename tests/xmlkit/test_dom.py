@@ -1,0 +1,92 @@
+"""Tests for the DOM-lite tree."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Document, Element, Text
+
+
+class TestElement:
+    def test_requires_name(self):
+        with pytest.raises(XmlError):
+            Element("")
+
+    def test_subelement_with_text(self):
+        root = Element("catalog")
+        child = root.subelement("brand", text="Seiko")
+        assert child.parent is root
+        assert child.text == "Seiko"
+
+    def test_append_rejects_non_node(self):
+        with pytest.raises(XmlError):
+            Element("a").append("raw string not allowed")  # type: ignore[arg-type]
+
+    def test_append_text(self):
+        element = Element("a")
+        node = element.append_text("hello")
+        assert isinstance(node, Text)
+        assert node.parent is element
+
+    def test_find_first_match(self):
+        root = Element("catalog")
+        root.subelement("watch", {"id": "1"})
+        root.subelement("watch", {"id": "2"})
+        assert root.find("watch").get("id") == "1"
+
+    def test_find_missing_returns_none(self):
+        assert Element("catalog").find("watch") is None
+
+    def test_find_all(self):
+        root = Element("catalog")
+        root.subelement("watch")
+        root.subelement("other")
+        root.subelement("watch")
+        assert len(root.find_all("watch")) == 2
+
+    def test_find_is_not_recursive(self):
+        root = Element("catalog")
+        root.subelement("group").subelement("watch")
+        assert root.find("watch") is None
+
+    def test_iter_depth_first(self):
+        root = Element("a")
+        b = root.subelement("b")
+        b.subelement("c")
+        root.subelement("d")
+        assert [e.name for e in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_text_content_recursive(self):
+        root = Element("p")
+        root.append_text("Hello ")
+        bold = root.subelement("b")
+        bold.append_text("world")
+        assert root.text_content() == "Hello world"
+
+    def test_text_property_direct_only(self):
+        root = Element("p")
+        root.append_text("a")
+        root.subelement("b", text="inner")
+        root.append_text("c")
+        assert root.text == "ac"
+
+    def test_get_with_default(self):
+        element = Element("a", {"x": "1"})
+        assert element.get("x") == "1"
+        assert element.get("missing", "d") == "d"
+
+    def test_path(self):
+        root = Element("catalog")
+        watch = root.subelement("watch")
+        brand = watch.subelement("brand")
+        assert brand.path() == "/catalog/watch/brand"
+
+
+class TestDocument:
+    def test_root_must_be_element(self):
+        with pytest.raises(XmlError):
+            Document("not an element")  # type: ignore[arg-type]
+
+    def test_iter_delegates_to_root(self):
+        root = Element("a")
+        root.subelement("b")
+        assert len(list(Document(root).iter())) == 2

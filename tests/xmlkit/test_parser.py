@@ -1,0 +1,124 @@
+"""Tests for the strict XML parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit import parse_xml
+
+
+class TestBasics:
+    def test_single_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.root.name == "a"
+        assert doc.root.children == []
+
+    def test_declaration_detected(self):
+        assert parse_xml('<?xml version="1.0"?><a/>').declaration is True
+        assert parse_xml("<a/>").declaration is False
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        assert doc.root.find("b").find("c") is not None
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello</a>")
+        assert doc.root.text == "hello"
+
+    def test_mixed_content(self):
+        doc = parse_xml("<p>one<b>two</b>three</p>")
+        assert doc.root.text_content() == "onetwothree"
+
+    def test_attributes(self):
+        doc = parse_xml('<a x="1" y=\'2\'/>')
+        assert doc.root.get("x") == "1"
+        assert doc.root.get("y") == "2"
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("   ")
+
+
+class TestEntities:
+    def test_named_entities(self):
+        doc = parse_xml("<a>&lt;tag&gt; &amp; &quot;text&quot; &apos;</a>")
+        assert doc.root.text == "<tag> & \"text\" '"
+
+    def test_numeric_entities(self):
+        assert parse_xml("<a>&#65;&#x42;</a>").root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        assert parse_xml('<a x="&amp;"/>').root.get("x") == "&"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<a>&nope;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<a>&amp no semicolon</a>")
+
+
+class TestStructureErrors:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<a><b></b>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<a/><b/>")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(XmlSyntaxError) as excinfo:
+            parse_xml("<a>\n\n<b>\n</a>")
+        assert "line" in str(excinfo.value)
+
+
+class TestIgnorables:
+    def test_comments_skipped(self):
+        doc = parse_xml("<!-- head --><a><!-- inner -->x</a><!-- tail -->")
+        assert doc.root.text == "x"
+
+    def test_cdata_preserved_verbatim(self):
+        doc = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+        assert doc.root.text == "<raw> & stuff"
+
+    def test_processing_instruction_skipped(self):
+        doc = parse_xml("<a><?php echo ?>x</a>")
+        assert doc.root.text == "x"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml("<!DOCTYPE catalog [<!ELEMENT a ANY>]><a/>")
+        assert doc.root.name == "a"
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<!-- never ends <a/>")
+
+
+class TestNamespaces:
+    def test_default_namespace(self):
+        doc = parse_xml('<a xmlns="http://ns/">x</a>')
+        assert doc.root.namespace == "http://ns/"
+
+    def test_prefixed_namespace(self):
+        doc = parse_xml('<p:a xmlns:p="http://p/"><p:b/></p:a>')
+        assert doc.root.namespace == "http://p/"
+        assert doc.root.element_children()[0].namespace == "http://p/"
+
+    def test_namespace_inherited_and_overridden(self):
+        doc = parse_xml(
+            '<a xmlns="http://outer/"><b xmlns="http://inner/"/></a>')
+        assert doc.root.namespace == "http://outer/"
+        assert doc.root.element_children()[0].namespace == "http://inner/"
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_xml("<p:a/>")
+
+    def test_xml_prefix_predeclared(self):
+        doc = parse_xml('<a xml:lang="en"/>')
+        assert doc.root.get("xml:lang") == "en"

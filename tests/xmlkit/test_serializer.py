@@ -1,0 +1,53 @@
+"""Tests for the XML serializer."""
+
+from repro.xmlkit import parse_xml, serialize_xml
+from repro.xmlkit.dom import Document, Element
+
+
+class TestSerializer:
+    def test_declaration_emitted(self):
+        doc = Document(Element("a"))
+        assert serialize_xml(doc).startswith(
+            '<?xml version="1.0" encoding="UTF-8"?>')
+
+    def test_declaration_suppressed(self):
+        doc = Document(Element("a"), declaration=False)
+        assert serialize_xml(doc).startswith("<a/>")
+
+    def test_empty_element_self_closes(self):
+        assert "<a/>" in serialize_xml(Element("a"))
+
+    def test_text_only_element_single_line(self):
+        root = Element("brand")
+        root.append_text("Seiko")
+        assert "<brand>Seiko</brand>" in serialize_xml(root)
+
+    def test_attributes_escaped(self):
+        root = Element("a", {"x": 'va"l<ue'})
+        text = serialize_xml(root)
+        assert 'x="va&quot;l&lt;ue"' in text
+
+    def test_text_escaped(self):
+        root = Element("a")
+        root.append_text("1 < 2 & 3 > 2")
+        assert "1 &lt; 2 &amp; 3 &gt; 2" in serialize_xml(root)
+
+    def test_pretty_indentation(self):
+        root = Element("catalog")
+        root.subelement("watch").subelement("brand", text="Seiko")
+        text = serialize_xml(root)
+        assert "\n  <watch>" in text
+        assert "\n    <brand>Seiko</brand>" in text
+
+    def test_roundtrip_through_parser(self):
+        source = ('<catalog><watch id="1"><brand>Seiko</brand>'
+                  "<price>199.5</price></watch></catalog>")
+        doc = parse_xml(source)
+        again = parse_xml(serialize_xml(doc))
+        assert again.root.find("watch").find("brand").text == "Seiko"
+        assert again.root.find("watch").get("id") == "1"
+
+    def test_element_subtree_serializable(self):
+        root = Element("outer")
+        inner = root.subelement("inner", text="x")
+        assert serialize_xml(inner).strip() == "<inner>x</inner>"

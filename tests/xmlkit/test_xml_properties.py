@@ -1,0 +1,82 @@
+"""Property-based tests for the XML kit."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit import parse_xml, serialize_xml
+from repro.xmlkit.dom import Document, Element
+
+_names = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+_texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"),
+                           blacklist_characters="<>&"),
+    min_size=1, max_size=20).filter(lambda t: t.strip() == t and t.strip())
+_attr_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc"),
+                           blacklist_characters='<>&"'),
+    max_size=15)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = Element(draw(_names))
+    for attr_name in draw(st.lists(_names, max_size=3, unique=True)):
+        element.attributes[attr_name] = draw(_attr_values)
+    if depth < 3:
+        child_count = draw(st.integers(0, 3))
+        for _ in range(child_count):
+            if draw(st.booleans()):
+                element.append(draw(elements(depth=depth + 1)))
+            else:
+                element.append_text(draw(_texts))
+    return element
+
+
+def _normalize(element: Element):
+    """Comparable shape: (name, attrs, children).
+
+    Adjacent text nodes are merged before comparing — XML serialization
+    cannot preserve text-node boundaries, only the concatenated text."""
+    children = []
+    text_run: list[str] = []
+
+    def flush():
+        # The pretty-printer re-indents mixed content, so whitespace is
+        # not preserved; compare text with whitespace removed entirely.
+        joined = "".join("".join(text_run).split())
+        if joined:
+            children.append(joined)
+        text_run.clear()
+
+    for child in element.children:
+        if isinstance(child, Element):
+            flush()
+            children.append(_normalize(child))
+        else:
+            text_run.append(child.value)
+    flush()
+    return (element.name, tuple(sorted(element.attributes.items())),
+            tuple(children))
+
+
+class TestRoundtrip:
+    @settings(max_examples=80)
+    @given(elements())
+    def test_serialize_parse_preserves_shape(self, element):
+        document = Document(element)
+        parsed = parse_xml(serialize_xml(document))
+        assert _normalize(parsed.root) == _normalize(element)
+
+    @settings(max_examples=80)
+    @given(elements())
+    def test_double_roundtrip_is_stable(self, element):
+        once = serialize_xml(Document(element))
+        twice = serialize_xml(parse_xml(once))
+        assert once == twice
+
+    @settings(max_examples=50)
+    @given(elements())
+    def test_iter_counts_match(self, element):
+        parsed = parse_xml(serialize_xml(Document(element)))
+        assert (len(list(parsed.root.iter()))
+                == len(list(element.iter())))

@@ -1,0 +1,194 @@
+"""Tests for the XPath subset engine."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlkit import XPath, parse_xml, xpath_select
+
+CATALOG = """
+<catalog vendor="Acme">
+  <watch id="1" featured="yes">
+    <brand>Seiko</brand><price>199.5</price>
+    <case>stainless-steel</case>
+  </watch>
+  <watch id="2">
+    <brand>Casio</brand><price>15.5</price>
+    <case>resin</case>
+  </watch>
+  <watch id="3">
+    <brand>Seiko</brand><price>89.0</price>
+    <case>stainless-steel</case>
+  </watch>
+  <clearance>
+    <watch id="4"><brand>Timex</brand><price>25.0</price></watch>
+  </clearance>
+</catalog>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(CATALOG)
+
+
+class TestPaths:
+    def test_absolute_child_path(self, doc):
+        assert len(xpath_select(doc, "/catalog/watch")) == 3
+
+    def test_descendant_path(self, doc):
+        assert len(xpath_select(doc, "//watch")) == 4
+
+    def test_descendant_midway(self, doc):
+        assert len(xpath_select(doc, "/catalog//watch")) == 4
+
+    def test_wildcard(self, doc):
+        assert len(xpath_select(doc, "/catalog/*")) == 4
+
+    def test_attribute_step(self, doc):
+        assert xpath_select(doc, "/catalog/watch/@id") == ["1", "2", "3"]
+
+    def test_attribute_wildcard(self, doc):
+        values = xpath_select(doc, "/catalog/watch[1]/@*")
+        assert set(values) == {"1", "yes"}
+
+    def test_root_attribute(self, doc):
+        assert xpath_select(doc, "/catalog/@vendor") == ["Acme"]
+
+    def test_text_step(self, doc):
+        texts = XPath("//watch/brand/text()").values(doc)
+        assert texts == ["Seiko", "Casio", "Seiko", "Timex"]
+
+    def test_parent_step(self, doc):
+        nodes = xpath_select(doc, "//clearance/watch/..")
+        assert [n.name for n in nodes] == ["clearance"]
+
+    def test_self_step(self, doc):
+        assert len(xpath_select(doc, "//watch/.")) == 4
+
+    def test_relative_path_from_element(self, doc):
+        watch = xpath_select(doc, "/catalog/watch")[0]
+        assert XPath("brand").values(watch) == ["Seiko"]
+
+    def test_union(self, doc):
+        nodes = xpath_select(doc, "//brand | //case")
+        assert len(nodes) == 7
+
+
+class TestPredicates:
+    def test_position_predicate(self, doc):
+        assert xpath_select(doc, "/catalog/watch[2]/@id") == ["2"]
+
+    def test_last_function(self, doc):
+        assert xpath_select(doc, "/catalog/watch[last()]/@id") == ["3"]
+
+    def test_position_function(self, doc):
+        assert xpath_select(doc, "/catalog/watch[position()>1]/@id") == \
+            ["2", "3"]
+
+    def test_value_comparison(self, doc):
+        brands = XPath("//watch[price>100]/brand").values(doc)
+        assert brands == ["Seiko"]
+
+    def test_string_equality(self, doc):
+        ids = xpath_select(doc, '//watch[brand="Seiko"]/@id')
+        assert ids == ["1", "3"]
+
+    def test_attribute_predicate(self, doc):
+        ids = xpath_select(doc, '//watch[@featured="yes"]/@id')
+        assert ids == ["1"]
+
+    def test_existence_predicate(self, doc):
+        assert xpath_select(doc, "//watch[@featured]/@id") == ["1"]
+
+    def test_and_predicate(self, doc):
+        ids = xpath_select(
+            doc, '//watch[brand="Seiko" and price<100]/@id')
+        assert ids == ["3"]
+
+    def test_or_predicate(self, doc):
+        ids = xpath_select(doc, '//watch[price<20 or price>150]/@id')
+        assert ids == ["1", "2"]
+
+    def test_chained_predicates(self, doc):
+        ids = xpath_select(doc, '//watch[brand="Seiko"][2]/@id')
+        assert ids == ["3"]
+
+    def test_not_function(self, doc):
+        ids = xpath_select(doc, '//watch[not(@featured)]/@id')
+        assert ids == ["2", "3", "4"]
+
+
+class TestFunctions:
+    def test_count(self, doc):
+        assert XPath("count(//watch)").evaluate(doc) == 4.0
+
+    def test_contains(self, doc):
+        ids = xpath_select(doc, '//watch[contains(case, "steel")]/@id')
+        assert ids == ["1", "3"]
+
+    def test_starts_with(self, doc):
+        ids = xpath_select(doc, '//watch[starts-with(brand, "Se")]/@id')
+        assert ids == ["1", "3"]
+
+    def test_normalize_space(self):
+        doc = parse_xml("<a>  hello   world </a>")
+        assert XPath("normalize-space(/a)").evaluate(doc) == "hello world"
+
+    def test_string_conversion(self, doc):
+        assert XPath("string(//watch[1]/brand)").evaluate(doc) == "Seiko"
+
+    def test_number_conversion(self, doc):
+        assert XPath("number(//watch[1]/price)").evaluate(doc) == 199.5
+
+    def test_name_function(self, doc):
+        assert XPath("name(/catalog/*[1])").evaluate(doc) == "watch"
+
+    def test_concat(self, doc):
+        value = XPath('concat(//watch[1]/brand, "-", //watch[1]/@id)'
+                      ).evaluate(doc)
+        assert value == "Seiko-1"
+
+    def test_string_length(self, doc):
+        assert XPath("string-length(//watch[1]/brand)").evaluate(doc) == 5.0
+
+    def test_substring(self, doc):
+        assert XPath('substring(//watch[1]/brand, 1, 3)').evaluate(doc) == "Sei"
+
+
+class TestApi:
+    def test_values_coerce_nodes_to_strings(self, doc):
+        # XPath 1.0: //watch[1] selects the first watch child of *each*
+        # parent (catalog and clearance).
+        assert XPath("//watch[1]/brand").values(doc) == ["Seiko", "Timex"]
+        assert XPath("/catalog/watch[1]/brand").values(doc) == ["Seiko"]
+
+    def test_first_with_default(self, doc):
+        assert XPath("//missing").first(doc, "fallback") == "fallback"
+        assert XPath("//brand").first(doc) == "Seiko"
+
+    def test_scalar_select_wraps_in_list(self, doc):
+        assert XPath("count(//watch)").select(doc) == [4.0]
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(XPathError):
+            XPath("")
+
+    def test_bad_token(self):
+        with pytest.raises(XPathError):
+            XPath("//watch[price ?? 3]")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(XPathError):
+            XPath("//watch 42")
+
+    def test_unknown_function(self):
+        doc = parse_xml("<a/>")
+        with pytest.raises(XPathError):
+            XPath("unknown-fn(1)")
+
+    def test_union_of_scalars_rejected(self):
+        doc = parse_xml("<a/>")
+        with pytest.raises(XPathError):
+            XPath('count(/a) | count(/a)').evaluate(doc)

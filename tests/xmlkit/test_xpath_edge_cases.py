@@ -1,0 +1,126 @@
+"""Deeper XPath engine edge cases."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlkit import XPath, parse_xml, xpath_select
+
+DOC = """
+<root version="2">
+  <group name="g1">
+    <item id="1"><v>10</v></item>
+    <item id="2"><v>20</v></item>
+  </group>
+  <group name="g2">
+    <item id="3"><v>30</v></item>
+  </group>
+  <empty/>
+</root>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(DOC)
+
+
+class TestAxesEdge:
+    def test_parent_chain(self, doc):
+        nodes = xpath_select(doc, "//v/../..")
+        assert {n.name for n in nodes} == {"group"}
+
+    def test_parent_of_root_element_is_empty(self, doc):
+        # Simplification vs full XPath: the DOM does not back-link the
+        # root element to the document node, so /root/.. is empty rather
+        # than the document.
+        assert xpath_select(doc, "/root/..") == []
+
+    def test_descendant_then_predicate_position(self, doc):
+        # position applies per parent's candidate list after //
+        ids = xpath_select(doc, "//item[1]/@id")
+        assert ids == ["1", "3"]  # first item of each group
+
+    def test_descendant_self_star(self, doc):
+        # root + 2 groups + 3 items + 3 v + empty = 10 elements
+        all_elements = xpath_select(doc, "//*")
+        assert len(all_elements) == 10
+
+    def test_empty_element_text_is_empty(self, doc):
+        assert XPath("/root/empty").values(doc) == [""]
+
+    def test_attribute_of_missing_element(self, doc):
+        assert xpath_select(doc, "/root/ghost/@x") == []
+
+
+class TestPredicatesEdge:
+    def test_nodeset_comparison_is_existential(self, doc):
+        # group matches when ANY item/v satisfies the comparison
+        names = xpath_select(doc, '//group[item/v > 25]/@name')
+        assert names == ["g2"]
+
+    def test_nodeset_equality_both_sides(self, doc):
+        # any pair (item/v, v-of-other) equality — compare to constant here
+        assert xpath_select(doc, '//group[item/v = 10]/@name') == ["g1"]
+
+    def test_count_in_predicate(self, doc):
+        names = xpath_select(doc, "//group[count(item) = 2]/@name")
+        assert names == ["g1"]
+
+    def test_position_and_condition_combined(self, doc):
+        ids = xpath_select(doc, "//item[position() = 1 and @id = '3']/@id")
+        assert ids == ["3"]
+
+    def test_numeric_string_comparison_coerces(self, doc):
+        assert xpath_select(doc, '/root[@version > 1]') != []
+
+    def test_predicate_on_attribute_step(self, doc):
+        # filter attribute values themselves
+        values = xpath_select(doc, "//item/@id[. > 1]")
+        assert values == ["2", "3"]
+
+
+class TestFunctionsEdge:
+    def test_number_of_non_numeric_is_nan(self, doc):
+        value = XPath('number(//group[1]/@name)').evaluate(doc)
+        assert value != value  # NaN
+
+    def test_nan_comparisons_false(self, doc):
+        assert xpath_select(doc, '//group[number(@name) > 0]') == []
+
+    def test_string_of_empty_nodeset(self, doc):
+        assert XPath("string(//ghost)").evaluate(doc) == ""
+
+    def test_boolean_coercion_of_empty_string(self, doc):
+        assert xpath_select(doc, '//group[string(//ghost)]') == []
+
+    def test_concat_with_numbers(self, doc):
+        value = XPath('concat("n=", count(//item))').evaluate(doc)
+        assert value == "n=3"
+
+    def test_substring_out_of_range(self, doc):
+        assert XPath('substring("abc", 10, 5)').evaluate(doc) == ""
+        assert XPath('substring("abc", 0)').evaluate(doc) == "abc"
+
+
+class TestUnionEdge:
+    def test_union_deduplicates(self, doc):
+        nodes = xpath_select(doc, "//item | //item")
+        assert len(nodes) == 3
+
+    def test_union_preserves_first_operand_order(self, doc):
+        nodes = xpath_select(doc, "//group | //item")
+        assert [n.name for n in nodes[:2]] == ["group", "group"]
+
+
+class TestRelativeEvaluation:
+    def test_relative_from_mid_tree(self, doc):
+        group = xpath_select(doc, "//group")[0]
+        assert XPath("item/v").values(group) == ["10", "20"]
+
+    def test_absolute_from_mid_tree_goes_to_root(self, doc):
+        group = xpath_select(doc, "//group")[1]
+        assert len(XPath("//item").select(group)) == 3
+
+    def test_dot_descendant(self, doc):
+        group = xpath_select(doc, "//group")[0]
+        assert len(XPath(".//v").select(group)) == 2
