@@ -3,9 +3,16 @@
 B2B integration runs against other organizations' infrastructure, so
 transient failures are the norm, not the exception.  Measures answer
 completeness (records returned / records expected) as the per-call
-transient-failure rate grows, with and without the mediator's retry
-policy — the availability argument for putting retries in the middleware
-rather than in every hand-written integration.
+transient-failure rate grows, across the resilience ladder:
+
+* no retries (the seed behaviour),
+* retries only (exponential backoff on :class:`TransientSourceError`),
+* full resilience: retries + per-source circuit breakers + replica
+  failover (one healthy mirror per organization).
+
+All runs share a :class:`~repro.clock.FakeClock`, so backoff sleeps and
+breaker cooldowns cost zero wall-clock time — the numbers isolate the
+availability effect from timing noise.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import ResultTable
+from repro.clock import FakeClock
+from repro.core.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
 from repro.sources.flaky import FlakySource
 from repro.workloads import B2BScenario
 
@@ -22,8 +31,11 @@ N_PRODUCTS = 24
 
 def flaky_middleware(failure_rate: float, *, retries: int,
                      seed: int = 7):
+    """The legacy-equivalent world: fixed-delay retries, nothing else."""
     scenario = B2BScenario(n_sources=4, n_products=N_PRODUCTS, seed=seed)
-    s2s = scenario.build_middleware(retries=retries)
+    s2s = scenario.build_middleware(resilience=ResilienceConfig(
+        retry=RetryPolicy.from_legacy(retries, 0.0), breaker=None,
+        failover=False))
     for org in scenario.organizations:
         inner = s2s.source_repository.get(org.source_id)
         s2s.source_repository.register(
@@ -32,13 +44,41 @@ def flaky_middleware(failure_rate: float, *, retries: int,
     return scenario, s2s
 
 
-def completeness(s2s) -> float:
-    result = s2s.query("SELECT product")
+def resilient_middleware(failure_rate: float, *, max_attempts: int = 3,
+                         breaker: bool = False, replicas: bool = False,
+                         seed: int = 7):
+    """The resilience-layer world: backoff+jitter retries on a fake
+    clock, optionally with circuit breakers and one healthy replica per
+    organization (only the primaries are flaky)."""
+    clock = FakeClock()
+    scenario = B2BScenario(n_sources=4, n_products=N_PRODUCTS, seed=seed)
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.01,
+                          multiplier=2.0, max_delay=0.1, seed=11),
+        breaker=BreakerPolicy() if breaker else None,
+        clock=clock)
+    s2s = scenario.build_middleware(resilience=config)
+    if replicas:
+        scenario.add_replicas(s2s)
+    for org in scenario.organizations:
+        inner = s2s.source_repository.get(org.source_id)
+        s2s.source_repository.register(
+            FlakySource(inner, failure_rate=failure_rate, seed=org.index,
+                        clock=clock),
+            replace=True)
+    return scenario, s2s
+
+
+def completeness_of(result) -> float:
     full_records = sum(
         1 for entity in result.entities
         if entity.value("brand") is not None
         and entity.value("price") is not None)
     return full_records / N_PRODUCTS
+
+
+def completeness(s2s) -> float:
+    return completeness_of(s2s.query("SELECT product"))
 
 
 def test_e13_report():
@@ -59,11 +99,73 @@ def test_e13_report():
     table.print()
 
 
+def test_e13_resilience_report():
+    """Breaker + failover columns: three retry attempts everywhere, so
+    the completeness differences isolate what replicas add on top of
+    retries once the failure rate overwhelms the retry budget."""
+    table = ResultTable(
+        "E13b: completeness with circuit breakers + replica failover "
+        f"({N_PRODUCTS} records, 4 sources, max_attempts=3)",
+        ["failure_rate", "retries_only", "full_resilience", "failovers",
+         "degraded_sources", "extract_ms"])
+    for rate in FAILURE_RATES + [0.8]:
+        _scenario, retries_only = resilient_middleware(rate)
+        _scenario, full = resilient_middleware(rate, breaker=True,
+                                               replicas=True)
+        result = full.query("SELECT product")
+        table.add_row(
+            rate,
+            completeness(retries_only),
+            completeness_of(result),
+            sum(h.failovers for h in result.health.values()),
+            len(result.degraded_sources),
+            result.extraction_seconds * 1000.0)
+    table.print()
+
+
 def test_e13_retries_restore_completeness():
     _scenario, without = flaky_middleware(0.4, retries=0)
     _scenario, with_retries = flaky_middleware(0.4, retries=8)
     assert completeness(without) < 1.0
     assert completeness(with_retries) == 1.0
+
+
+def test_e13_failover_rescues_what_retries_cannot():
+    _scenario, retries_only = resilient_middleware(0.85, max_attempts=2)
+    _scenario, full = resilient_middleware(0.85, max_attempts=2,
+                                           replicas=True)
+    assert completeness(retries_only) < 1.0
+    assert completeness(full) == 1.0
+
+
+def test_e13_breaker_sheds_load_on_a_dead_source():
+    def down_world(*, breaker: bool):
+        clock = FakeClock()
+        scenario = B2BScenario(n_sources=4, n_products=N_PRODUCTS)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, jitter="none"),
+            breaker=(BreakerPolicy(failure_threshold=3,
+                                   cooldown_seconds=60.0)
+                     if breaker else None),
+            clock=clock)
+        s2s = scenario.build_middleware(resilience=config)
+        down = scenario.organizations[0].source_id
+        flaky = FlakySource(s2s.source_repository.get(down),
+                            failure_rate=1.0, clock=clock)
+        s2s.source_repository.register(flaky, replace=True)
+        return s2s, flaky, down
+
+    s2s, flaky, _down = down_world(breaker=False)
+    s2s.query("SELECT product")
+    unshielded = flaky.attempts  # 8 entries x 3 attempts
+
+    s2s, flaky, down = down_world(breaker=True)
+    result = s2s.query("SELECT product")
+    # the breaker opens after 3 failures; later entries fail fast
+    assert flaky.attempts == 3
+    assert flaky.attempts < unshielded
+    assert result.health[down].breaker_state == "open"
+    assert down in result.degraded_sources
 
 
 def test_e13_healthy_world_needs_no_retries():

@@ -1,0 +1,65 @@
+"""Injectable time for the resilience layer and fault injection.
+
+Everything in the middleware that *waits* (retry backoff, circuit-breaker
+cooldowns, extraction deadlines, injected source latency) reads time
+through a :class:`Clock` instead of calling :mod:`time` directly.  Tests
+substitute a :class:`FakeClock`, so breaker cooldowns, backoff schedules
+and deadline expiry are exercised deterministically with zero real
+sleeping — a requirement for keeping the availability experiments (E13)
+and the resilience test suite fast and reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Monotonic time plus sleeping; the seam for fake time in tests."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonic clock (never goes backwards)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` (no-op for non-positive values)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock: ``time.monotonic`` + ``time.sleep``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """Manually advanced clock; ``sleep`` advances time instantly.
+
+    Thread-safe: the extraction thread pool may sleep and read time
+    concurrently.  Sleeping advances the shared ``now`` so a deadline
+    computed against this clock still expires in the right order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward (negative deltas are ignored)."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            self._now += seconds

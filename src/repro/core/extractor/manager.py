@@ -14,29 +14,50 @@ Failures are collected, not fatal: a dead source must not take down a
 federated query.  In ``strict`` mode the first failure raises instead —
 useful in tests and during mapping authoring.
 
-Two opt-in performance features (both ablated in experiment E1):
+Because B2B sources live on other organizations' infrastructure, step 4
+runs under the resilience layer (:mod:`repro.core.resilience`, all
+configured through one :class:`~repro.core.resilience.ResilienceConfig`):
 
-* ``parallel=True`` extracts sources concurrently with a thread pool —
-  sources are independent remote systems, so with any per-source latency
-  the fan-out wins wall-clock time;
-* ``cache=FragmentCache()`` reuses fragments across queries until
-  explicitly invalidated.
+* transient failures are retried with exponential backoff + full jitter
+  under a per-extraction retry budget;
+* every source sits behind a circuit breaker — a down source fails fast
+  instead of burning the rest of the query's budget;
+* a wall-clock :class:`~repro.core.resilience.Deadline` bounds the whole
+  run in both the serial and the parallel path, reporting timed-out
+  sources as problems instead of hanging;
+* when a primary source is exhausted or its breaker is open, the manager
+  falls through to *replica* mappings of the same attribute
+  (``register_attribute(..., replica_of=...)``);
+* a per-source :class:`~repro.core.resilience.SourceHealth` ledger is
+  attached to every outcome so callers can distinguish a complete answer
+  from a best-effort one.
+
+Two opt-in performance features (both ablated in experiment E1):
+``parallel=True`` (in the config) extracts sources concurrently with a
+thread pool, and ``cache=FragmentCache()`` reuses fragments across
+queries until explicitly invalidated.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
+from typing import Any
 
-from ...errors import S2SError
+from ...errors import (CircuitOpenError, DeadlineExceededError, S2SError,
+                       TransientSourceError)
 from ...ids import AttributePath
 from ..mapping.attributes import MappingEntry
 from ..mapping.datasources import DataSourceRepository
 from ..mapping.repository import AttributeRepository
+from ..resilience import (UNSET, CircuitBreakerRegistry, Deadline,
+                          ResilienceConfig, RetryBudget, SourceHealth,
+                          SourceHealthRegistry, legacy_kwargs_to_config)
 from .cache import FragmentCache
 from .extractors import ExtractorRegistry
-from .records import SourceRecordSet
+from .records import RawFragment, SourceRecordSet
 from .schema import ExtractionSchema
 
 
@@ -56,18 +77,37 @@ class ExtractionProblem:
 
 @dataclass
 class ExtractionOutcome:
-    """Everything step 4 produced: record sets + problems + timings."""
+    """Everything step 4 produced: record sets + problems + timings +
+    per-source health."""
 
     record_sets: dict[str, SourceRecordSet] = field(default_factory=dict)
     problems: list[ExtractionProblem] = field(default_factory=list)
     missing_attributes: list[AttributePath] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     per_source_seconds: dict[str, float] = field(default_factory=dict)
+    health: dict[str, SourceHealth] = field(default_factory=dict)
+    deadline_seconds: float | None = None
 
     @property
     def ok(self) -> bool:
         """True when no problems were recorded."""
         return not self.problems
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is best-effort rather than complete:
+        problems, unmapped attributes, replica substitution, deadline
+        expiry or a non-closed breaker."""
+        return bool(self.problems or self.missing_attributes
+                    or any(h.degraded for h in self.health.values()))
+
+    @property
+    def degraded_sources(self) -> list[str]:
+        """Sources that contributed to degradation, sorted."""
+        sources = {p.source_id for p in self.problems}
+        sources.update(source_id for source_id, h in self.health.items()
+                       if h.degraded)
+        return sorted(sources)
 
     def total_records(self) -> int:
         """Total records across all sources' record sets."""
@@ -82,28 +122,63 @@ class _SourceResult:
     elapsed: float
 
 
+@dataclass
+class _RunContext:
+    """Per-``extract()`` state shared by all source workers."""
+
+    schema: ExtractionSchema
+    deadline: Deadline
+    budget: RetryBudget
+    health: SourceHealthRegistry
+
+
 class ExtractorManager:
     """Mediator between the mapping repositories and the extractors."""
 
     def __init__(self, attributes: AttributeRepository,
                  sources: DataSourceRepository,
                  extractors: ExtractorRegistry | None = None,
-                 *, strict: bool = False, parallel: bool = False,
-                 max_workers: int | None = None,
+                 *, strict: bool = False,
                  cache: FragmentCache | None = None,
-                 retries: int = 0, retry_delay: float = 0.0) -> None:
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
+                 resilience: ResilienceConfig | None = None,
+                 parallel: Any = UNSET, max_workers: Any = UNSET,
+                 retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
+        self.config = legacy_kwargs_to_config(
+            resilience, parallel=parallel, max_workers=max_workers,
+            retries=retries, retry_delay=retry_delay,
+            owner="ExtractorManager")
         self.attributes = attributes
         self.sources = sources
         self.extractors = extractors or ExtractorRegistry()
         self.strict = strict
-        self.parallel = parallel
-        self.max_workers = max_workers
         self.cache = cache
-        self.retries = retries
-        self.retry_delay = retry_delay
+        self.breakers = (CircuitBreakerRegistry(self.config.breaker,
+                                                self.config.clock)
+                         if self.config.breaker is not None else None)
+        self.health = SourceHealthRegistry()  # cumulative across runs
         self.retry_count = 0  # total retried attempts, for observability
+        self._rng = self.config.retry.make_rng()
+        self._lock = threading.Lock()  # guards _rng and retry_count
+
+    # -- legacy accessors (pre-ResilienceConfig API) -----------------------
+
+    @property
+    def parallel(self) -> bool:
+        return self.config.parallel
+
+    @property
+    def max_workers(self) -> int | None:
+        return self.config.max_workers
+
+    @property
+    def retries(self) -> int:
+        return self.config.retry.retries
+
+    @property
+    def retry_delay(self) -> float:
+        return self.config.retry.base_delay
+
+    # ----------------------------------------------------------------------
 
     def obtain_extraction_schema(self,
                                  required: list[AttributePath]
@@ -111,35 +186,95 @@ class ExtractorManager:
         """Step 2 (task 2.4.1)."""
         return ExtractionSchema.build(self.attributes, required)
 
-    def extract(self, required: list[AttributePath]) -> ExtractionOutcome:
+    def extract(self, required: list[AttributePath],
+                *, deadline: Deadline | float | None = None
+                ) -> ExtractionOutcome:
         """Run steps 2-4 for the given required-attribute list (step 1 is
-        the caller's query analysis)."""
+        the caller's query analysis).
+
+        ``deadline`` overrides the configured wall-clock budget for this
+        run (a number of seconds or a prepared :class:`Deadline`)."""
         started = time.perf_counter()
         schema = self.obtain_extraction_schema(required)
-        outcome = ExtractionOutcome(missing_attributes=list(schema.missing))
+        if deadline is None:
+            deadline = Deadline(self.config.deadline_seconds,
+                                self.config.clock)
+        elif not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline), self.config.clock)
+        ctx = _RunContext(schema, deadline,
+                          RetryBudget(self.config.retry.budget),
+                          SourceHealthRegistry())
+        outcome = ExtractionOutcome(missing_attributes=list(schema.missing),
+                                    deadline_seconds=deadline.seconds)
 
         source_ids = schema.source_ids()
-        if self.parallel and len(source_ids) > 1:
-            workers = self.max_workers or min(len(source_ids), 16)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(
-                    lambda sid: self._extract_source(
-                        sid, schema.by_source[sid]),
-                    source_ids))
+        if self.config.parallel and len(source_ids) > 1:
+            results = self._extract_parallel(source_ids, ctx, outcome)
         else:
-            results = [self._extract_source(sid, schema.by_source[sid])
+            results = [self._extract_source(sid, schema.by_source[sid], ctx)
                        for sid in source_ids]
 
-        for result in results:
+        for result in sorted(results, key=lambda r: r.source_id):
             outcome.problems.extend(result.problems)
             if result.record_set is not None and result.record_set.fragments:
                 outcome.record_sets[result.source_id] = result.record_set
             outcome.per_source_seconds[result.source_id] = result.elapsed
+        self._stamp_breaker_states(ctx.health)
+        outcome.health = ctx.health.snapshot()
+        self.health.merge_from(ctx.health)
         outcome.elapsed_seconds = time.perf_counter() - started
         return outcome
 
-    def _extract_source(self, source_id: str,
-                        entries: list[MappingEntry]) -> _SourceResult:
+    def _extract_parallel(self, source_ids: list[str], ctx: _RunContext,
+                          outcome: ExtractionOutcome) -> list[_SourceResult]:
+        """Fan out one worker per source, bounded by the deadline.
+
+        Workers police the deadline themselves between entries (their
+        sleeps are clamped to the remaining budget), so the outer wait
+        timeout only matters when a connector blocks in foreign code —
+        then the source is reported as timed out and its thread is
+        abandoned rather than joined."""
+        workers = self.config.max_workers or min(len(source_ids), 16)
+        pool = ThreadPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                pool.submit(self._extract_source, sid,
+                            ctx.schema.by_source[sid], ctx): sid
+                for sid in source_ids}
+            timeout = (None if ctx.deadline.unbounded
+                       else max(ctx.deadline.remaining(), 0.05))
+            done, not_done = wait(futures, timeout=timeout,
+                                  return_when=FIRST_EXCEPTION)
+            results = []
+            for future in done:
+                results.append(future.result())  # re-raises in strict mode
+            for future in not_done:
+                future.cancel()
+                source_id = futures[future]
+                ctx.health.for_source(source_id).deadline_hits += 1
+                outcome.problems.append(ExtractionProblem(
+                    source_id, None,
+                    f"source did not complete within the "
+                    f"{ctx.deadline.seconds:.3f}s extraction deadline"))
+                outcome.per_source_seconds.setdefault(
+                    source_id, ctx.deadline.seconds or 0.0)
+        finally:
+            # Never join abandoned workers: they police the deadline
+            # themselves and exit on their next check.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _stamp_breaker_states(self, health: SourceHealthRegistry) -> None:
+        if self.breakers is None:
+            return
+        for source_id in health.snapshot():
+            breaker = self.breakers.get(source_id)
+            record = health.for_source(source_id)
+            record.breaker_state = breaker.state
+            record.breaker_trips = breaker.open_count
+
+    def _extract_source(self, source_id: str, entries: list[MappingEntry],
+                        ctx: _RunContext) -> _SourceResult:
         """Steps 3 and 4 for one source."""
         started = time.perf_counter()
         problems: list[ExtractionProblem] = []
@@ -153,15 +288,30 @@ class ExtractorManager:
             return _SourceResult(source_id, None, problems,
                                  time.perf_counter() - started)
         record_set = SourceRecordSet(source_id)
-        for entry in entries:
+        for index, entry in enumerate(entries):
+            if ctx.deadline.expired:
+                ctx.health.for_source(source_id).deadline_hits += 1
+                problems.append(ExtractionProblem(
+                    source_id, entry.attribute_id,
+                    f"extraction deadline of {ctx.deadline.seconds:.3f}s "
+                    f"exceeded; skipped {len(entries) - index} remaining "
+                    f"entries"))
+                break
             if self.cache is not None:
                 cached = self.cache.get(entry)
                 if cached is not None:
                     record_set.add(cached)
                     continue
             try:
-                fragment = self._extract_with_retry(extractor, source,
-                                                    entry)  # step 4
+                fragment = self._extract_entry(source_id, source, extractor,
+                                               entry, ctx)  # step 4
+            except DeadlineExceededError as exc:
+                if self.strict:
+                    raise
+                ctx.health.for_source(source_id).deadline_hits += 1
+                problems.append(ExtractionProblem(
+                    source_id, entry.attribute_id, str(exc)))
+                break
             except S2SError as exc:
                 if self.strict:
                     raise
@@ -174,24 +324,94 @@ class ExtractorManager:
         return _SourceResult(source_id, record_set, problems,
                              time.perf_counter() - started)
 
-    def _extract_with_retry(self, extractor, source, entry):
-        """Retry transient failures up to ``retries`` times.
+    def _extract_entry(self, source_id: str, source, extractor,
+                       entry: MappingEntry, ctx: _RunContext) -> RawFragment:
+        """One mapping entry: primary attempt chain, then replicas.
+
+        Failover engages when the primary's retries are exhausted or its
+        breaker is open — not on permanent rule errors (a broken rule is
+        a mapping bug the replica's own rule would not fix) and not once
+        the deadline has expired."""
+        try:
+            return self._call_with_policy(source_id, source, extractor,
+                                          entry, ctx)
+        except DeadlineExceededError:
+            raise
+        except (TransientSourceError, CircuitOpenError) as primary_error:
+            replicas = (ctx.schema.replicas_for(entry.attribute_id, source_id)
+                        if self.config.failover else [])
+            for replica in replicas:
+                if ctx.deadline.expired:
+                    break
+                try:
+                    replica_source = self.sources.get(replica.source_id)
+                    replica_extractor = self.extractors.for_source(
+                        replica_source)
+                    fragment = self._call_with_policy(
+                        replica.source_id, replica_source, replica_extractor,
+                        replica, ctx)
+                except S2SError:
+                    continue
+                ctx.health.for_source(source_id).failovers += 1
+                ctx.health.for_source(replica.source_id).served_for += 1
+                # Relabel so positional correlation joins the primary's
+                # record set (replicas serve the same records in order).
+                return RawFragment(fragment.attribute, source_id,
+                                   fragment.values)
+            raise primary_error
+
+    def _call_with_policy(self, source_id: str, source, extractor,
+                          entry: MappingEntry, ctx: _RunContext
+                          ) -> RawFragment:
+        """One rule execution under retry policy, breaker and deadline.
 
         Only :class:`~repro.errors.TransientSourceError` is retried —
         permanent failures (rule errors, missing columns, authentication)
-        would fail identically every time."""
-        from ...errors import TransientSourceError
+        would fail identically every time, so they propagate at once and
+        never count toward the breaker threshold."""
+        policy = self.config.retry
+        breaker = (self.breakers.get(source_id)
+                   if self.breakers is not None else None)
+        health = ctx.health.for_source(source_id)
         attempt = 0
         while True:
+            ctx.deadline.check(f"extraction of {entry.attribute_id} "
+                               f"from {source_id!r}")
+            if breaker is not None and not breaker.allow():
+                error = CircuitOpenError(source_id,
+                                         retry_after=breaker.retry_after())
+                health.last_error = str(error)
+                raise error
+            health.attempts += 1
             try:
-                return extractor.extract(source, entry)
-            except TransientSourceError:
-                if attempt >= self.retries:
-                    raise
+                fragment = extractor.extract(source, entry)
+            except TransientSourceError as exc:
+                health.failures += 1
+                health.last_error = str(exc)
+                if breaker is not None:
+                    breaker.record_failure()
                 attempt += 1
-                self.retry_count += 1
-                if self.retry_delay > 0:
-                    time.sleep(self.retry_delay)
+                if attempt >= policy.max_attempts:
+                    raise
+                if not ctx.budget.try_consume():
+                    raise TransientSourceError(
+                        f"{exc}; per-extraction retry budget exhausted"
+                    ) from exc
+                with self._lock:
+                    self.retry_count += 1
+                    delay = policy.delay_for(attempt, self._rng)
+                health.retries += 1
+                if delay > 0:
+                    self.config.clock.sleep(ctx.deadline.clamp(delay))
+                continue
+            except S2SError as exc:
+                health.failures += 1
+                health.last_error = str(exc)
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            health.successes += 1
+            return fragment
 
     def extract_all_registered(self) -> ExtractionOutcome:
         """Eager full materialization: extract every mapped attribute.

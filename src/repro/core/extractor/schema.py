@@ -21,11 +21,18 @@ from ..mapping.repository import AttributeRepository
 
 @dataclass
 class ExtractionSchema:
-    """Mapping entries for one extraction run, grouped by source."""
+    """Mapping entries for one extraction run, grouped by source.
+
+    Failover replicas (entries with ``replica_of`` set) are kept out of
+    the normal per-source fan-out: they sit in ``replicas``, keyed by
+    ``(attribute_id, primary_source_id)``, and are only consulted when
+    the primary's extraction fails (see the Extractor Manager)."""
 
     requested: list[AttributePath]
     by_source: dict[str, list[MappingEntry]] = field(default_factory=dict)
     missing: list[AttributePath] = field(default_factory=list)
+    replicas: dict[tuple[str, str], list[MappingEntry]] = field(
+        default_factory=dict)
 
     @classmethod
     def build(cls, repository: AttributeRepository,
@@ -40,9 +47,24 @@ class ExtractionSchema:
             if not entries:
                 schema.missing.append(path)
                 continue
-            for entry in entries:
+            primaries = [e for e in entries if not e.is_replica]
+            if not primaries:
+                # Replicas with no surviving primary still serve the
+                # attribute: promote them so the data stays reachable.
+                primaries = entries
+            for entry in primaries:
                 schema.by_source.setdefault(entry.source_id, []).append(entry)
+            for entry in entries:
+                if entry.is_replica and entry not in primaries:
+                    key = (str(path), entry.replica_of)
+                    schema.replicas.setdefault(key, []).append(entry)
         return schema
+
+    def replicas_for(self, attribute_id: str,
+                     source_id: str) -> list[MappingEntry]:
+        """Failover entries for one (attribute, primary source) pair, in
+        registration order."""
+        return list(self.replicas.get((attribute_id, source_id), []))
 
     def source_ids(self) -> list[str]:
         """Sources this extraction must visit, sorted."""

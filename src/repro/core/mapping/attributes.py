@@ -22,24 +22,44 @@ from .rules import ExtractionRule
 
 @dataclass(frozen=True)
 class MappingEntry:
-    """One attribute-to-source mapping."""
+    """One attribute-to-source mapping.
+
+    ``replica_of`` marks this entry as a *failover replica*: it is not
+    extracted in the normal fan-out, but stands in for the named primary
+    source's entry when that source's breaker is open or its retries are
+    exhausted.  A replica must serve the same records in the same order
+    as its primary (positional record correlation is preserved across
+    the substitution)."""
 
     attribute: AttributePath
     rule: ExtractionRule
     source_id: str
+    replica_of: str | None = None
 
     def __post_init__(self) -> None:
         if not self.source_id:
             raise MappingError("mapping entry requires a data source id")
+        if self.replica_of == self.source_id:
+            raise MappingError(
+                f"source {self.source_id!r} cannot be a replica of itself")
 
     @property
     def attribute_id(self) -> str:
         """The dotted attribute identifier as a string."""
         return str(self.attribute)
 
+    @property
+    def is_replica(self) -> bool:
+        """Whether this entry is a failover replica rather than a primary."""
+        return self.replica_of is not None
+
     def paper_line(self) -> str:
         """The ``attr = rule, source`` rendering of section 2.3.1."""
-        return f"{self.attribute_id} = {self.rule.display_name()}, {self.source_id}"
+        line = (f"{self.attribute_id} = {self.rule.display_name()}, "
+                f"{self.source_id}")
+        if self.replica_of is not None:
+            line += f" [replica of {self.replica_of}]"
+        return line
 
 
 def format_paper_line(entry: MappingEntry) -> str:

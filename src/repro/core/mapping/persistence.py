@@ -40,6 +40,7 @@ def dump_mapping(attributes: AttributeRepository,
             {
                 "attribute": entry.attribute_id,
                 "source": entry.source_id,
+                "replica_of": entry.replica_of,
                 "rule": {
                     "language": entry.rule.language,
                     "code": entry.rule.code,
@@ -91,10 +92,15 @@ def load_mapping(text: str, source_factory: SourceFactory
             name=rule_record.get("name", ""),
             transform=rule_record.get("transform"))
         entry = MappingEntry(AttributePath.parse(record["attribute"]), rule,
-                             record["source"])
+                             record["source"],
+                             replica_of=record.get("replica_of"))
         if not sources.has(entry.source_id):
             raise MappingError(
                 f"mapping entry references unknown source "
                 f"{entry.source_id!r}")
+        if entry.replica_of is not None and not sources.has(entry.replica_of):
+            raise MappingError(
+                f"replica mapping entry references unknown primary source "
+                f"{entry.replica_of!r}")
         attributes.add(entry)
     return attributes, sources

@@ -67,13 +67,36 @@ class AttributeRegistrar:
 
     def register(self, attribute: AttributePath | str | tuple[str, str],
                  rule: ExtractionRule, source_id: str,
-                 *, replace: bool = False) -> MappingEntry:
-        """Run all three steps and store the mapping entry."""
+                 *, replace: bool = False,
+                 replica_of: str | None = None) -> MappingEntry:
+        """Run all three steps and store the mapping entry.
+
+        ``replica_of`` registers the entry as a failover replica of the
+        named primary source's entry for the same attribute — the primary
+        mapping must already exist."""
         path = self.name_attribute(attribute)
         self.check_rule(rule, source_id)
-        entry = MappingEntry(path, rule, source_id)
+        if replica_of is not None:
+            self._check_replica(path, source_id, replica_of)
+        entry = MappingEntry(path, rule, source_id, replica_of=replica_of)
         self.attributes.add(entry, replace=replace)
         return entry
+
+    def _check_replica(self, path: AttributePath, source_id: str,
+                       replica_of: str) -> None:
+        """A replica needs a registered primary source *and* mapping."""
+        if replica_of == source_id:
+            raise MappingError(
+                f"source {source_id!r} cannot be a replica of itself")
+        self.sources.get(replica_of)  # raises for unknown primaries
+        primaries = [entry for entry
+                     in self.attributes.try_entries_for(path)
+                     if entry.source_id == replica_of
+                     and not entry.is_replica]
+        if not primaries:
+            raise MappingError(
+                f"cannot register replica for {path}: primary source "
+                f"{replica_of!r} has no (non-replica) mapping entry yet")
 
     def unregistered_paths(self) -> list[AttributePath]:
         """Schema attributes with no mapping yet — the authoring to-do list."""

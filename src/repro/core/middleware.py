@@ -19,6 +19,8 @@ is::
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..ids import AttributePath
 from ..ontology.model import Ontology
 from ..ontology.schema import OntologySchema
@@ -26,6 +28,8 @@ from ..sources.base import DataSource
 from .extractor.cache import FragmentCache
 from .extractor.extractors import Extractor, ExtractorRegistry
 from .extractor.manager import ExtractionOutcome, ExtractorManager
+from .resilience import (UNSET, ResilienceConfig, SourceHealth,
+                         legacy_kwargs_to_config)
 from .instances.outputs import OUTPUT_FORMATS
 from .mapping.attributes import MappingEntry
 from .mapping.datasources import DataSourceRepository
@@ -64,10 +68,11 @@ class S2SMiddleware:
     """The Syntactic-to-Semantic middleware."""
 
     def __init__(self, ontology: Ontology, *, strict_extraction: bool = False,
-                 validate_instances: bool = True, parallel: bool = False,
-                 max_workers: int | None = None,
+                 validate_instances: bool = True,
                  cache_extractions: bool = False,
-                 retries: int = 0, retry_delay: float = 0.0) -> None:
+                 resilience: ResilienceConfig | None = None,
+                 parallel: Any = UNSET, max_workers: Any = UNSET,
+                 retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
         self.ontology = ontology
         self.schema = OntologySchema(ontology)
         self.attribute_repository = AttributeRepository()
@@ -77,11 +82,13 @@ class S2SMiddleware:
         self.registrar = AttributeRegistrar(
             self.schema, self.attribute_repository, self.source_repository)
         self.cache = FragmentCache() if cache_extractions else None
+        self.resilience = legacy_kwargs_to_config(
+            resilience, parallel=parallel, max_workers=max_workers,
+            retries=retries, retry_delay=retry_delay, owner="S2SMiddleware")
         self.manager = ExtractorManager(
             self.attribute_repository, self.source_repository,
-            self.extractors, strict=strict_extraction, parallel=parallel,
-            max_workers=max_workers, cache=self.cache,
-            retries=retries, retry_delay=retry_delay)
+            self.extractors, strict=strict_extraction, cache=self.cache,
+            resilience=self.resilience)
         self.query_handler = QueryHandler(
             self.schema, self.manager, validate_instances=validate_instances)
 
@@ -95,10 +102,16 @@ class S2SMiddleware:
     def register_attribute(self,
                            attribute: AttributePath | str | tuple[str, str],
                            rule: ExtractionRule, source_id: str,
-                           *, replace: bool = False) -> MappingEntry:
-        """Register an attribute mapping (3-step workflow of Figure 3)."""
+                           *, replace: bool = False,
+                           replica_of: str | None = None) -> MappingEntry:
+        """Register an attribute mapping (3-step workflow of Figure 3).
+
+        Pass ``replica_of=<primary source id>`` to register the entry as
+        a failover replica: it is extracted only when the primary's
+        retries are exhausted or its circuit breaker is open."""
         entry = self.registrar.register(attribute, rule, source_id,
-                                        replace=replace)
+                                        replace=replace,
+                                        replica_of=replica_of)
         if replace and self.cache is not None:
             self.cache.invalidate(source_id)
         return entry
@@ -138,6 +151,16 @@ class S2SMiddleware:
         """Fraction of ontology attributes that have at least one mapping."""
         return self.registrar.coverage()
 
+    def source_health(self) -> dict[str, SourceHealth]:
+        """Cumulative per-source health across every extraction so far."""
+        return self.manager.health.snapshot()
+
+    def open_breakers(self) -> list[str]:
+        """Sources whose circuit breaker is currently refusing calls."""
+        if self.manager.breakers is None:
+            return []
+        return self.manager.breakers.open_sources()
+
     def unmapped_attributes(self) -> list[str]:
         """Attribute paths with no mapping yet, as strings."""
         return [str(path) for path in self.registrar.unregistered_paths()]
@@ -168,11 +191,8 @@ class S2SMiddleware:
             self.cache.invalidate()
         self.manager = ExtractorManager(
             self.attribute_repository, self.source_repository,
-            self.extractors, strict=self.manager.strict,
-            parallel=self.manager.parallel,
-            max_workers=self.manager.max_workers, cache=self.cache,
-            retries=self.manager.retries,
-            retry_delay=self.manager.retry_delay)
+            self.extractors, strict=self.manager.strict, cache=self.cache,
+            resilience=self.resilience)
         self.query_handler = QueryHandler(
             self.schema, self.manager,
             validate_instances=self.query_handler.generator.validate)

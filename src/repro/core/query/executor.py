@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 from ...errors import QueryError
 from ...ontology.schema import OntologySchema
-from ..extractor.manager import ExtractorManager
+from ..extractor.manager import ExtractionOutcome, ExtractorManager
+from ..resilience import SourceHealth
 from ..instances.assembly import AssembledEntity
 from ..instances.errors import ErrorReport
 from ..instances.generator import InstanceGenerator
@@ -34,9 +35,29 @@ class QueryResult:
     errors: ErrorReport = field(default_factory=ErrorReport)
     elapsed_seconds: float = 0.0
     extraction_seconds: float = 0.0
+    extraction: ExtractionOutcome | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.entities)
+
+    @property
+    def health(self) -> dict[str, SourceHealth]:
+        """Per-source resilience ledger for this query's extraction."""
+        return self.extraction.health if self.extraction is not None else {}
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer is best-effort rather than complete —
+        some source failed, timed out, was served by a replica, or sits
+        behind an open circuit breaker."""
+        return (self.extraction.degraded if self.extraction is not None
+                else not self.errors.ok)
+
+    @property
+    def degraded_sources(self) -> list[str]:
+        """The sources responsible for a degraded answer, sorted."""
+        return (self.extraction.degraded_sources
+                if self.extraction is not None else [])
 
     @property
     def output_classes(self) -> list[str]:
@@ -88,7 +109,8 @@ class QueryHandler:
         entities = [entity for entity in generation.entities
                     if self._matches(entity, plan.conditions)]
         result = QueryResult(query, plan, entities, generation.errors,
-                             extraction_seconds=outcome.elapsed_seconds)
+                             extraction_seconds=outcome.elapsed_seconds,
+                             extraction=outcome)
         result._schema = self.schema
         result.elapsed_seconds = time.perf_counter() - started
         return result

@@ -1,0 +1,91 @@
+"""One knob object for the whole resilience layer.
+
+The seed's ``ExtractorManager``/``S2SMiddleware`` grew a kwarg per
+behaviour (``retries``, ``retry_delay``, ``parallel``, ``max_workers``);
+:class:`ResilienceConfig` replaces them with a single dataclass the
+caller can build once and share.  The old kwargs survive as a deprecated
+shim (see :func:`legacy_kwargs_to_config`) with their exact seed-era
+semantics.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ...clock import Clock, SystemClock
+from .breaker import BreakerPolicy
+from .retry import RetryPolicy
+
+#: Sentinel distinguishing "not passed" from any real value.
+UNSET: Any = object()
+
+
+@dataclass
+class ResilienceConfig:
+    """Everything the Extractor Manager needs to degrade gracefully.
+
+    ``breaker=None`` disables circuit breaking, ``deadline_seconds=None``
+    means unbounded, ``failover=False`` ignores replica mappings.  The
+    ``clock`` is the single time source for backoff sleeps, breaker
+    cooldowns, deadlines and (when shared with the fault-injection
+    sources) latency/outage simulation.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
+    deadline_seconds: float | None = None
+    parallel: bool = False
+    max_workers: int | None = None
+    failover: bool = True
+    clock: Clock = field(default_factory=SystemClock)
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be >= 0 or None")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 or None")
+
+    @classmethod
+    def conservative(cls) -> "ResilienceConfig":
+        """The seed's behaviour: serial, no retries, no breakers."""
+        return cls(retry=RetryPolicy.from_legacy(0, 0.0), breaker=None,
+                   failover=False)
+
+
+def legacy_kwargs_to_config(base: ResilienceConfig | None, *,
+                            parallel: Any = UNSET, max_workers: Any = UNSET,
+                            retries: Any = UNSET, retry_delay: Any = UNSET,
+                            owner: str, stacklevel: int = 3
+                            ) -> ResilienceConfig:
+    """Fold the deprecated kwargs into a :class:`ResilienceConfig`.
+
+    Emits one :class:`DeprecationWarning` naming the owner class when any
+    legacy kwarg was actually passed.  When no config and no legacy
+    kwargs are given, the seed-compatible conservative default is used —
+    existing callers observe identical behaviour.
+    """
+    used = {name: value for name, value in
+            (("parallel", parallel), ("max_workers", max_workers),
+             ("retries", retries), ("retry_delay", retry_delay))
+            if value is not UNSET}
+    if base is None:
+        config = ResilienceConfig.conservative()
+    else:
+        config = replace(base)
+    if not used:
+        return config
+    warnings.warn(
+        f"{owner}({', '.join(sorted(used))}) is deprecated; pass "
+        f"resilience=ResilienceConfig(...) instead",
+        DeprecationWarning, stacklevel=stacklevel)
+    if "parallel" in used:
+        config.parallel = bool(used["parallel"])
+    if "max_workers" in used:
+        config.max_workers = used["max_workers"]
+    if "retries" in used or "retry_delay" in used:
+        config.retry = RetryPolicy.from_legacy(
+            used.get("retries", config.retry.retries),
+            used.get("retry_delay", config.retry.base_delay))
+    return config

@@ -1,0 +1,96 @@
+"""Per-source health accounting, surfaced on every extraction outcome.
+
+The paper's mediator answers "best effort" when sources misbehave; the
+caller of :meth:`S2SMiddleware.query` must be able to *tell* a complete
+answer from a degraded one.  :class:`SourceHealth` is the per-source
+ledger (attempts, failures, retries, failovers, breaker state) and
+:class:`SourceHealthRegistry` aggregates it — one registry per
+extraction run for the outcome snapshot, one cumulative registry on the
+manager for operational introspection.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class SourceHealth:
+    """One source's ledger for one extraction run (or cumulatively)."""
+
+    source_id: str
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    failovers: int = 0        # calls a replica answered for this primary
+    served_for: int = 0       # calls this source answered as a replica
+    deadline_hits: int = 0
+    breaker_state: str = "closed"
+    breaker_trips: int = 0
+    last_error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Did this source fall short of a first-party answer?
+
+        Failures that a retry recovered still produced a complete answer,
+        so they do not count; replica substitution, deadline expiry and a
+        non-closed breaker do."""
+        return bool(self.failovers or self.deadline_hits
+                    or self.breaker_state != "closed")
+
+    def merge(self, other: "SourceHealth") -> None:
+        """Fold another run's ledger for the same source into this one."""
+        self.attempts += other.attempts
+        self.successes += other.successes
+        self.failures += other.failures
+        self.retries += other.retries
+        self.failovers += other.failovers
+        self.served_for += other.served_for
+        self.deadline_hits += other.deadline_hits
+        self.breaker_trips = other.breaker_trips
+        self.breaker_state = other.breaker_state
+        if other.last_error is not None:
+            self.last_error = other.last_error
+
+
+@dataclass
+class SourceHealthRegistry:
+    """Thread-safe source_id → :class:`SourceHealth` map."""
+
+    _health: dict[str, SourceHealth] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def for_source(self, source_id: str) -> SourceHealth:
+        """The (lazily created) ledger for one source."""
+        with self._lock:
+            health = self._health.get(source_id)
+            if health is None:
+                health = SourceHealth(source_id)
+                self._health[source_id] = health
+            return health
+
+    def snapshot(self) -> dict[str, SourceHealth]:
+        """An independent copy, safe to attach to an outcome."""
+        with self._lock:
+            return {source_id: replace(health)
+                    for source_id, health in self._health.items()}
+
+    def merge_from(self, other: "SourceHealthRegistry") -> None:
+        """Accumulate another registry (one run) into this one."""
+        for source_id, health in other.snapshot().items():
+            self.for_source(source_id).merge(health)
+
+    def degraded_sources(self) -> list[str]:
+        """Sources whose ledger shows degradation, sorted."""
+        with self._lock:
+            return sorted(source_id
+                          for source_id, health in self._health.items()
+                          if health.degraded)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._health)

@@ -146,6 +146,32 @@ class TransientSourceError(S2SError):
     fail fast."""
 
 
+class DeadlineExceededError(S2SError):
+    """An extraction ran out of its wall-clock time budget.
+
+    Raised inside the Extractor Manager when a :class:`~repro.core.\
+resilience.deadline.Deadline` expires; it is collected as an extraction
+    problem (the source is reported as timed out) rather than aborting
+    the whole query."""
+
+
+class CircuitOpenError(S2SError):
+    """A source's circuit breaker is open; the call was not attempted.
+
+    Open breakers fail fast so a down source cannot burn the retry
+    budget or the deadline of an entire federated query.  The Extractor
+    Manager reacts by falling through to a replica when one is mapped."""
+
+    def __init__(self, source_id: str, *, retry_after: float | None = None
+                 ) -> None:
+        message = f"circuit breaker open for source {source_id!r}"
+        if retry_after is not None:
+            message += f" (retry in {retry_after:.3f}s)"
+        super().__init__(message)
+        self.source_id = source_id
+        self.retry_after = retry_after
+
+
 class QueryError(S2SError):
     """Errors from the S2SQL query handler."""
 

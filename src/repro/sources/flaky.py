@@ -1,33 +1,86 @@
-"""Transient-failure injection for data sources.
+"""Fault injection for data sources.
 
 B2B sources live on other organizations' infrastructure; transient
 failures (timeouts, connection resets, maintenance windows) are routine.
-:class:`FlakySource` wraps any connector and makes a deterministic,
-seeded fraction of rule executions raise
-:class:`~repro.errors.TransientSourceError` — the error class the
-Extractor Manager's retry policy reacts to.  Deterministic injection
-keeps availability experiments (E13) reproducible.
+:class:`FlakySource` wraps any connector and injects faults
+deterministically so the resilience layer — retries, circuit breakers,
+deadlines, replica failover — is exercisable without real networks or
+real sleeps:
+
+* **random transient failures** — a seeded fraction of rule executions
+  raises (default) :class:`~repro.errors.TransientSourceError`, the
+  error class the Extractor Manager's retry policy reacts to;
+* **scripted failures** — an explicit fail/succeed plan consumed before
+  the random stream, for exact breaker-transition tests;
+* **latency injection** — every call sleeps on an injectable clock
+  (pair with :class:`~repro.clock.FakeClock` for instant fake latency),
+  driving deadline-expiry tests;
+* **scheduled outage windows** — ``[start, end)`` intervals on the
+  clock during which every call fails, modelling maintenance windows
+  and hard-down sources;
+* **configurable error classes** — inject permanent errors too, to
+  check that they are *not* retried and do *not* trip breakers.
+
+All mutable state is guarded by one lock: with ``parallel=True`` the
+Extractor Manager calls ``execute_rule`` from a thread pool, and an
+unguarded shared ``random.Random`` would break the documented
+determinism.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
+from ..clock import Clock, SystemClock
 from ..errors import TransientSourceError
 from .base import ConnectionInfo, DataSource
 
 
+@dataclass(frozen=True)
+class OutageWindow:
+    """A ``[start, end)`` interval (clock seconds since wrapping) during
+    which every call fails."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError("outage window needs 0 <= start <= end")
+
+    def covers(self, offset: float) -> bool:
+        return self.start <= offset < self.end
+
+
 class FlakySource(DataSource):
-    """Decorator source: forwards to ``inner``, failing transiently."""
+    """Decorator source: forwards to ``inner``, injecting faults."""
 
     def __init__(self, inner: DataSource, *, failure_rate: float = 0.3,
-                 seed: int = 7) -> None:
+                 seed: int = 7, latency: float = 0.0,
+                 outages: Iterable[OutageWindow | tuple[float, float]] = (),
+                 error_factory: Callable[[str], Exception] | None = None,
+                 failure_plan: Sequence[bool] | None = None,
+                 clock: Clock | None = None) -> None:
         super().__init__(inner.source_id)
         if not 0.0 <= failure_rate <= 1.0:
             raise ValueError("failure_rate must be in [0, 1]")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
         self.inner = inner
         self.failure_rate = failure_rate
+        self.latency = latency
+        self.error_factory = error_factory or TransientSourceError
+        self.clock = clock or SystemClock()
+        self.outages = [window if isinstance(window, OutageWindow)
+                        else OutageWindow(*window) for window in outages]
+        self._plan = list(failure_plan) if failure_plan is not None else []
+        self._plan_index = 0
         self._rng = random.Random(seed)
+        self._epoch = self.clock.monotonic()
+        self._lock = threading.Lock()
         self.attempts = 0
         self.failures = 0
 
@@ -46,14 +99,51 @@ class FlakySource(DataSource):
         self.inner.close()
         super().close()
 
-    def execute_rule(self, rule: str) -> list[str]:
-        """Forward to the wrapped source, failing transiently."""
-        self.attempts += 1
+    # -- fault scheduling ---------------------------------------------------
+
+    def schedule_outage(self, start: float, duration: float) -> OutageWindow:
+        """Add an outage window ``start`` seconds from *now* (clock time)."""
+        offset = self.clock.monotonic() - self._epoch
+        window = OutageWindow(offset + start, offset + start + duration)
+        with self._lock:
+            self.outages.append(window)
+        return window
+
+    def elapsed(self) -> float:
+        """Clock seconds since this wrapper was created."""
+        return self.clock.monotonic() - self._epoch
+
+    def _should_fail(self, offset: float) -> str | None:
+        """Decide (under the lock) whether this call fails, and why."""
+        for window in self.outages:
+            if window.covers(offset):
+                return (f"scheduled outage [{window.start:g}s, "
+                        f"{window.end:g}s) on {self.source_id!r}")
+        if self._plan_index < len(self._plan):
+            scripted = self._plan[self._plan_index]
+            self._plan_index += 1
+            if scripted:
+                return (f"scripted failure #{self._plan_index} on "
+                        f"{self.source_id!r}")
+            return None
         if self._rng.random() < self.failure_rate:
-            self.failures += 1
-            raise TransientSourceError(
-                f"transient failure talking to {self.source_id!r} "
-                f"(attempt {self.attempts})")
+            return (f"transient failure talking to {self.source_id!r} "
+                    f"(attempt {self.attempts})")
+        return None
+
+    # -- the wrapped call ---------------------------------------------------
+
+    def execute_rule(self, rule: str) -> list[str]:
+        """Forward to the wrapped source, injecting configured faults."""
+        if self.latency > 0:
+            self.clock.sleep(self.latency)
+        with self._lock:
+            self.attempts += 1
+            reason = self._should_fail(self.elapsed())
+            if reason is not None:
+                self.failures += 1
+        if reason is not None:
+            raise self.error_factory(reason)
         return self.inner.execute_rule(rule)
 
     def connection_info(self) -> ConnectionInfo:

@@ -179,20 +179,27 @@ class B2BScenario:
     # Connectors
     # ------------------------------------------------------------------
 
-    def connector(self, org: Organization) -> DataSource:
-        """Build the live DataSource connector for one organization."""
+    def connector(self, org: Organization,
+                  *, source_id: str | None = None) -> DataSource:
+        """Build the live DataSource connector for one organization.
+
+        ``source_id`` overrides the registered identity — used to build
+        *mirror* connectors over the same substrate, which serve the same
+        records in the same order and therefore qualify as failover
+        replicas for the resilience layer."""
+        sid = source_id or org.source_id
         if org.source_type == "database":
             assert org.database is not None
-            return RelationalDataSource(org.source_id, org.database)
+            return RelationalDataSource(sid, org.database)
         if org.source_type == "xml":
             assert org.xml_store is not None
-            return XmlDataSource(org.source_id, org.xml_store,
+            return XmlDataSource(sid, org.xml_store,
                                  default_document="catalog.xml")
         if org.source_type == "webpage":
             assert org.url is not None
-            return WebDataSource(org.source_id, self.web, org.url)
+            return WebDataSource(sid, self.web, org.url)
         assert org.text_store is not None
-        return TextDataSource(org.source_id, org.text_store,
+        return TextDataSource(sid, org.text_store,
                               default_file="inventory.txt")
 
     def _native_rule_code(self, org: Organization, concept: str) -> str:
@@ -242,6 +249,36 @@ class B2BScenario:
                 s2s.register_attribute((class_name, attribute), rule,
                                        org.source_id)
         return s2s
+
+    def add_replicas(self, s2s: S2SMiddleware,
+                     *, suffix: str = "_replica") -> dict[str, str]:
+        """Register a failover replica per organization.
+
+        Each replica is a mirror connector over the organization's own
+        substrate (same records, same order) registered under
+        ``<source_id><suffix>``, with every attribute mapped as a
+        ``replica_of`` its primary.  Returns primary → replica ids.
+        Callers typically wrap the *primaries* in
+        :class:`~repro.sources.flaky.FlakySource` afterwards, leaving
+        replicas healthy (or separately flaky) to exercise failover."""
+        replica_ids: dict[str, str] = {}
+        for org in self.organizations:
+            replica_id = org.source_id + suffix
+            s2s.register_source(self.connector(org, source_id=replica_id))
+            make_rule = self._rule_factory(org.source_type)
+            for (class_name, attribute), concept in ONTOLOGY_FIELDS.items():
+                transform = None
+                if concept == "case":
+                    transform = self.conflicts.case_transform(org.index)
+                elif concept == "price":
+                    transform = self.conflicts.price_transform(org.index)
+                rule = make_rule(self._native_rule_code(org, concept),
+                                 transform=transform)
+                s2s.register_attribute((class_name, attribute), rule,
+                                       replica_id,
+                                       replica_of=org.source_id)
+            replica_ids[org.source_id] = replica_id
+        return replica_ids
 
     def build_syntactic_baseline(self) -> SyntacticIntegrator:
         """Same connectors and rules, native field names, no transforms."""

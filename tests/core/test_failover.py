@@ -1,0 +1,243 @@
+"""Replica failover tests: registration validation, failover ordering,
+persistence of ``replica_of``, and the resilience layer's acceptance
+scenarios (40% transient failures with replicas; one source hard-down
+behind a circuit breaker)."""
+
+import pytest
+
+from repro import S2SMiddleware, sql_rule
+from repro.clock import FakeClock
+from repro.core.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
+from repro.errors import MappingError
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.flaky import FlakySource
+from repro.sources.relational import RelationalDataSource
+
+
+def _replicated_middleware(watch_db, config, *, primary_kwargs=None,
+                           first_replica_kwargs=None):
+    """DB_1 with two mirror replicas DB_R1, DB_R2 over the same database.
+
+    The primary (and optionally the first replica) is wrapped in a
+    FlakySource; DB_R2 is always healthy."""
+    s2s = S2SMiddleware(watch_domain_ontology(), resilience=config)
+    primary = RelationalDataSource("DB_1", watch_db)
+    if primary_kwargs is not None:
+        primary = FlakySource(primary, **primary_kwargs)
+    first = RelationalDataSource("DB_R1", watch_db)
+    if first_replica_kwargs is not None:
+        first = FlakySource(first, **first_replica_kwargs)
+    s2s.register_source(primary)
+    s2s.register_source(first)
+    s2s.register_source(RelationalDataSource("DB_R2", watch_db))
+    for attribute, query in [
+            (("product", "brand"), "SELECT brand FROM watches"),
+            (("product", "price"), "SELECT price_cents FROM watches")]:
+        s2s.register_attribute(attribute, sql_rule(query), "DB_1")
+        s2s.register_attribute(attribute, sql_rule(query), "DB_R1",
+                               replica_of="DB_1")
+        s2s.register_attribute(attribute, sql_rule(query), "DB_R2",
+                               replica_of="DB_1")
+    return s2s
+
+
+class TestReplicaRegistration:
+    def test_replica_before_primary_mapping_is_rejected(self, ontology,
+                                                        watch_db):
+        s2s = S2SMiddleware(ontology)
+        s2s.register_source(RelationalDataSource("DB_1", watch_db))
+        s2s.register_source(RelationalDataSource("DB_R1", watch_db))
+        with pytest.raises(MappingError, match="no .non-replica. mapping"):
+            s2s.register_attribute(("product", "brand"),
+                                   sql_rule("SELECT brand FROM watches"),
+                                   "DB_R1", replica_of="DB_1")
+
+    def test_self_replica_is_rejected(self, ontology, watch_db):
+        s2s = S2SMiddleware(ontology)
+        s2s.register_source(RelationalDataSource("DB_1", watch_db))
+        s2s.register_attribute(("product", "brand"),
+                               sql_rule("SELECT brand FROM watches"), "DB_1")
+        with pytest.raises(MappingError, match="replica of itself"):
+            s2s.register_attribute(("product", "brand"),
+                                   sql_rule("SELECT model FROM watches"),
+                                   "DB_1", replica_of="DB_1")
+
+    def test_unknown_primary_source_is_rejected(self, ontology, watch_db):
+        s2s = S2SMiddleware(ontology)
+        s2s.register_source(RelationalDataSource("DB_R1", watch_db))
+        with pytest.raises(Exception):
+            s2s.register_attribute(("product", "brand"),
+                                   sql_rule("SELECT brand FROM watches"),
+                                   "DB_R1", replica_of="DB_GONE")
+
+    def test_replica_marker_shows_in_paper_lines(self, ontology, watch_db):
+        s2s = S2SMiddleware(ontology)
+        s2s.register_source(RelationalDataSource("DB_1", watch_db))
+        s2s.register_source(RelationalDataSource("DB_R1", watch_db))
+        s2s.register_attribute(("product", "brand"),
+                               sql_rule("SELECT brand FROM watches"), "DB_1")
+        s2s.register_attribute(("product", "brand"),
+                               sql_rule("SELECT brand FROM watches"),
+                               "DB_R1", replica_of="DB_1")
+        assert any("[replica of DB_1]" in line
+                   for line in s2s.mapping_lines())
+
+
+class TestFailoverOrdering:
+    def test_first_registered_replica_serves_first(self, watch_db):
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1), breaker=None,
+            clock=FakeClock())
+        s2s = _replicated_middleware(
+            watch_db, config, primary_kwargs={"failure_rate": 1.0})
+        outcome = s2s.manager.extract_all_registered()
+        assert outcome.ok  # failover succeeded: no problems recorded
+        assert outcome.degraded  # ...but the answer is marked best-effort
+        assert outcome.health["DB_1"].failovers == 2
+        assert outcome.health["DB_R1"].served_for == 2
+        # the second replica was never consulted: no ledger entry at all
+        assert "DB_R2" not in outcome.health
+        # fragments are relabeled to the primary for positional joining
+        assert sorted(outcome.record_sets) == ["DB_1"]
+        assert len(outcome.record_sets["DB_1"].fragments) == 2
+        assert outcome.degraded_sources == ["DB_1"]
+
+    def test_second_replica_serves_when_first_is_down(self, watch_db):
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1), breaker=None,
+            clock=FakeClock())
+        s2s = _replicated_middleware(
+            watch_db, config,
+            primary_kwargs={"failure_rate": 1.0},
+            first_replica_kwargs={"failure_rate": 1.0})
+        outcome = s2s.manager.extract_all_registered()
+        assert outcome.ok
+        assert outcome.health["DB_R1"].served_for == 0
+        assert outcome.health["DB_R2"].served_for == 2
+        assert outcome.health["DB_1"].failovers == 2
+
+    def test_open_breaker_fails_over_without_touching_primary(self,
+                                                              watch_db):
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_seconds=60.0),
+            clock=FakeClock())
+        s2s = _replicated_middleware(
+            watch_db, config,
+            primary_kwargs={"failure_plan": [True], "failure_rate": 0.0})
+        outcome = s2s.manager.extract_all_registered()
+        assert outcome.ok
+        flaky = s2s.source_repository.get("DB_1")
+        # first entry trips the breaker; the second never calls DB_1
+        assert flaky.attempts == 1
+        assert outcome.health["DB_R1"].served_for == 2
+        assert outcome.health["DB_1"].breaker_state == "open"
+        assert s2s.open_breakers() == ["DB_1"]
+
+    def test_failover_disabled_keeps_the_failure(self, watch_db):
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1), breaker=None, failover=False,
+            clock=FakeClock())
+        s2s = _replicated_middleware(
+            watch_db, config, primary_kwargs={"failure_rate": 1.0})
+        outcome = s2s.manager.extract_all_registered()
+        assert not outcome.ok
+        assert outcome.health["DB_1"].failovers == 0
+        assert "DB_1" not in outcome.record_sets
+
+    def test_permanent_rule_errors_do_not_fail_over(self, ontology,
+                                                    watch_db):
+        config = ResilienceConfig(retry=RetryPolicy(max_attempts=1),
+                                  breaker=None, clock=FakeClock())
+        s2s = S2SMiddleware(ontology, resilience=config)
+        s2s.register_source(RelationalDataSource("DB_1", watch_db))
+        s2s.register_source(RelationalDataSource("DB_R1", watch_db))
+        s2s.register_attribute(("product", "brand"),
+                               sql_rule("SELECT no_such_column FROM watches"),
+                               "DB_1")
+        s2s.register_attribute(("product", "brand"),
+                               sql_rule("SELECT brand FROM watches"),
+                               "DB_R1", replica_of="DB_1")
+        outcome = s2s.manager.extract_all_registered()
+        # a broken rule is a mapping bug, not an availability event
+        assert not outcome.ok
+        assert "DB_R1" not in outcome.health  # replica never consulted
+        assert outcome.health["DB_1"].failovers == 0
+
+
+class TestReplicaPersistence:
+    def test_replica_of_round_trips_and_stays_functional(self, watch_db):
+        config = ResilienceConfig(retry=RetryPolicy(max_attempts=1),
+                                  breaker=None, clock=FakeClock())
+        original = _replicated_middleware(watch_db, config)
+        text = original.dump_mapping()
+        assert '"replica_of": "DB_1"' in text
+
+        def factory(source_id, info):
+            source = RelationalDataSource(source_id, watch_db)
+            if source_id == "DB_1":  # the reloaded primary is hard-down
+                return FlakySource(source, failure_rate=1.0)
+            return source
+
+        reloaded = S2SMiddleware(watch_domain_ontology(), resilience=config)
+        reloaded.load_mapping(text, factory)
+        entries = [entry for entry
+                   in reloaded.attribute_repository.all_entries()
+                   if entry.is_replica]
+        assert {entry.replica_of for entry in entries} == {"DB_1"}
+        outcome = reloaded.manager.extract_all_registered()
+        assert outcome.ok
+        assert outcome.health["DB_1"].failovers == 2
+
+
+class TestAcceptanceScenarios:
+    def test_transient_failures_with_replicas_stay_complete(self, scenario):
+        """ISSUE acceptance (a): 40% transient-failure rate across 4
+        sources with one replica per attribute → ≥95% completeness and
+        the deadline is never exceeded."""
+        clock = FakeClock()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.01,
+                              multiplier=2.0, max_delay=0.1, seed=11),
+            breaker=BreakerPolicy(),
+            deadline_seconds=30.0, clock=clock)
+        s2s = scenario.build_middleware(resilience=config)
+        scenario.add_replicas(s2s)
+        for org in scenario.organizations:  # primaries flaky, replicas not
+            inner = s2s.source_repository.get(org.source_id)
+            s2s.source_repository.register(
+                FlakySource(inner, failure_rate=0.4, seed=100 + org.index,
+                            clock=clock),
+                replace=True)
+        result = s2s.query("SELECT product")
+        complete = [entity for entity in result.entities
+                    if entity.value("brand") is not None
+                    and entity.value("price") is not None]
+        assert len(result) == 20
+        assert len(complete) / 20 >= 0.95
+        assert not any(h.deadline_hits for h in result.health.values())
+        assert not any("deadline" in p.message
+                       for p in result.extraction.problems)
+
+    def test_hard_down_source_opens_breaker_and_degrades(self, scenario):
+        """ISSUE acceptance (b): one source hard-down → its breaker opens
+        and the QueryResult reports degraded, naming the source."""
+        clock = FakeClock()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter="none"),
+            breaker=BreakerPolicy(failure_threshold=3, cooldown_seconds=60.0),
+            clock=clock)
+        s2s = scenario.build_middleware(resilience=config)
+        down = scenario.organizations[0].source_id
+        s2s.source_repository.register(
+            FlakySource(s2s.source_repository.get(down), failure_rate=1.0,
+                        clock=clock),
+            replace=True)
+        result = s2s.query("SELECT product")
+        assert result.degraded
+        assert down in result.degraded_sources
+        assert result.health[down].breaker_state == "open"
+        assert s2s.open_breakers() == [down]
+        # the other three organizations still answer: 15 of 20 products
+        assert len(result) == 15
+        assert not result.errors.ok
