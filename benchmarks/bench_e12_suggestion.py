@@ -10,8 +10,6 @@ level, plus the wall cost of introspection + ranking.
 
 from __future__ import annotations
 
-import pytest
-
 from repro import S2SMiddleware
 from repro.bench import ResultTable, measure_value
 from repro.core.mapping.suggest import MappingSuggester

@@ -168,6 +168,36 @@ def test_e13_breaker_sheds_load_on_a_dead_source():
     assert down in result.degraded_sources
 
 
+def test_e13_stage_breakdown_report():
+    """E13c: traced degraded query — the span tree makes the resilience
+    work visible (retry attempts, backoff sleeps, failovers), and on the
+    shared FakeClock the backoff time is exact, not sampled."""
+    from repro.bench import stage_breakdown
+    from repro.obs import Tracer
+
+    _scenario, s2s = resilient_middleware(0.6, breaker=True, replicas=True)
+    tracer = Tracer(s2s.resilience.clock)
+    s2s.query_handler.tracer = tracer
+    result = s2s.query("SELECT product")
+
+    table = ResultTable(
+        "E13c: stage breakdown of a degraded query (failure_rate=0.6)",
+        ["stage", "ms", "share"])
+    for cost in stage_breakdown(result.trace):
+        table.add_row(cost.stage, cost.ms, f"{cost.share:.0%}")
+    attempts = result.trace.find_all("attempt")
+    backoffs = result.trace.find_all("backoff")
+    table.add_row("(attempt spans)", sum(s.duration_seconds
+                                         for s in attempts) * 1e3,
+                  f"n={len(attempts)}")
+    table.add_row("(backoff spans)", sum(s.duration_seconds
+                                         for s in backoffs) * 1e3,
+                  f"n={len(backoffs)}")
+    table.print()
+    assert len(attempts) > 32  # more attempts than entries => retries ran
+    assert backoffs, "retries must record their backoff sleeps"
+
+
 def test_e13_healthy_world_needs_no_retries():
     _scenario, s2s = flaky_middleware(0.0, retries=8)
     assert completeness(s2s) == 1.0

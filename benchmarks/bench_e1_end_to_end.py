@@ -87,6 +87,28 @@ def test_e1_parallel_and_cache_ablation():
     assert warm_time.mean < serial_time.mean
 
 
+def test_e1_stage_breakdown_report(sweep):
+    """E1c: where does the latency go?  Per-stage share of one traced
+    query at each source count (parse/plan/extract/generate/filter)."""
+    from repro.bench import stage_breakdown
+    from repro.obs import Tracer
+
+    table = ResultTable(
+        "E1c: per-stage latency share vs #sources (traced query)",
+        ["sources", "stage", "ms", "share"])
+    for point in sweep:
+        tracer = Tracer()
+        point.middleware.query_handler.tracer = tracer
+        try:
+            result = point.middleware.query(QUERY)
+        finally:
+            point.middleware.query_handler.tracer = None
+        for cost in stage_breakdown(result.trace):
+            table.add_row(point.n_sources, cost.stage, cost.ms,
+                          f"{cost.share:.0%}")
+    table.print()
+
+
 @pytest.mark.parametrize("sources", [1, 4, 16])
 def test_e1_query_latency(benchmark, sweep, sources):
     point = next(p for p in sweep if p.n_sources == sources)

@@ -8,8 +8,6 @@ the graph design in DESIGN.md section 7.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import ResultTable, measure
 from repro.ontology import OntologySchema
 from repro.ontology.builders import watch_domain_ontology

@@ -7,8 +7,6 @@ dominated by extraction, not by filtering, across the answer-size range.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import ResultTable, measure
 from repro.core.query import QueryPlanner, parse_s2sql
 
@@ -67,6 +65,30 @@ def test_e5_selectivity_correctness(standard_scenario, standard_middleware):
         expected = standard_scenario.expected_matches(
             lambda p: p.price < threshold)
         assert len(result) == len(expected)
+
+
+def test_e5_stage_breakdown_report(standard_middleware):
+    """E5c: pipeline-stage share for a selective query — confirms the
+    claim that extraction dominates and parse/plan are negligible."""
+    from repro.bench import stage_breakdown
+    from repro.obs import Tracer
+
+    table = ResultTable("E5c: stage breakdown (price < 300)",
+                        ["stage", "ms", "share"])
+    tracer = Tracer()
+    standard_middleware.query_handler.tracer = tracer
+    try:
+        result = standard_middleware.query(
+            "SELECT product WHERE price < 300")
+    finally:
+        standard_middleware.query_handler.tracer = None
+    costs = stage_breakdown(result.trace)
+    for cost in costs:
+        table.add_row(cost.stage, cost.ms, f"{cost.share:.0%}")
+    table.print()
+    by_stage = {cost.stage: cost for cost in costs}
+    assert by_stage["extract"].seconds > by_stage["parse"].seconds
+    assert by_stage["extract"].seconds > by_stage["plan"].seconds
 
 
 def test_e5_parse_benchmark(benchmark):

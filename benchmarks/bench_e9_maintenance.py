@@ -10,8 +10,6 @@ before repair, and what the repair costs.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import ResultTable, measure_value
 from repro.workloads import B2BScenario
 

@@ -8,7 +8,7 @@ registration.  The middleware core is untouched.
 Run:  python examples/custom_source_type.py
 """
 
-from repro import S2SMiddleware, sql_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.core.extractor.extractors import Extractor
 from repro.core.mapping.rules import RULE_LANGUAGES, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
@@ -69,11 +69,11 @@ Swatch,Sistem51,resin
     s2s.register_source(feed)
 
     s2s.register_attribute(("product", "brand"),
-                           sql_rule("SELECT brand FROM watches"), "DB_1")
+                           ExtractionRule.sql("SELECT brand FROM watches"), "DB_1")
     s2s.register_attribute(("product", "model"),
-                           sql_rule("SELECT model FROM watches"), "DB_1")
+                           ExtractionRule.sql("SELECT model FROM watches"), "DB_1")
     s2s.register_attribute(("watch", "case"),
-                           sql_rule("SELECT casing FROM watches"), "DB_1")
+                           ExtractionRule.sql("SELECT casing FROM watches"), "DB_1")
     s2s.register_attribute(("product", "brand"), csv_rule("brand"), "CSV_9")
     s2s.register_attribute(("product", "model"), csv_rule("model"), "CSV_9")
     s2s.register_attribute(("watch", "case"), csv_rule("case"), "CSV_9")

@@ -7,7 +7,7 @@ answer as OWL.
 Run:  python examples/quickstart.py
 """
 
-from repro import S2SMiddleware, sql_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.relational import Database, RelationalDataSource
 
@@ -31,15 +31,15 @@ def main() -> None:
     # 3. Attribute registration (the 3-step workflow of Figure 3):
     #    name the attribute, give its extraction rule, map it to a source.
     s2s.register_attribute(("product", "brand"),
-                           sql_rule("SELECT brand FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT brand FROM watches"), "DB_ID_45")
     s2s.register_attribute(("product", "model"),
-                           sql_rule("SELECT model FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT model FROM watches"), "DB_ID_45")
     s2s.register_attribute(("watch", "case"),
-                           sql_rule("SELECT casing FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT casing FROM watches"), "DB_ID_45")
     s2s.register_attribute(("product", "price"),
-                           sql_rule("SELECT price FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT price FROM watches"), "DB_ID_45")
     s2s.register_attribute(("provider", "name"),
-                           sql_rule("SELECT provider FROM watches"),
+                           ExtractionRule.sql("SELECT provider FROM watches"),
                            "DB_ID_45")
 
     print("Mapping repository (paper section 2.3.1 format):")

@@ -9,7 +9,7 @@ logistics ontology, with typed dates and integers end to end.
 Run:  python examples/shipment_tracking.py
 """
 
-from repro import S2SMiddleware, regex_rule, sql_rule, xpath_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import logistics_ontology
 from repro.sources.relational import Database, RelationalDataSource
 from repro.sources.textfiles import TextDataSource, TextFileStore
@@ -60,7 +60,7 @@ def build_middleware() -> S2SMiddleware:
             (("carrier", "name"), "carrier"),
             (("carrier", "fleet_size"), "fleet")):
         s2s.register_attribute(
-            attribute, sql_rule(f"SELECT {column} FROM shipments"), "TMS_DB")
+            attribute, ExtractionRule.sql(f"SELECT {column} FROM shipments"), "TMS_DB")
 
     # XQuery FLWOR extraction rules (§2.3.1: "XPath and XQuery can be used")
     for attribute, tag in (
@@ -72,7 +72,7 @@ def build_middleware() -> S2SMiddleware:
             (("carrier", "fleet_size"), "vessels")):
         s2s.register_attribute(
             attribute,
-            xpath_rule(f"for $p in //package return $p/{tag}"), "MANIFEST")
+            ExtractionRule.xpath(f"for $p in //package return $p/{tag}"), "MANIFEST")
 
     for attribute, key in (
             (("shipment", "tracking_id"), "tracking"),
@@ -82,7 +82,7 @@ def build_middleware() -> S2SMiddleware:
             (("express_shipment", "guaranteed_hours"), "sla_hours"),
             (("carrier", "name"), "carrier"),
             (("carrier", "fleet_size"), "fleet")):
-        s2s.register_attribute(attribute, regex_rule(rf"{key}=(\S+)"),
+        s2s.register_attribute(attribute, ExtractionRule.regex(rf"{key}=(\S+)"),
                                "EXPRESS_LOG")
     return s2s
 

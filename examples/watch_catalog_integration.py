@@ -13,7 +13,7 @@ the answer is serialized in every supported output format.
 Run:  python examples/watch_catalog_integration.py
 """
 
-from repro import S2SMiddleware, sql_rule, webl_rule, xpath_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.relational import Database, RelationalDataSource
 from repro.sources.web import SimulatedWeb, WebDataSource
@@ -80,24 +80,24 @@ def build_middleware() -> S2SMiddleware:
 
     # Web page mappings (WebL).
     s2s.register_attribute(("product", "brand"),
-                           webl_rule(BRAND_WEBL, name="watch.webl"),
+                           ExtractionRule.webl(BRAND_WEBL, name="watch.webl"),
                            "wpage_81")
     s2s.register_attribute(("product", "model"),
-                           webl_rule(span_rule("model"), name="watch.webl"),
+                           ExtractionRule.webl(span_rule("model"), name="watch.webl"),
                            "wpage_81")
     s2s.register_attribute(("watch", "case"),
-                           webl_rule(span_rule("case"), name="watch.webl"),
+                           ExtractionRule.webl(span_rule("case"), name="watch.webl"),
                            "wpage_81")
     s2s.register_attribute(
         ("product", "price"),
-        webl_rule("""
+        ExtractionRule.webl("""
 var P = GetURL(SourceURL());
 var m = Str_Search(Text(P), `\\$([0-9.]+)`);
 var price = m[0][1];
 """, name="watch.webl"), "wpage_81")
     s2s.register_attribute(
         ("provider", "name"),
-        webl_rule("""
+        ExtractionRule.webl("""
 var P = GetURL(SourceURL());
 var m = Str_Search(Text(P), `<div id="provider">([^<]+)</div>`);
 var p = m[0][1];
@@ -105,16 +105,16 @@ var p = m[0][1];
 
     # Database mappings (SQL) — note the semantic normalization of cents.
     s2s.register_attribute(("product", "brand"),
-                           sql_rule("SELECT brand FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT brand FROM watches"), "DB_ID_45")
     s2s.register_attribute(("product", "model"),
-                           sql_rule("SELECT model FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT model FROM watches"), "DB_ID_45")
     s2s.register_attribute(("watch", "case"),
-                           sql_rule("SELECT casing FROM watches"), "DB_ID_45")
+                           ExtractionRule.sql("SELECT casing FROM watches"), "DB_ID_45")
     s2s.register_attribute(("product", "price"),
-                           sql_rule("SELECT price_cents FROM watches",
+                           ExtractionRule.sql("SELECT price_cents FROM watches",
                                     transform="cents_to_units"), "DB_ID_45")
     s2s.register_attribute(("provider", "name"),
-                           sql_rule("SELECT provider FROM watches"),
+                           ExtractionRule.sql("SELECT provider FROM watches"),
                            "DB_ID_45")
 
     # XML feed mappings (XPath).
@@ -123,7 +123,7 @@ var p = m[0][1];
                            (("watch", "case"), "case"),
                            (("product", "price"), "price"),
                            (("provider", "name"), "provider")):
-        s2s.register_attribute(attribute, xpath_rule(f"//watch/{tag}"),
+        s2s.register_attribute(attribute, ExtractionRule.xpath(f"//watch/{tag}"),
                                "XML_7")
     return s2s
 

@@ -15,13 +15,19 @@ Public entry points:
 * :mod:`repro.baselines` — syntactic comparison systems.
 """
 
+from .core.mapping.rules import ExtractionRule
 from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
                               xpath_rule)
+from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "S2SMiddleware",
+    "ExtractionRule",
+    "MetricsRegistry",
+    "Trace",
+    "Tracer",
     "sql_rule",
     "xpath_rule",
     "webl_rule",

@@ -1,6 +1,8 @@
 """Benchmark harness utilities: timing, statistics and table printing."""
 
-from .harness import Measurement, measure, measure_value
+from .harness import (Measurement, StageCost, measure, measure_value,
+                      stage_breakdown)
 from .reporting import ResultTable
 
-__all__ = ["measure", "measure_value", "Measurement", "ResultTable"]
+__all__ = ["measure", "measure_value", "Measurement", "ResultTable",
+           "StageCost", "stage_breakdown"]

@@ -77,3 +77,30 @@ def throughput(count: int, seconds: float) -> float:
     if seconds <= 0:
         return float("inf")
     return count / seconds
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One pipeline stage's share of a traced query."""
+
+    stage: str
+    seconds: float
+    share: float  # fraction of the root span's duration
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1e3
+
+
+def stage_breakdown(trace) -> list[StageCost]:
+    """Per-stage cost of one traced query, in pipeline order.
+
+    ``trace`` is a :class:`repro.obs.Trace` (``QueryResult.trace``).  The
+    stages are the root span's direct children — parse, plan, extract,
+    generate, filter for a standard query — each with its share of the
+    end-to-end time, so benchmark tables can answer "where does the
+    latency go?" per configuration."""
+    total = trace.root.duration_seconds or 1.0
+    return [StageCost(child.name, child.duration_seconds,
+                      child.duration_seconds / total)
+            for child in trace.root.children]

@@ -48,12 +48,38 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="extract sources concurrently")
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="print the per-query span tree to stderr")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry to stderr")
+
+
 def _build(args: argparse.Namespace):
+    from dataclasses import replace as _replace
+
+    from .core.resilience import ResilienceConfig
+    from .obs import MetricsRegistry, Tracer
+
     scenario = B2BScenario(n_sources=args.sources, n_products=args.products,
                            conflicts=_CONFLICT_LEVELS[args.conflicts],
                            seed=args.seed)
-    middleware = scenario.build_middleware(parallel=args.parallel)
+    resilience = _replace(ResilienceConfig.conservative(),
+                          parallel=args.parallel)
+    tracer = Tracer() if getattr(args, "trace", False) else None
+    middleware = scenario.build_middleware(resilience=resilience,
+                                           tracer=tracer,
+                                           metrics=MetricsRegistry())
     return scenario, middleware
+
+
+def _report_observability(args: argparse.Namespace, s2s, result) -> None:
+    """Append --trace / --metrics output to stderr, after the answer."""
+    if getattr(args, "trace", False) and result.trace is not None:
+        print(f"\n--- trace ---\n{result.trace.render()}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print(f"\n--- metrics ---\n{s2s.metrics().render_text()}",
+              file=sys.stderr)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -69,6 +95,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
           f"{len({e.source_id for e in result.entities})} sources "
           f"({result.errors.summary()}, "
           f"{result.elapsed_seconds * 1e3:.1f} ms)")
+    _report_observability(args, s2s, result)
     return 0
 
 
@@ -82,6 +109,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"\n[{result.errors.summary()}]", file=sys.stderr)
         for entry in result.errors.entries:
             print(f"  {entry}", file=sys.stderr)
+    _report_observability(args, s2s, result)
     return 0
 
 
@@ -157,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="run the demo integration")
     _add_scenario_arguments(demo)
+    _add_observability_arguments(demo)
     demo.set_defaults(handler=_cmd_demo)
 
     query = commands.add_parser("query", help="run an S2SQL query")
@@ -167,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated attributes to dedup on, "
                             "e.g. brand,model")
     _add_scenario_arguments(query)
+    _add_observability_arguments(query)
     query.set_defaults(handler=_cmd_query)
 
     mapping = commands.add_parser("mapping",

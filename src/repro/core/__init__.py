@@ -13,6 +13,7 @@ Subpackages mirror the architecture of the paper's Figure 1:
   "single point of entry".
 """
 
+from .mapping.rules import ExtractionRule
 from .middleware import S2SMiddleware
 
-__all__ = ["S2SMiddleware"]
+__all__ = ["S2SMiddleware", "ExtractionRule"]

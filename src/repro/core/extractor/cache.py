@@ -15,9 +15,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..mapping.attributes import MappingEntry
 from .records import RawFragment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...obs import MetricsRegistry
 
 
 def _key(entry: MappingEntry) -> tuple[str, str, str, str | None]:
@@ -39,15 +43,22 @@ class CacheStats:
 
 
 class FragmentCache:
-    """Thread-safe cache of extracted fragments keyed by mapping entry."""
+    """Thread-safe cache of extracted fragments keyed by mapping entry.
 
-    def __init__(self, *, max_entries: int = 10_000) -> None:
+    ``metrics`` optionally names a :class:`~repro.obs.MetricsRegistry`;
+    when set, every lookup/invalidation also feeds the process-wide
+    ``cache_hits_total`` / ``cache_misses_total`` /
+    ``cache_invalidations_total`` counters (labelled by source)."""
+
+    def __init__(self, *, max_entries: int = 10_000,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._entries: dict[tuple, list[str]] = {}
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self.metrics = metrics
 
     def get(self, entry: MappingEntry) -> RawFragment | None:
         """Cached fragment for the entry, or None (counts a miss)."""
@@ -55,10 +66,17 @@ class FragmentCache:
             values = self._entries.get(_key(entry))
             if values is None:
                 self.stats.misses += 1
-                return None
-            self.stats.hits += 1
-            return RawFragment(entry.attribute, entry.source_id,
-                               list(values))
+            else:
+                self.stats.hits += 1
+        if self.metrics is not None:
+            name = ("cache_hits_total" if values is not None
+                    else "cache_misses_total")
+            self.metrics.counter(
+                name, "fragment cache lookups").inc(
+                    source=entry.source_id)
+        if values is None:
+            return None
+        return RawFragment(entry.attribute, entry.source_id, list(values))
 
     def put(self, entry: MappingEntry, fragment: RawFragment) -> None:
         """Cache a fragment; resets wholesale when capacity is hit."""
@@ -82,7 +100,12 @@ class FragmentCache:
                     del self._entries[key]
                 removed = len(victims)
             self.stats.invalidations += removed
-            return removed
+        if self.metrics is not None and removed:
+            self.metrics.counter(
+                "cache_invalidations_total",
+                "fragment cache entries dropped").inc(
+                    removed, source=source_id or "*")
+        return removed
 
     def __len__(self) -> int:
         with self._lock:

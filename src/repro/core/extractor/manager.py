@@ -49,6 +49,8 @@ from typing import Any
 from ...errors import (CircuitOpenError, DeadlineExceededError, S2SError,
                        TransientSourceError)
 from ...ids import AttributePath
+from ...obs import NULL_SPAN, MetricsRegistry
+from ...obs.trace import NullSpan, Span
 from ..mapping.attributes import MappingEntry
 from ..mapping.datasources import DataSourceRepository
 from ..mapping.repository import AttributeRepository
@@ -59,6 +61,9 @@ from .cache import FragmentCache
 from .extractors import ExtractorRegistry
 from .records import RawFragment, SourceRecordSet
 from .schema import ExtractionSchema
+
+#: Anything span-shaped the instrumentation points accept.
+AnySpan = Span | NullSpan
 
 
 @dataclass
@@ -141,6 +146,7 @@ class ExtractorManager:
                  *, strict: bool = False,
                  cache: FragmentCache | None = None,
                  resilience: ResilienceConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
                  parallel: Any = UNSET, max_workers: Any = UNSET,
                  retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
         self.config = legacy_kwargs_to_config(
@@ -152,13 +158,24 @@ class ExtractorManager:
         self.extractors = extractors or ExtractorRegistry()
         self.strict = strict
         self.cache = cache
-        self.breakers = (CircuitBreakerRegistry(self.config.breaker,
-                                                self.config.clock)
-                         if self.config.breaker is not None else None)
+        self.metrics = metrics
+        self.breakers = (CircuitBreakerRegistry(
+            self.config.breaker, self.config.clock,
+            listener=self._breaker_transition
+            if metrics is not None else None)
+            if self.config.breaker is not None else None)
         self.health = SourceHealthRegistry()  # cumulative across runs
         self.retry_count = 0  # total retried attempts, for observability
         self._rng = self.config.retry.make_rng()
         self._lock = threading.Lock()  # guards _rng and retry_count
+
+    def _breaker_transition(self, source_id: str, old: str,
+                            new: str) -> None:
+        """Breaker listener: count every state transition per source."""
+        self.metrics.counter(
+            "breaker_transitions_total",
+            "circuit breaker state transitions").inc(
+                source=source_id, from_state=old, to_state=new)
 
     # -- legacy accessors (pre-ResilienceConfig API) -----------------------
 
@@ -187,13 +204,14 @@ class ExtractorManager:
         return ExtractionSchema.build(self.attributes, required)
 
     def extract(self, required: list[AttributePath],
-                *, deadline: Deadline | float | None = None
-                ) -> ExtractionOutcome:
+                *, deadline: Deadline | float | None = None,
+                span: AnySpan = NULL_SPAN) -> ExtractionOutcome:
         """Run steps 2-4 for the given required-attribute list (step 1 is
         the caller's query analysis).
 
         ``deadline`` overrides the configured wall-clock budget for this
-        run (a number of seconds or a prepared :class:`Deadline`)."""
+        run (a number of seconds or a prepared :class:`Deadline`);
+        ``span`` is the parent trace span when the caller is traced."""
         started = time.perf_counter()
         schema = self.obtain_extraction_schema(required)
         if deadline is None:
@@ -208,10 +226,14 @@ class ExtractorManager:
                                     deadline_seconds=deadline.seconds)
 
         source_ids = schema.source_ids()
+        span.annotate(sources=len(source_ids),
+                      entries=schema.entry_count(),
+                      parallel=self.config.parallel)
         if self.config.parallel and len(source_ids) > 1:
-            results = self._extract_parallel(source_ids, ctx, outcome)
+            results = self._extract_parallel(source_ids, ctx, outcome, span)
         else:
-            results = [self._extract_source(sid, schema.by_source[sid], ctx)
+            results = [self._extract_source(sid, schema.by_source[sid], ctx,
+                                            span)
                        for sid in source_ids]
 
         for result in sorted(results, key=lambda r: r.source_id):
@@ -223,10 +245,34 @@ class ExtractorManager:
         outcome.health = ctx.health.snapshot()
         self.health.merge_from(ctx.health)
         outcome.elapsed_seconds = time.perf_counter() - started
+        if self.metrics is not None:
+            self._record_outcome_metrics(outcome)
         return outcome
 
+    def _record_outcome_metrics(self, outcome: ExtractionOutcome) -> None:
+        metrics = self.metrics
+        metrics.counter("extractions_total",
+                        "extraction runs").inc()
+        metrics.histogram("extraction_seconds",
+                          "wall-clock time of one extraction run"
+                          ).observe(outcome.elapsed_seconds)
+        if outcome.problems:
+            metrics.counter("extraction_problems_total",
+                            "failures recorded during extraction").inc(
+                                len(outcome.problems))
+        if outcome.degraded:
+            metrics.counter("degraded_extractions_total",
+                            "extraction runs with best-effort answers"
+                            ).inc()
+        for source_id, health in outcome.health.items():
+            if health.failovers:
+                metrics.counter("failovers_total",
+                                "replica substitutions for a primary"
+                                ).inc(health.failovers, source=source_id)
+
     def _extract_parallel(self, source_ids: list[str], ctx: _RunContext,
-                          outcome: ExtractionOutcome) -> list[_SourceResult]:
+                          outcome: ExtractionOutcome,
+                          span: AnySpan) -> list[_SourceResult]:
         """Fan out one worker per source, bounded by the deadline.
 
         Workers police the deadline themselves between entries (their
@@ -239,7 +285,7 @@ class ExtractorManager:
         try:
             futures = {
                 pool.submit(self._extract_source, sid,
-                            ctx.schema.by_source[sid], ctx): sid
+                            ctx.schema.by_source[sid], ctx, span): sid
                 for sid in source_ids}
             timeout = (None if ctx.deadline.unbounded
                        else max(ctx.deadline.remaining(), 0.05))
@@ -274,58 +320,80 @@ class ExtractorManager:
             record.breaker_trips = breaker.open_count
 
     def _extract_source(self, source_id: str, entries: list[MappingEntry],
-                        ctx: _RunContext) -> _SourceResult:
+                        ctx: _RunContext,
+                        parent_span: AnySpan = NULL_SPAN) -> _SourceResult:
         """Steps 3 and 4 for one source."""
         started = time.perf_counter()
         problems: list[ExtractionProblem] = []
+        span = parent_span.child("source", source=source_id,
+                                 entries=len(entries))
         try:
-            source = self.sources.get(source_id)  # step 3
-            extractor = self.extractors.for_source(source)
-        except S2SError as exc:
-            if self.strict:
-                raise
-            problems.append(ExtractionProblem(source_id, None, str(exc)))
-            return _SourceResult(source_id, None, problems,
-                                 time.perf_counter() - started)
-        record_set = SourceRecordSet(source_id)
-        for index, entry in enumerate(entries):
-            if ctx.deadline.expired:
-                ctx.health.for_source(source_id).deadline_hits += 1
-                problems.append(ExtractionProblem(
-                    source_id, entry.attribute_id,
-                    f"extraction deadline of {ctx.deadline.seconds:.3f}s "
-                    f"exceeded; skipped {len(entries) - index} remaining "
-                    f"entries"))
-                break
-            if self.cache is not None:
-                cached = self.cache.get(entry)
-                if cached is not None:
-                    record_set.add(cached)
-                    continue
             try:
-                fragment = self._extract_entry(source_id, source, extractor,
-                                               entry, ctx)  # step 4
-            except DeadlineExceededError as exc:
-                if self.strict:
-                    raise
-                ctx.health.for_source(source_id).deadline_hits += 1
-                problems.append(ExtractionProblem(
-                    source_id, entry.attribute_id, str(exc)))
-                break
+                source = self.sources.get(source_id)  # step 3
+                extractor = self.extractors.for_source(source)
             except S2SError as exc:
+                span.fail(str(exc))
                 if self.strict:
                     raise
-                problems.append(ExtractionProblem(
-                    source_id, entry.attribute_id, str(exc)))
-                continue
-            if self.cache is not None:
-                self.cache.put(entry, fragment)
-            record_set.add(fragment)
-        return _SourceResult(source_id, record_set, problems,
-                             time.perf_counter() - started)
+                problems.append(ExtractionProblem(source_id, None, str(exc)))
+                return _SourceResult(source_id, None, problems,
+                                     time.perf_counter() - started)
+            record_set = SourceRecordSet(source_id)
+            for index, entry in enumerate(entries):
+                if ctx.deadline.expired:
+                    ctx.health.for_source(source_id).deadline_hits += 1
+                    span.annotate(deadline_expired=True)
+                    problems.append(ExtractionProblem(
+                        source_id, entry.attribute_id,
+                        f"extraction deadline of {ctx.deadline.seconds:.3f}s "
+                        f"exceeded; skipped {len(entries) - index} remaining "
+                        f"entries"))
+                    break
+                entry_span = span.child("entry",
+                                        attribute=entry.attribute_id)
+                try:
+                    if self.cache is not None:
+                        cached = self.cache.get(entry)
+                        if cached is not None:
+                            entry_span.annotate(cache="hit")
+                            record_set.add(cached)
+                            continue
+                        entry_span.annotate(cache="miss")
+                    try:
+                        fragment = self._extract_entry(
+                            source_id, source, extractor, entry, ctx,
+                            entry_span)  # step 4
+                    except DeadlineExceededError as exc:
+                        entry_span.fail(str(exc))
+                        if self.strict:
+                            raise
+                        ctx.health.for_source(source_id).deadline_hits += 1
+                        problems.append(ExtractionProblem(
+                            source_id, entry.attribute_id, str(exc)))
+                        break
+                    except S2SError as exc:
+                        entry_span.fail(str(exc))
+                        if self.strict:
+                            raise
+                        problems.append(ExtractionProblem(
+                            source_id, entry.attribute_id, str(exc)))
+                        continue
+                    if self.cache is not None:
+                        self.cache.put(entry, fragment)
+                    entry_span.annotate(values=len(fragment.values))
+                    record_set.add(fragment)
+                finally:
+                    entry_span.finish()
+            return _SourceResult(source_id, record_set, problems,
+                                 time.perf_counter() - started)
+        finally:
+            if problems:
+                span.annotate(problems=len(problems))
+            span.finish()
 
     def _extract_entry(self, source_id: str, source, extractor,
-                       entry: MappingEntry, ctx: _RunContext) -> RawFragment:
+                       entry: MappingEntry, ctx: _RunContext,
+                       span: AnySpan = NULL_SPAN) -> RawFragment:
         """One mapping entry: primary attempt chain, then replicas.
 
         Failover engages when the primary's retries are exhausted or its
@@ -334,7 +402,7 @@ class ExtractorManager:
         the deadline has expired."""
         try:
             return self._call_with_policy(source_id, source, extractor,
-                                          entry, ctx)
+                                          entry, ctx, span)
         except DeadlineExceededError:
             raise
         except (TransientSourceError, CircuitOpenError) as primary_error:
@@ -343,15 +411,20 @@ class ExtractorManager:
             for replica in replicas:
                 if ctx.deadline.expired:
                     break
+                failover_span = span.child("failover",
+                                           replica=replica.source_id)
                 try:
                     replica_source = self.sources.get(replica.source_id)
                     replica_extractor = self.extractors.for_source(
                         replica_source)
                     fragment = self._call_with_policy(
                         replica.source_id, replica_source, replica_extractor,
-                        replica, ctx)
-                except S2SError:
+                        replica, ctx, failover_span)
+                except S2SError as exc:
+                    failover_span.fail(str(exc))
+                    failover_span.finish()
                     continue
+                failover_span.finish()
                 ctx.health.for_source(source_id).failovers += 1
                 ctx.health.for_source(replica.source_id).served_for += 1
                 # Relabel so positional correlation joins the primary's
@@ -361,8 +434,8 @@ class ExtractorManager:
             raise primary_error
 
     def _call_with_policy(self, source_id: str, source, extractor,
-                          entry: MappingEntry, ctx: _RunContext
-                          ) -> RawFragment:
+                          entry: MappingEntry, ctx: _RunContext,
+                          span: AnySpan = NULL_SPAN) -> RawFragment:
         """One rule execution under retry policy, breaker and deadline.
 
         Only :class:`~repro.errors.TransientSourceError` is retried —
@@ -381,11 +454,22 @@ class ExtractorManager:
                 error = CircuitOpenError(source_id,
                                          retry_after=breaker.retry_after())
                 health.last_error = str(error)
+                span.child("breaker-open", source=source_id).finish()
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "breaker_rejections_total",
+                        "calls refused by an open circuit breaker").inc(
+                            source=source_id)
                 raise error
             health.attempts += 1
+            attempt_span = span.child("attempt", number=attempt + 1,
+                                      source=source_id)
             try:
                 fragment = extractor.extract(source, entry)
             except TransientSourceError as exc:
+                attempt_span.fail(str(exc))
+                attempt_span.annotate(outcome="transient-error")
+                attempt_span.finish()
                 health.failures += 1
                 health.last_error = str(exc)
                 if breaker is not None:
@@ -401,16 +485,27 @@ class ExtractorManager:
                     self.retry_count += 1
                     delay = policy.delay_for(attempt, self._rng)
                 health.retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "retries_total",
+                        "re-attempts after transient failures").inc(
+                            source=source_id)
                 if delay > 0:
-                    self.config.clock.sleep(ctx.deadline.clamp(delay))
+                    with span.child("backoff", seconds=round(delay, 6)):
+                        self.config.clock.sleep(ctx.deadline.clamp(delay))
                 continue
             except S2SError as exc:
+                attempt_span.fail(str(exc))
+                attempt_span.annotate(outcome="permanent-error")
+                attempt_span.finish()
                 health.failures += 1
                 health.last_error = str(exc)
                 raise
             if breaker is not None:
                 breaker.record_success()
             health.successes += 1
+            attempt_span.annotate(outcome="ok")
+            attempt_span.finish()
             return fragment
 
     def extract_all_registered(self) -> ExtractionOutcome:

@@ -60,6 +60,30 @@ class ExtractionRule:
         if not self.code or not self.code.strip():
             raise MappingError("extraction rule code must be non-empty")
 
+    @classmethod
+    def sql(cls, code: str, *, name: str = "",
+            transform: str | None = None) -> "ExtractionRule":
+        """A SQL rule for relational sources."""
+        return cls("sql", code, name=name, transform=transform)
+
+    @classmethod
+    def xpath(cls, code: str, *, name: str = "",
+              transform: str | None = None) -> "ExtractionRule":
+        """An XPath/XQuery rule for XML sources."""
+        return cls("xpath", code, name=name, transform=transform)
+
+    @classmethod
+    def webl(cls, code: str, *, name: str = "",
+             transform: str | None = None) -> "ExtractionRule":
+        """A WebL rule for web-page sources."""
+        return cls("webl", code, name=name, transform=transform)
+
+    @classmethod
+    def regex(cls, code: str, *, name: str = "",
+              transform: str | None = None) -> "ExtractionRule":
+        """A regular-expression rule for plain-text sources."""
+        return cls("regex", code, name=name, transform=transform)
+
     @property
     def source_type(self) -> str:
         """The data-source type this rule's language targets."""
@@ -154,7 +178,7 @@ class TransformRegistry:
             except json.JSONDecodeError as exc:
                 raise MappingError(f"bad map transform {name!r}") from exc
             if not isinstance(table, dict):
-                raise MappingError(f"map transform must be a JSON object")
+                raise MappingError("map transform must be a JSON object")
             return lambda value: str(table.get(value, value))
         raise MappingError(f"unknown transform {name!r}")
 

@@ -6,22 +6,32 @@ extractor manager and the query handler.  A complete integration setup
 is::
 
     from repro.core import S2SMiddleware
+    from repro.core.mapping.rules import ExtractionRule
     from repro.ontology.builders import watch_domain_ontology
 
     s2s = S2SMiddleware(watch_domain_ontology())
     s2s.register_source(RelationalDataSource("DB_ID_45", database))
     s2s.register_attribute(("watch", "case"),
-                           sql("SELECT case_material FROM watches"),
+                           ExtractionRule.sql("SELECT case_material "
+                                              "FROM watches"),
                            "DB_ID_45")
     result = s2s.query('SELECT product WHERE brand = "Seiko"')
     print(result.serialize("owl"))
+
+Observability is built in: pass ``tracer=Tracer()`` to get a per-query
+span tree on ``result.trace``, call ``explain(query)`` for the rendered
+Figure-5 flow of one query, and read the cumulative counters through
+``metrics()`` (fed into the process-wide default registry unless a
+dedicated :class:`~repro.obs.MetricsRegistry` is injected).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
 from ..ids import AttributePath
+from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from ..ontology.model import Ontology
 from ..ontology.schema import OntologySchema
 from ..sources.base import DataSource
@@ -40,28 +50,37 @@ from .mapping.rules import ExtractionRule, TransformRegistry
 from .query.executor import QueryHandler, QueryResult
 
 
+def _deprecated_rule(language: str, code: str, *, name: str = "",
+                     transform: str | None = None) -> ExtractionRule:
+    warnings.warn(
+        f"{language}_rule() is deprecated; use "
+        f"ExtractionRule.{language}(...) instead",
+        DeprecationWarning, stacklevel=3)
+    return ExtractionRule(language, code, name=name, transform=transform)
+
+
 def sql_rule(code: str, *, name: str = "", transform: str | None = None
              ) -> ExtractionRule:
-    """Convenience constructor for SQL extraction rules."""
-    return ExtractionRule("sql", code, name=name, transform=transform)
+    """Deprecated alias of :meth:`ExtractionRule.sql`."""
+    return _deprecated_rule("sql", code, name=name, transform=transform)
 
 
 def xpath_rule(code: str, *, name: str = "", transform: str | None = None
                ) -> ExtractionRule:
-    """Convenience constructor for XPath extraction rules."""
-    return ExtractionRule("xpath", code, name=name, transform=transform)
+    """Deprecated alias of :meth:`ExtractionRule.xpath`."""
+    return _deprecated_rule("xpath", code, name=name, transform=transform)
 
 
 def webl_rule(code: str, *, name: str = "", transform: str | None = None
               ) -> ExtractionRule:
-    """Convenience constructor for WebL extraction rules."""
-    return ExtractionRule("webl", code, name=name, transform=transform)
+    """Deprecated alias of :meth:`ExtractionRule.webl`."""
+    return _deprecated_rule("webl", code, name=name, transform=transform)
 
 
 def regex_rule(code: str, *, name: str = "", transform: str | None = None
                ) -> ExtractionRule:
-    """Convenience constructor for regex extraction rules."""
-    return ExtractionRule("regex", code, name=name, transform=transform)
+    """Deprecated alias of :meth:`ExtractionRule.regex`."""
+    return _deprecated_rule("regex", code, name=name, transform=transform)
 
 
 class S2SMiddleware:
@@ -71,6 +90,8 @@ class S2SMiddleware:
                  validate_instances: bool = True,
                  cache_extractions: bool = False,
                  resilience: ResilienceConfig | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
                  parallel: Any = UNSET, max_workers: Any = UNSET,
                  retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
         self.ontology = ontology
@@ -79,18 +100,42 @@ class S2SMiddleware:
         self.source_repository = DataSourceRepository()
         self.transforms = TransformRegistry()
         self.extractors = ExtractorRegistry(self.transforms)
-        self.registrar = AttributeRegistrar(
-            self.schema, self.attribute_repository, self.source_repository)
-        self.cache = FragmentCache() if cache_extractions else None
+        self.strict_extraction = strict_extraction
+        self.validate_instances = validate_instances
+        self.tracer = tracer
+        self._metrics = metrics if metrics is not None else DEFAULT_REGISTRY
+        self.cache = (FragmentCache(metrics=self._metrics)
+                      if cache_extractions else None)
         self.resilience = legacy_kwargs_to_config(
             resilience, parallel=parallel, max_workers=max_workers,
             retries=retries, retry_delay=retry_delay, owner="S2SMiddleware")
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """(Re)wire registrar, manager and query handler over the current
+        repositories, preserving configuration and cumulative telemetry.
+
+        Used at construction and after ``load_mapping``: strictness, the
+        validation flag, the resilience config, the tracer/metrics wiring
+        and the cumulative per-source health ledger (and retry counter)
+        all survive a mapping reload; circuit breakers deliberately start
+        closed again, since a reload may bring back repaired sources."""
+        previous = getattr(self, "manager", None)
+        self.registrar = AttributeRegistrar(
+            self.schema, self.attribute_repository, self.source_repository)
+        if self.cache is not None:
+            self.cache.invalidate()
         self.manager = ExtractorManager(
             self.attribute_repository, self.source_repository,
-            self.extractors, strict=strict_extraction, cache=self.cache,
-            resilience=self.resilience)
+            self.extractors, strict=self.strict_extraction, cache=self.cache,
+            resilience=self.resilience, metrics=self._metrics)
+        if previous is not None:
+            self.manager.health.merge_from(previous.health)
+            self.manager.retry_count = previous.retry_count
         self.query_handler = QueryHandler(
-            self.schema, self.manager, validate_instances=validate_instances)
+            self.schema, self.manager,
+            validate_instances=self.validate_instances,
+            tracer=self.tracer, metrics=self._metrics)
 
     # -- registration -------------------------------------------------------
 
@@ -145,7 +190,33 @@ class S2SMiddleware:
         """Eagerly materialize every mapped attribute (E1 ablation)."""
         return self.manager.extract_all_registered()
 
-    # -- introspection ----------------------------------------------------------
+    # -- observability ------------------------------------------------------
+
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry this middleware reports into.
+
+        Carries the cumulative counters fed by the pipeline hooks —
+        cache hits/misses, retries, breaker transitions, query and
+        extraction latencies.  Render with ``metrics().render_text()``
+        or export via :func:`repro.obs.metrics_to_json`."""
+        return self._metrics
+
+    def explain(self, query: str, *,
+                merge_key: list[str] | None = None) -> str:
+        """Execute ``query`` traced and return the rendered span tree.
+
+        The executable analogue of the paper's Figure 5: one indented
+        line per pipeline stage — parse, plan, the per-source / per-entry
+        extraction fan-out (with retry, breaker, cache and failover
+        decisions), instance generation and condition filtering — each
+        with its wall-clock share.  Uses a one-shot tracer on the
+        resilience clock, so the permanently installed tracer (if any)
+        and its kept traces are untouched."""
+        tracer = Tracer(self.resilience.clock, keep_last=1)
+        result = self.query_handler.execute(query, merge_key=merge_key,
+                                            tracer=tracer)
+        assert result.trace is not None
+        return result.trace.render()
 
     def mapping_coverage(self) -> float:
         """Fraction of ontology attributes that have at least one mapping."""
@@ -181,21 +252,15 @@ class S2SMiddleware:
 
     def load_mapping(self, text: str, source_factory) -> None:
         """Replace the registries from a JSON document; live connectors are
-        re-created through ``source_factory(source_id, connection_info)``."""
+        re-created through ``source_factory(source_id, connection_info)``.
+
+        The middleware's configuration (strictness, validation,
+        resilience, observability) and its cumulative source-health
+        history survive the reload — only the mapping state is swapped."""
         attributes, sources = load_mapping(text, source_factory)
         self.attribute_repository = attributes
         self.source_repository = sources
-        self.registrar = AttributeRegistrar(
-            self.schema, self.attribute_repository, self.source_repository)
-        if self.cache is not None:
-            self.cache.invalidate()
-        self.manager = ExtractorManager(
-            self.attribute_repository, self.source_repository,
-            self.extractors, strict=self.manager.strict, cache=self.cache,
-            resilience=self.resilience)
-        self.query_handler = QueryHandler(
-            self.schema, self.manager,
-            validate_instances=self.query_handler.generator.validate)
+        self._rebuild()
 
     def __repr__(self) -> str:
         return (f"S2SMiddleware(ontology={self.ontology.name!r}, "

@@ -10,9 +10,11 @@ prove.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ...errors import QueryError
+from ...obs import NULL_SPAN, MetricsRegistry, Trace, Tracer
 from ...ontology.schema import OntologySchema
 from ..extractor.manager import ExtractionOutcome, ExtractorManager
 from ..resilience import SourceHealth
@@ -27,18 +29,36 @@ from .planner import QueryPlan, QueryPlanner, ResolvedCondition
 
 @dataclass
 class QueryResult:
-    """The answer to one S2SQL query."""
+    """The answer to one S2SQL query.
+
+    Self-contained: the ontology schema it serializes against is a
+    constructor argument, so external code (tests, alternative handlers,
+    result post-processors) can build one directly —
+    ``QueryResult(query, plan, schema, entities=[...])``.  ``trace`` is
+    the per-query span tree when the middleware ran with a tracer
+    installed, else ``None``.
+    """
 
     query: S2sqlQuery
     plan: QueryPlan
+    schema: OntologySchema = field(repr=False)
     entities: list[AssembledEntity] = field(default_factory=list)
     errors: ErrorReport = field(default_factory=ErrorReport)
     elapsed_seconds: float = 0.0
     extraction_seconds: float = 0.0
     extraction: ExtractionOutcome | None = field(default=None, repr=False)
+    trace: Trace | None = field(default=None, repr=False)
 
     def __len__(self) -> int:
         return len(self.entities)
+
+    @property
+    def _schema(self) -> OntologySchema:
+        """Deprecated spelling of :attr:`schema` (pre-1.1 private field)."""
+        warnings.warn("QueryResult._schema is deprecated; the schema is "
+                      "now the public QueryResult.schema attribute",
+                      DeprecationWarning, stacklevel=2)
+        return self.schema
 
     @property
     def health(self) -> dict[str, SourceHealth]:
@@ -72,7 +92,7 @@ class QueryResult:
 
     def serialize(self, format: str = "owl") -> str:
         """Render via the instance generator's output adapters."""
-        return render_entities(self._schema, self.entities, format)
+        return render_entities(self.schema, self.entities, format)
 
     def consistency(self, key: list[str], *, tolerance: float = 1e-6):
         """Cross-source agreement report for entities sharing ``key``.
@@ -81,39 +101,87 @@ class QueryResult:
         from ..instances.consistency import check_consistency
         return check_consistency(self.entities, key, tolerance=tolerance)
 
-    # set by QueryHandler; not part of the public constructor signature
-    _schema: OntologySchema = field(default=None, repr=False)  # type: ignore[assignment]
-
 
 class QueryHandler:
-    """Executes S2SQL queries through the extraction pipeline."""
+    """Executes S2SQL queries through the extraction pipeline.
+
+    ``tracer`` (optional) produces a per-query span tree attached to
+    ``QueryResult.trace``; ``metrics`` (optional) receives the
+    ``queries_total`` / ``query_seconds`` / ``entities_returned_total`` /
+    ``degraded_queries_total`` families.  Both default to off, keeping
+    the untraced hot path allocation-free."""
 
     def __init__(self, schema: OntologySchema, manager: ExtractorManager,
-                 *, validate_instances: bool = True) -> None:
+                 *, validate_instances: bool = True,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.schema = schema
         self.manager = manager
         self.planner = QueryPlanner(schema)
         self.generator = InstanceGenerator(schema,
                                            validate=validate_instances)
+        self.tracer = tracer
+        self.metrics = metrics
 
     def execute(self, query: str | S2sqlQuery,
-                *, merge_key: list[str] | None = None) -> QueryResult:
-        """Parse, plan, extract, generate and filter one query."""
+                *, merge_key: list[str] | None = None,
+                tracer: Tracer | None = None) -> QueryResult:
+        """Parse, plan, extract, generate and filter one query.
+
+        ``tracer`` overrides the handler's installed tracer for this one
+        call (``S2SMiddleware.explain`` uses this)."""
         started = time.perf_counter()
-        if isinstance(query, str):
-            query = parse_s2sql(query)
-        plan = self.planner.plan(query)
-        outcome = self.manager.extract(plan.required_attributes)
-        generation = self.generator.generate(outcome, plan.class_name,
-                                             merge_key=merge_key)
-        entities = [entity for entity in generation.entities
-                    if self._matches(entity, plan.conditions)]
-        result = QueryResult(query, plan, entities, generation.errors,
+        tracer = tracer or self.tracer
+        text = query if isinstance(query, str) else str(query)
+        root = (tracer.start("query", text=text)
+                if tracer is not None else NULL_SPAN)
+
+        with root.child("parse") as span:
+            if isinstance(query, str):
+                query = parse_s2sql(query)
+        with root.child("plan") as span:
+            plan = self.planner.plan(query)
+            span.annotate(query_class=plan.class_name,
+                          attributes=len(plan.required_attributes),
+                          conditions=len(plan.conditions))
+        with root.child("extract") as span:
+            outcome = self.manager.extract(plan.required_attributes,
+                                           span=span)
+        with root.child("generate") as span:
+            generation = self.generator.generate(outcome, plan.class_name,
+                                                 merge_key=merge_key)
+            span.annotate(entities=len(generation.entities),
+                          errors=len(generation.errors.entries))
+        with root.child("filter") as span:
+            entities = [entity for entity in generation.entities
+                        if self._matches(entity, plan.conditions)]
+            span.annotate(candidates=len(generation.entities),
+                          matched=len(entities))
+        root.finish()
+
+        result = QueryResult(query, plan, self.schema, entities,
+                             generation.errors,
                              extraction_seconds=outcome.elapsed_seconds,
                              extraction=outcome)
-        result._schema = self.schema
+        if tracer is not None:
+            result.trace = tracer.trace_of(root)
         result.elapsed_seconds = time.perf_counter() - started
+        if self.metrics is not None:
+            self._record_query_metrics(result)
         return result
+
+    def _record_query_metrics(self, result: QueryResult) -> None:
+        metrics = self.metrics
+        metrics.counter("queries_total", "S2SQL queries executed").inc()
+        metrics.histogram("query_seconds",
+                          "end-to-end query latency").observe(
+                              result.elapsed_seconds)
+        metrics.counter("entities_returned_total",
+                        "assembled entities returned to callers").inc(
+                            len(result.entities))
+        if result.degraded:
+            metrics.counter("degraded_queries_total",
+                            "queries answered best-effort").inc()
 
     # ------------------------------------------------------------------
 

@@ -22,7 +22,7 @@ semantics.
 
 from ...clock import Clock, FakeClock, SystemClock
 from .breaker import (CLOSED, HALF_OPEN, OPEN, BreakerPolicy, CircuitBreaker,
-                      CircuitBreakerRegistry)
+                      CircuitBreakerRegistry, TransitionListener)
 from .config import UNSET, ResilienceConfig, legacy_kwargs_to_config
 from .deadline import Deadline
 from .health import SourceHealth, SourceHealthRegistry
@@ -34,5 +34,6 @@ __all__ = [
     "Clock", "FakeClock", "SystemClock",
     "Deadline", "ResilienceConfig", "RetryBudget", "RetryPolicy",
     "SourceHealth", "SourceHealthRegistry",
+    "TransitionListener",
     "UNSET", "legacy_kwargs_to_config",
 ]

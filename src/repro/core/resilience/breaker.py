@@ -18,11 +18,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from ...clock import Clock, SystemClock
 
 #: Breaker states, in lifecycle order.
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+#: Observer signature: ``listener(source_id, old_state, new_state)``.
+TransitionListener = Callable[[str, str, str], None]
 
 
 @dataclass(frozen=True)
@@ -43,39 +47,59 @@ class BreakerPolicy:
 
 
 class CircuitBreaker:
-    """One source's availability gate.  Thread-safe."""
+    """One source's availability gate.  Thread-safe.
+
+    ``listener`` observes every state transition (trip, cooldown expiry,
+    close) — the metrics registry hooks in here.  Listeners run outside
+    the breaker lock and must not raise."""
 
     def __init__(self, source_id: str, policy: BreakerPolicy | None = None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 listener: TransitionListener | None = None) -> None:
         self.source_id = source_id
         self.policy = policy or BreakerPolicy()
         self.clock = clock or SystemClock()
+        self.listener = listener
         self._lock = threading.Lock()
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._half_open_probes = 0
         self.open_count = 0  # times the breaker tripped, for observability
+        self._pending: list[tuple[str, str]] = []  # transitions to report
+
+    def _flush(self) -> None:
+        """Report transitions recorded under the lock (lock released)."""
+        if self.listener is None:
+            return
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for old, new in pending:
+            self.listener(self.source_id, old, new)
 
     @property
     def state(self) -> str:
         """Current state, applying any due open → half-open transition."""
         with self._lock:
             self._tick()
-            return self._state
+            state = self._state
+        self._flush()
+        return state
 
     def allow(self) -> bool:
         """May a call proceed right now?  Open breakers say no."""
         with self._lock:
             self._tick()
             if self._state == CLOSED:
-                return True
-            if self._state == HALF_OPEN:
-                if self._half_open_probes < self.policy.half_open_max_calls:
-                    self._half_open_probes += 1
-                    return True
-                return False
-            return False
+                allowed = True
+            elif (self._state == HALF_OPEN and self._half_open_probes
+                    < self.policy.half_open_max_calls):
+                self._half_open_probes += 1
+                allowed = True
+            else:
+                allowed = False
+        self._flush()
+        return allowed
 
     def retry_after(self) -> float:
         """Seconds until the cooldown admits a probe (0 when it already
@@ -93,7 +117,8 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             if self._state == HALF_OPEN:
                 self._half_open_probes = 0
-                self._state = CLOSED
+                self._transition(CLOSED)
+        self._flush()
 
     def record_failure(self) -> None:
         """A call failed transiently: extend the streak, maybe trip."""
@@ -101,16 +126,23 @@ class CircuitBreaker:
             self._tick()
             if self._state == HALF_OPEN:
                 self._trip()
-                return
-            self._consecutive_failures += 1
-            if (self._state == CLOSED and self._consecutive_failures
-                    >= self.policy.failure_threshold):
-                self._trip()
+            else:
+                self._consecutive_failures += 1
+                if (self._state == CLOSED and self._consecutive_failures
+                        >= self.policy.failure_threshold):
+                    self._trip()
+        self._flush()
 
     # ------------------------------------------------------------------
 
+    def _transition(self, new_state: str) -> None:
+        """Record a state change for the listener (lock held)."""
+        if self.listener is not None:
+            self._pending.append((self._state, new_state))
+        self._state = new_state
+
     def _trip(self) -> None:
-        self._state = OPEN
+        self._transition(OPEN)
         self._opened_at = self.clock.monotonic()
         self._half_open_probes = 0
         self._consecutive_failures = 0
@@ -120,7 +152,7 @@ class CircuitBreaker:
         """Open → half-open once the cooldown has elapsed (lock held)."""
         if (self._state == OPEN and self.clock.monotonic() - self._opened_at
                 >= self.policy.cooldown_seconds):
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             self._half_open_probes = 0
 
 
@@ -128,9 +160,11 @@ class CircuitBreakerRegistry:
     """One breaker per source id, created lazily.  Thread-safe."""
 
     def __init__(self, policy: BreakerPolicy | None = None,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 listener: TransitionListener | None = None) -> None:
         self.policy = policy or BreakerPolicy()
         self.clock = clock or SystemClock()
+        self.listener = listener
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
 
@@ -138,7 +172,8 @@ class CircuitBreakerRegistry:
         with self._lock:
             breaker = self._breakers.get(source_id)
             if breaker is None:
-                breaker = CircuitBreaker(source_id, self.policy, self.clock)
+                breaker = CircuitBreaker(source_id, self.policy, self.clock,
+                                         self.listener)
                 self._breakers[source_id] = breaker
             return breaker
 

@@ -1,0 +1,130 @@
+"""Exporters: traces and metrics as indented text or JSON.
+
+The text trace renderer is what ``S2SMiddleware.explain(query)`` and the
+CLI's ``--trace`` flag print — the executable analogue of the paper's
+Figure 5 flow, one line per span with millisecond timings::
+
+    query 'SELECT product'                      12.41ms
+      parse                                      0.05ms
+      plan                                       0.31ms  attributes=8
+      extract                                   11.20ms  sources=2
+        source database_0                        6.01ms
+          entry thing.product.brand              0.74ms
+            attempt #1                           0.71ms  outcome=ok
+      ...
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .metrics import MetricsRegistry
+    from .trace import Span, Trace
+
+#: Attributes already shown elsewhere on the line.
+_SKIP_ATTRS = ("error",)
+
+
+def _format_attrs(attributes: dict[str, Any]) -> str:
+    parts = [f"{name}={value!r}" if isinstance(value, str)
+             else f"{name}={value}"
+             for name, value in attributes.items()
+             if name not in _SKIP_ATTRS]
+    return "  " + " ".join(parts) if parts else ""
+
+
+def render_span(span: "Span", *, indent: int = 0,
+                duration_width: int = 10) -> list[str]:
+    """Indented text lines for a span subtree."""
+    label = "  " * indent + span.name
+    duration = f"{span.duration_seconds * 1e3:{duration_width}.3f}ms"
+    status = "" if span.status == "ok" else \
+        f"  [{span.status}: {span.attributes.get('error', '')}]"
+    lines = [f"{label:<44}{duration}{status}{_format_attrs(span.attributes)}"]
+    for child in list(span.children):
+        lines.extend(render_span(child, indent=indent + 1,
+                                 duration_width=duration_width))
+    return lines
+
+
+def render_trace(trace: "Trace") -> str:
+    """The whole trace as an indented span report."""
+    return "\n".join(render_span(trace.root))
+
+
+def trace_to_json(trace: "Trace", *, indent: int | None = 2) -> str:
+    """The trace as a JSON document (span tree, seconds as floats)."""
+    return json.dumps(trace.to_dict(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+
+
+def _labels_text(label_key) -> str:
+    if not label_key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in label_key)
+    return "{" + inner + "}"
+
+
+def render_metrics(registry: "MetricsRegistry") -> str:
+    """Prometheus-like text exposition of every family in the registry."""
+    from .metrics import Histogram
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help_text:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for label_key, series in metric.series():
+                labels = dict(label_key)
+                running = 0
+                for bound, count in zip(metric.buckets,
+                                        series.bucket_counts):
+                    running += count
+                    bucket_labels = _labels_text(
+                        tuple(sorted({**labels, "le": f"{bound:g}"}.items())))
+                    lines.append(f"{metric.name}_bucket{bucket_labels} "
+                                 f"{running}")
+                inf_labels = _labels_text(
+                    tuple(sorted({**labels, "le": "+Inf"}.items())))
+                lines.append(f"{metric.name}_bucket{inf_labels} "
+                             f"{series.count}")
+                plain = _labels_text(label_key)
+                lines.append(f"{metric.name}_sum{plain} {series.total:g}")
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+        else:
+            for label_key, value in metric.series():
+                lines.append(f"{metric.name}{_labels_text(label_key)} "
+                             f"{value:g}")
+    return "\n".join(lines)
+
+
+def metrics_to_dict(registry: "MetricsRegistry") -> dict[str, Any]:
+    """JSON-ready snapshot: family → kind + series list."""
+    from .metrics import Histogram
+    snapshot: dict[str, Any] = {}
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            series = [{"labels": dict(label_key), "count": s.count,
+                       "sum": s.total,
+                       "buckets": {f"{bound:g}": count
+                                   for bound, count
+                                   in zip(metric.buckets, s.bucket_counts)}}
+                      for label_key, s in metric.series()]
+        else:
+            series = [{"labels": dict(label_key), "value": value}
+                      for label_key, value in metric.series()]
+        snapshot[metric.name] = {"kind": metric.kind,
+                                 "help": metric.help_text,
+                                 "series": series}
+    return snapshot
+
+
+def metrics_to_json(registry: "MetricsRegistry", *,
+                    indent: int | None = 2) -> str:
+    return json.dumps(metrics_to_dict(registry), indent=indent,
+                      sort_keys=True)

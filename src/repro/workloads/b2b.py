@@ -21,8 +21,8 @@ from dataclasses import dataclass, field
 
 from ..baselines.federated import FederatedQuerier
 from ..baselines.syntactic import SyntacticIntegrator
-from ..core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
-                               xpath_rule)
+from ..core.mapping.rules import ExtractionRule
+from ..core.middleware import S2SMiddleware
 from ..ontology.builders import watch_domain_ontology
 from ..sources.base import DataSource
 from ..sources.relational import Database, RelationalDataSource
@@ -225,8 +225,9 @@ class B2BScenario:
 
     @staticmethod
     def _rule_factory(source_type: str):
-        return {"database": sql_rule, "xml": xpath_rule,
-                "webpage": webl_rule, "textfile": regex_rule}[source_type]
+        return {"database": ExtractionRule.sql, "xml": ExtractionRule.xpath,
+                "webpage": ExtractionRule.webl,
+                "textfile": ExtractionRule.regex}[source_type]
 
     # ------------------------------------------------------------------
     # System builders

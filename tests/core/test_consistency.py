@@ -1,6 +1,5 @@
 """Tests for cross-source consistency analysis."""
 
-import pytest
 
 from repro.core.instances.assembly import AssembledEntity
 from repro.core.instances.consistency import check_consistency
@@ -119,13 +118,13 @@ class TestOnScenario:
         # Sabotage: drop the normalizing transform on the org that
         # publishes prices in cents (org index 1 under the default
         # conflict profile — the XML feed).
-        from repro import xpath_rule
+        from repro import ExtractionRule
         cents_org = scenario.organizations[1]
         assert scenario.conflicts.price_transform(cents_org.index) \
             == "cents_to_units"
         s2s.register_attribute(
             ("product", "price"),
-            xpath_rule(scenario._native_rule_code(cents_org, "price")),
+            ExtractionRule.xpath(scenario._native_rule_code(cents_org, "price")),
             cents_org.source_id, replace=True)
         other = B2BScenario(n_sources=3, n_products=12, seed=7)
         combined = s2s.query("SELECT product").entities + \

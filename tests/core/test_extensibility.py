@@ -10,7 +10,7 @@ integrated query over it next to a regular database source.
 
 import pytest
 
-from repro import S2SMiddleware, sql_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.core.extractor.extractors import Extractor
 from repro.core.mapping.rules import RULE_LANGUAGES, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
@@ -61,7 +61,7 @@ class TestExtensibility:
              ["Swatch", "Sistem51", "resin"]]))
 
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"), "DB_1")
+                               ExtractionRule.sql("SELECT brand FROM watches"), "DB_1")
         s2s.register_attribute(("product", "brand"),
                                ExtractionRule("csvcol", "brand"), "CSV_1")
         s2s.register_attribute(("product", "model"),

@@ -10,7 +10,7 @@ from repro.core.mapping import (AttributeRepository, DataSourceRepository,
 from repro.core.mapping.rules import ExtractionRule
 from repro.errors import ExtractionError
 from repro.ids import AttributePath
-from repro.sources.relational import Database, RelationalDataSource
+from repro.sources.relational import RelationalDataSource
 
 
 def sql_entry(attribute, code, source_id="DB_1"):

@@ -5,7 +5,7 @@ behind a circuit breaker)."""
 
 import pytest
 
-from repro import S2SMiddleware, sql_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.clock import FakeClock
 from repro.core.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
 from repro.errors import MappingError
@@ -33,10 +33,10 @@ def _replicated_middleware(watch_db, config, *, primary_kwargs=None,
     for attribute, query in [
             (("product", "brand"), "SELECT brand FROM watches"),
             (("product", "price"), "SELECT price_cents FROM watches")]:
-        s2s.register_attribute(attribute, sql_rule(query), "DB_1")
-        s2s.register_attribute(attribute, sql_rule(query), "DB_R1",
+        s2s.register_attribute(attribute, ExtractionRule.sql(query), "DB_1")
+        s2s.register_attribute(attribute, ExtractionRule.sql(query), "DB_R1",
                                replica_of="DB_1")
-        s2s.register_attribute(attribute, sql_rule(query), "DB_R2",
+        s2s.register_attribute(attribute, ExtractionRule.sql(query), "DB_R2",
                                replica_of="DB_1")
     return s2s
 
@@ -49,17 +49,17 @@ class TestReplicaRegistration:
         s2s.register_source(RelationalDataSource("DB_R1", watch_db))
         with pytest.raises(MappingError, match="no .non-replica. mapping"):
             s2s.register_attribute(("product", "brand"),
-                                   sql_rule("SELECT brand FROM watches"),
+                                   ExtractionRule.sql("SELECT brand FROM watches"),
                                    "DB_R1", replica_of="DB_1")
 
     def test_self_replica_is_rejected(self, ontology, watch_db):
         s2s = S2SMiddleware(ontology)
         s2s.register_source(RelationalDataSource("DB_1", watch_db))
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"), "DB_1")
+                               ExtractionRule.sql("SELECT brand FROM watches"), "DB_1")
         with pytest.raises(MappingError, match="replica of itself"):
             s2s.register_attribute(("product", "brand"),
-                                   sql_rule("SELECT model FROM watches"),
+                                   ExtractionRule.sql("SELECT model FROM watches"),
                                    "DB_1", replica_of="DB_1")
 
     def test_unknown_primary_source_is_rejected(self, ontology, watch_db):
@@ -67,7 +67,7 @@ class TestReplicaRegistration:
         s2s.register_source(RelationalDataSource("DB_R1", watch_db))
         with pytest.raises(Exception):
             s2s.register_attribute(("product", "brand"),
-                                   sql_rule("SELECT brand FROM watches"),
+                                   ExtractionRule.sql("SELECT brand FROM watches"),
                                    "DB_R1", replica_of="DB_GONE")
 
     def test_replica_marker_shows_in_paper_lines(self, ontology, watch_db):
@@ -75,9 +75,9 @@ class TestReplicaRegistration:
         s2s.register_source(RelationalDataSource("DB_1", watch_db))
         s2s.register_source(RelationalDataSource("DB_R1", watch_db))
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"), "DB_1")
+                               ExtractionRule.sql("SELECT brand FROM watches"), "DB_1")
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"),
+                               ExtractionRule.sql("SELECT brand FROM watches"),
                                "DB_R1", replica_of="DB_1")
         assert any("[replica of DB_1]" in line
                    for line in s2s.mapping_lines())
@@ -153,10 +153,10 @@ class TestFailoverOrdering:
         s2s.register_source(RelationalDataSource("DB_1", watch_db))
         s2s.register_source(RelationalDataSource("DB_R1", watch_db))
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT no_such_column FROM watches"),
+                               ExtractionRule.sql("SELECT no_such_column FROM watches"),
                                "DB_1")
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"),
+                               ExtractionRule.sql("SELECT brand FROM watches"),
                                "DB_R1", replica_of="DB_1")
         outcome = s2s.manager.extract_all_registered()
         # a broken rule is a mapping bug, not an availability event

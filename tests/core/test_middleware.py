@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import S2SMiddleware, sql_rule, xpath_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.errors import QueryError
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.relational import RelationalDataSource
@@ -25,10 +25,10 @@ def s2s(watch_db, watch_xml_store):
             (("provider", "name"), "provider"),
             (("provider", "country"), "country")):
         middleware.register_attribute(
-            attribute, sql_rule(f"SELECT {column} FROM watches"), "DB_ID_45")
+            attribute, ExtractionRule.sql(f"SELECT {column} FROM watches"), "DB_ID_45")
     middleware.register_attribute(
         ("product", "price"),
-        sql_rule("SELECT price_cents FROM watches",
+        ExtractionRule.sql("SELECT price_cents FROM watches",
                  transform="cents_to_units"), "DB_ID_45")
     for attribute, tag in (
             (("product", "brand"), "brand"),
@@ -37,7 +37,7 @@ def s2s(watch_db, watch_xml_store):
             (("product", "price"), "price"),
             (("provider", "name"), "provider")):
         middleware.register_attribute(
-            attribute, xpath_rule(f"//watch/{tag}"), "XML_7")
+            attribute, ExtractionRule.xpath(f"//watch/{tag}"), "XML_7")
     return middleware
 
 

@@ -9,7 +9,7 @@ import datetime
 
 import pytest
 
-from repro import S2SMiddleware, regex_rule, sql_rule, xpath_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import logistics_ontology
 from repro.sources.relational import Database, RelationalDataSource
 from repro.sources.textfiles import TextDataSource, TextFileStore
@@ -56,7 +56,7 @@ def logistics_s2s():
             (("carrier", "name"), "carrier"),
             (("carrier", "fleet_size"), "fleet")):
         s2s.register_attribute(attribute,
-                               sql_rule(f"SELECT {column} FROM shipments"),
+                               ExtractionRule.sql(f"SELECT {column} FROM shipments"),
                                "TMS_DB")
     for attribute, tag in (
             (("shipment", "tracking_id"), "id"),
@@ -66,7 +66,7 @@ def logistics_s2s():
             (("carrier", "name"), "hauler"),
             (("carrier", "fleet_size"), "vessels")):
         s2s.register_attribute(attribute,
-                               xpath_rule(f"//package/{tag}"), "MANIFEST")
+                               ExtractionRule.xpath(f"//package/{tag}"), "MANIFEST")
     for attribute, key in (
             (("shipment", "tracking_id"), "tracking"),
             (("shipment", "weight_kg"), "kg"),
@@ -76,7 +76,7 @@ def logistics_s2s():
             (("carrier", "name"), "carrier"),
             (("carrier", "fleet_size"), "fleet")):
         s2s.register_attribute(attribute,
-                               regex_rule(rf"{key}=(\S+)"), "EXPRESS_LOG")
+                               ExtractionRule.regex(rf"{key}=(\S+)"), "EXPRESS_LOG")
     return s2s
 
 

@@ -27,7 +27,7 @@ class TestOwlOutput:
     def test_individual_typed_by_class(self, entities):
         schema, items = entities
         graph = parse_rdfxml(render_entities(schema, items, "owl"))
-        from repro.rdf.namespace import RDF, Namespace
+        from repro.rdf.namespace import Namespace
         ns = Namespace(schema.ontology.base_iri)
         watches = list(graph.instances_of(ns.watch))
         assert len(watches) == len(items)

@@ -9,7 +9,7 @@ classes will be Product, watch, and Provider."
 
 import pytest
 
-from repro import S2SMiddleware, sql_rule, webl_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.relational import RelationalDataSource
 from repro.sources.web import SimulatedWeb, WebDataSource
@@ -31,29 +31,29 @@ def s2s(watch_db):
         WebDataSource("wpage_81", web, "http://shop.example/watch81"))
 
     middleware.register_attribute(
-        ("product", "brand"), sql_rule("SELECT brand FROM watches"),
+        ("product", "brand"), ExtractionRule.sql("SELECT brand FROM watches"),
         "DB_ID_45")
     middleware.register_attribute(
-        ("watch", "case"), sql_rule("SELECT casing FROM watches"),
+        ("watch", "case"), ExtractionRule.sql("SELECT casing FROM watches"),
         "DB_ID_45")
     middleware.register_attribute(
-        ("provider", "name"), sql_rule("SELECT provider FROM watches"),
+        ("provider", "name"), ExtractionRule.sql("SELECT provider FROM watches"),
         "DB_ID_45")
     middleware.register_attribute(
-        ("product", "brand"), webl_rule('''
+        ("product", "brand"), ExtractionRule.webl('''
 var P = GetURL(SourceURL());
 var St = Str_Search(Text(P), "<p> <b>" + `[0-9a-zA-Z']+`);
 var spliter = Str_Split(St[0][0], "<> ");
 var brand = Select(spliter[2], 0, 6);
 ''', name="watch.webl"), "wpage_81")
     middleware.register_attribute(
-        ("watch", "case"), webl_rule('''
+        ("watch", "case"), ExtractionRule.webl('''
 var P = GetURL(SourceURL());
 var m = Str_Search(Text(P), `<span id="case">([^<]+)</span>`);
 var c = m[0][1];
 ''', name="watch.webl"), "wpage_81")
     middleware.register_attribute(
-        ("provider", "name"), webl_rule('''
+        ("provider", "name"), ExtractionRule.webl('''
 var P = GetURL(SourceURL());
 var m = Str_Search(Text(P), `<div id="provider">([^<]+)</div>`);
 var p = m[0][1];

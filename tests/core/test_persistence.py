@@ -4,10 +4,9 @@ import json
 
 import pytest
 
-from repro.core.mapping.persistence import dump_mapping, load_mapping
+from repro.core.mapping.persistence import load_mapping
 from repro.errors import MappingError
 from repro.sources.relational import Database, RelationalDataSource
-from repro.workloads import B2BScenario
 
 
 @pytest.fixture

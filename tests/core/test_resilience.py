@@ -8,7 +8,7 @@ import threading
 
 import pytest
 
-from repro import S2SMiddleware, sql_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.clock import FakeClock, SystemClock
 from repro.core.resilience import (BreakerPolicy, CircuitBreaker, Deadline,
                                    ResilienceConfig, RetryBudget, RetryPolicy)
@@ -274,11 +274,11 @@ def _single_source_middleware(watch_db, config, *, flaky_kwargs=None):
     flaky = FlakySource(inner, **(flaky_kwargs or {}))
     s2s.register_source(flaky)
     s2s.register_attribute(("product", "brand"),
-                           sql_rule("SELECT brand FROM watches"), "DB_1")
+                           ExtractionRule.sql("SELECT brand FROM watches"), "DB_1")
     s2s.register_attribute(("product", "model"),
-                           sql_rule("SELECT model FROM watches"), "DB_1")
+                           ExtractionRule.sql("SELECT model FROM watches"), "DB_1")
     s2s.register_attribute(("product", "price"),
-                           sql_rule("SELECT price_cents FROM watches"),
+                           ExtractionRule.sql("SELECT price_cents FROM watches"),
                            "DB_1")
     return s2s, flaky
 

@@ -99,13 +99,13 @@ class TestRetryPolicy:
         assert not result.errors.ok
 
     def test_retries_zero_fails_on_first_transient(self, watch_db):
-        from repro import S2SMiddleware, sql_rule
+        from repro import S2SMiddleware, ExtractionRule
         from repro.ontology.builders import watch_domain_ontology
         s2s = S2SMiddleware(watch_domain_ontology())
         s2s.register_source(FlakySource(
             RelationalDataSource("DB_1", watch_db), failure_rate=1.0))
         s2s.register_attribute(("product", "brand"),
-                               sql_rule("SELECT brand FROM watches"),
+                               ExtractionRule.sql("SELECT brand FROM watches"),
                                "DB_1")
         result = s2s.query("SELECT product")
         assert any("transient" in str(e) for e in result.errors.entries)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.query import parse_s2sql
-from repro.core.query.ast import Condition, S2sqlQuery
+from repro.core.query.ast import Condition
 from repro.errors import S2sqlSyntaxError
 
 

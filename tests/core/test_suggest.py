@@ -7,7 +7,6 @@ from repro.core.mapping.suggest import (MappingSuggester, discover_fields,
                                         similarity)
 from repro.errors import S2SError
 from repro.ontology.builders import watch_domain_ontology
-from repro.workloads import B2BScenario
 from repro.workloads.b2b import ONTOLOGY_FIELDS
 
 

@@ -1,7 +1,5 @@
 """End-to-end integration tests across the whole stack."""
 
-import pytest
-
 from repro.rdf.rdfxml import parse_rdfxml
 from repro.rdf.namespace import Namespace
 from repro.workloads import B2BScenario, ConflictProfile

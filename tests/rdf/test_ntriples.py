@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RdfSyntaxError
-from repro.rdf import Graph, IRI, Literal
+from repro.rdf import Graph, Literal
 from repro.rdf.namespace import RDF, XSD, Namespace
 from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
 from repro.rdf.terms import BlankNode

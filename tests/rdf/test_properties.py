@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rdf import Graph, IRI, Literal
+from repro.rdf import Graph, Literal
 from repro.rdf.namespace import Namespace, XSD
 from repro.rdf.rdfxml import parse_rdfxml, serialize_rdfxml
 from repro.rdf.terms import Triple

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RdfError
-from repro.rdf import Graph, IRI, Literal
+from repro.rdf import Graph, Literal
 from repro.rdf.namespace import RDF, XSD, Namespace
 from repro.rdf.sparql import execute_sparql
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import S2SMiddleware, webl_rule
+from repro import S2SMiddleware, ExtractionRule
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.web import SimulatedWeb, WebDataSource, parse_html
 from repro.sources.web.pagegen import (render_noisy_catalog_page,
@@ -83,7 +83,7 @@ return out;
                     (("watch", "case"), "case"),
                     (("provider", "name"), "provider")):
                 s2s.register_attribute(attribute,
-                                       webl_rule(span_rule(field)),
+                                       ExtractionRule.webl(span_rule(field)),
                                        source_id)
         result = s2s.query("SELECT product")
         assert len(result) == len(products)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ExtractionError, S2SError, SqlError
 from repro.sources.base import ConnectionInfo
-from repro.sources.relational import Column, Database, RelationalDataSource
+from repro.sources.relational import Column, RelationalDataSource
 from repro.sources.relational.table import Table
 from repro.sources.relational.types import canonical_type, coerce_value
 

@@ -52,7 +52,7 @@ class TestConnector:
         return XmlDataSource("XML_7", watch_xml_store,
                              default_document="catalog.xml")
 
-    def test_xpath_rule(self, source):
+    def test_xpath_rule_extraction(self, source):
         assert source.execute_rule("//watch/brand") == ["Orient", "Casio"]
 
     def test_values_stripped(self, source):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import XPathError
 from repro.xmlkit import XPath, parse_xml, xpath_select
 
 DOC = """

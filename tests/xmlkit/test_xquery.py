@@ -119,7 +119,7 @@ class TestConnectorIntegration:
                            "for $w in //watch return $nope/brand").validate()
 
     def test_middleware_query_through_xquery_rules(self, watch_xml_store):
-        from repro import S2SMiddleware, xpath_rule
+        from repro import S2SMiddleware, ExtractionRule
         from repro.ontology.builders import watch_domain_ontology
         from repro.sources.xmlstore import XmlDataSource
         s2s = S2SMiddleware(watch_domain_ontology())
@@ -127,9 +127,9 @@ class TestConnectorIntegration:
             "XML_7", watch_xml_store, default_document="catalog.xml"))
         s2s.register_attribute(
             ("product", "brand"),
-            xpath_rule("for $w in //watch return $w/brand"), "XML_7")
+            ExtractionRule.xpath("for $w in //watch return $w/brand"), "XML_7")
         s2s.register_attribute(
             ("product", "price"),
-            xpath_rule("for $w in //watch return $w/price"), "XML_7")
+            ExtractionRule.xpath("for $w in //watch return $w/price"), "XML_7")
         result = s2s.query("SELECT product WHERE price < 100")
         assert [e.value("brand") for e in result.entities] == ["Casio"]
