@@ -1,0 +1,123 @@
+"""E14 — multi-query throughput: batched vs unbatched execution.
+
+A B2B hub answers many concurrent queries over the same mapping.
+Sequential execution pays one full extraction scan per query; the batch
+executor unions the queries' required attributes into one shared scan
+per source and amortizes extraction (and its resilience envelope) over
+the whole batch.  This benchmark measures end-to-end throughput
+(queries/second) at 1, 8 and 64 concurrent queries for:
+
+* **sequential** — ``[s2s.query(q) for q in queries]`` (the seed path);
+* **batched** — ``s2s.query_many(queries)`` (one shared scan);
+* **scheduler** — queries submitted individually through the
+  micro-batching :class:`~repro.core.query.QueryScheduler`.
+
+``E14_ITERATIONS=1`` puts the benchmark in CI smoke mode; the default
+takes the best of 3 runs per cell.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench import ResultTable
+from repro.workloads import B2BScenario
+
+ITERATIONS = int(os.environ.get("E14_ITERATIONS", "3"))
+CONCURRENCY = (1, 8, 64)
+N_PRODUCTS = 24
+
+QUERY_VARIANTS = [
+    'SELECT product WHERE case = "stainless-steel"',
+    'SELECT product WHERE brand = "Seiko"',
+    "SELECT product WHERE price < 250",
+    "SELECT provider",
+    'SELECT watch WHERE water_resistance > 50',
+    'SELECT product WHERE movement = "automatic"',
+    'SELECT product WHERE brand CONTAINS "a"',
+    "SELECT product",
+]
+
+
+def build_world():
+    scenario = B2BScenario(n_sources=4, n_products=N_PRODUCTS, seed=7)
+    return scenario.build_middleware()
+
+
+def make_queries(count: int) -> list[str]:
+    return [QUERY_VARIANTS[index % len(QUERY_VARIANTS)]
+            for index in range(count)]
+
+
+def best_of(runs: int, operation) -> float:
+    """Best (minimum) wall-clock seconds over ``runs`` executions."""
+    return min(_timed(operation) for _ in range(runs))
+
+
+def _timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def run_sequential(s2s, queries):
+    return [s2s.query(query) for query in queries]
+
+
+def run_batched(s2s, queries):
+    return s2s.query_many(queries)
+
+
+def run_scheduled(s2s, queries):
+    with s2s.scheduler(max_batch_size=len(queries),
+                       max_workers=2) as scheduler:
+        return scheduler.map(queries)
+
+
+def test_e14_throughput_report():
+    table = ResultTable(
+        f"E14: multi-query throughput ({N_PRODUCTS} records, 4 sources, "
+        f"best of {ITERATIONS})",
+        ["queries", "sequential_qps", "batched_qps", "scheduler_qps",
+         "batch_speedup", "sched_speedup"])
+    s2s = build_world()
+    run_sequential(s2s, make_queries(2))  # warm interpreter/caches
+    for count in CONCURRENCY:
+        queries = make_queries(count)
+        sequential = best_of(ITERATIONS,
+                             lambda: run_sequential(s2s, queries))
+        batched = best_of(ITERATIONS, lambda: run_batched(s2s, queries))
+        scheduled = best_of(ITERATIONS,
+                            lambda: run_scheduled(s2s, queries))
+        table.add_row(count,
+                      count / sequential,
+                      count / batched,
+                      count / scheduled,
+                      sequential / batched,
+                      sequential / scheduled)
+    table.print()
+
+
+def test_e14_batched_answers_match_sequential():
+    s2s = build_world()
+    queries = make_queries(16)
+    sequential = run_sequential(s2s, queries)
+    batched = run_batched(s2s, queries)
+    key = lambda r: sorted((e.primary.class_name, str(e.value("brand")),
+                            str(e.value("model")), e.source_id)
+                           for e in r.entities)
+    for left, right in zip(sequential, batched):
+        assert key(left) == key(right)
+
+
+def test_e14_batched_speedup_floor_at_64():
+    """Acceptance criterion: >= 2x throughput at 64 concurrent queries."""
+    s2s = build_world()
+    queries = make_queries(64)
+    run_batched(s2s, make_queries(2))  # warm
+    sequential = best_of(ITERATIONS,
+                         lambda: run_sequential(s2s, queries))
+    batched = best_of(ITERATIONS, lambda: run_batched(s2s, queries))
+    assert sequential / batched >= 2.0, (
+        f"batched speedup {sequential / batched:.2f}x below the 2x floor")

@@ -100,16 +100,47 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if bool(args.s2sql) == bool(args.batch_file):
+        print("error: provide either an S2SQL query or --batch-file, "
+              "not both", file=sys.stderr)
+        return 2
+    merge_key = args.merge_key.split(",") if args.merge_key else None
     _scenario, s2s = _build(args)
-    result = s2s.query(args.s2sql,
-                       merge_key=args.merge_key.split(",")
-                       if args.merge_key else None)
+    if args.batch_file:
+        return _run_batch_file(args, s2s, merge_key)
+    result = s2s.query(args.s2sql, merge_key=merge_key)
     sys.stdout.write(result.serialize(args.format))
     if not result.errors.ok:
         print(f"\n[{result.errors.summary()}]", file=sys.stderr)
         for entry in result.errors.entries:
             print(f"  {entry}", file=sys.stderr)
     _report_observability(args, s2s, result)
+    return 0
+
+
+def _read_batch_file(path: str) -> list[str]:
+    """One S2SQL query per line; blank lines and # comments skipped."""
+    with open(path, encoding="utf-8") as handle:
+        return [line.strip() for line in handle
+                if line.strip() and not line.strip().startswith("#")]
+
+
+def _run_batch_file(args: argparse.Namespace, s2s,
+                    merge_key: list[str] | None) -> int:
+    queries = _read_batch_file(args.batch_file)
+    if not queries:
+        print(f"error: no queries in {args.batch_file}", file=sys.stderr)
+        return 2
+    results = s2s.query_many(queries, merge_key=merge_key)
+    for query, result in zip(queries, results):
+        print(f"=== {query} ({len(result)} entities) ===")
+        sys.stdout.write(result.serialize(args.format))
+        print()
+        if not result.errors.ok:
+            print(f"[{result.errors.summary()}]", file=sys.stderr)
+    print(f"{len(results)} queries in one shared scan "
+          f"({results[0].elapsed_seconds * 1e3:.1f} ms)", file=sys.stderr)
+    _report_observability(args, s2s, results[0])
     return 0
 
 
@@ -189,8 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(handler=_cmd_demo)
 
     query = commands.add_parser("query", help="run an S2SQL query")
-    query.add_argument("s2sql", help='e.g. \'SELECT product WHERE '
-                                     'brand = "Seiko"\'')
+    query.add_argument("s2sql", nargs="?", default=None,
+                       help='e.g. \'SELECT product WHERE '
+                            'brand = "Seiko"\'')
+    query.add_argument("--batch-file", default=None,
+                       help="file with one S2SQL query per line, executed "
+                            "as one batch through a shared scan "
+                            "(# comments and blank lines skipped)")
     query.add_argument("--format", choices=OUTPUT_FORMATS, default="text")
     query.add_argument("--merge-key", default="",
                        help="comma-separated attributes to dedup on, "

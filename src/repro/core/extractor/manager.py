@@ -135,6 +135,9 @@ class _RunContext:
     deadline: Deadline
     budget: RetryBudget
     health: SourceHealthRegistry
+    #: Cache generation observed when this run started; write-backs carry
+    #: it so a mapping reload mid-run discards them (coherence).
+    cache_generation: int = 0
 
 
 class ExtractorManager:
@@ -205,15 +208,20 @@ class ExtractorManager:
 
     def extract(self, required: list[AttributePath],
                 *, deadline: Deadline | float | None = None,
-                span: AnySpan = NULL_SPAN) -> ExtractionOutcome:
+                span: AnySpan = NULL_SPAN,
+                schema: ExtractionSchema | None = None) -> ExtractionOutcome:
         """Run steps 2-4 for the given required-attribute list (step 1 is
         the caller's query analysis).
 
         ``deadline`` overrides the configured wall-clock budget for this
         run (a number of seconds or a prepared :class:`Deadline`);
-        ``span`` is the parent trace span when the caller is traced."""
+        ``span`` is the parent trace span when the caller is traced;
+        ``schema`` lets a caller that already built the extraction schema
+        (the batch executor shares one between planning and result
+        projection) pass it in instead of rebuilding it."""
         started = time.perf_counter()
-        schema = self.obtain_extraction_schema(required)
+        if schema is None:
+            schema = self.obtain_extraction_schema(required)
         if deadline is None:
             deadline = Deadline(self.config.deadline_seconds,
                                 self.config.clock)
@@ -221,7 +229,9 @@ class ExtractorManager:
             deadline = Deadline(float(deadline), self.config.clock)
         ctx = _RunContext(schema, deadline,
                           RetryBudget(self.config.retry.budget),
-                          SourceHealthRegistry())
+                          SourceHealthRegistry(),
+                          cache_generation=(self.cache.generation
+                                            if self.cache is not None else 0))
         outcome = ExtractionOutcome(missing_attributes=list(schema.missing),
                                     deadline_seconds=deadline.seconds)
 
@@ -351,9 +361,12 @@ class ExtractorManager:
                     break
                 entry_span = span.child("entry",
                                         attribute=entry.attribute_id)
+                leading = False
                 try:
                     if self.cache is not None:
-                        cached = self.cache.get(entry)
+                        # Single-flight: a concurrent identical scan either
+                        # serves us its result or elects us leader.
+                        cached, leading = self.cache.acquire(entry)
                         if cached is not None:
                             entry_span.annotate(cache="hit")
                             record_set.add(cached)
@@ -379,10 +392,15 @@ class ExtractorManager:
                             source_id, entry.attribute_id, str(exc)))
                         continue
                     if self.cache is not None:
-                        self.cache.put(entry, fragment)
+                        self.cache.put(entry, fragment,
+                                       generation=ctx.cache_generation)
                     entry_span.annotate(values=len(fragment.values))
                     record_set.add(fragment)
                 finally:
+                    if leading:
+                        # Wakes waiters whether we stored a fragment or
+                        # failed — a failed flight must not poison them.
+                        self.cache.release(entry)
                     entry_span.finish()
             return _SourceResult(source_id, record_set, problems,
                                  time.perf_counter() - started)

@@ -48,6 +48,7 @@ from .mapping.registration import AttributeRegistrar
 from .mapping.repository import AttributeRepository
 from .mapping.rules import ExtractionRule, TransformRegistry
 from .query.executor import QueryHandler, QueryResult
+from .query.scheduler import QueryScheduler
 
 
 def _deprecated_rule(language: str, code: str, *, name: str = "",
@@ -124,7 +125,11 @@ class S2SMiddleware:
         self.registrar = AttributeRegistrar(
             self.schema, self.attribute_repository, self.source_repository)
         if self.cache is not None:
-            self.cache.invalidate()
+            # Generation bump, not a plain invalidate: extractions still
+            # running against the old mapping carry the old generation,
+            # so their late write-backs are discarded instead of
+            # resurrecting stale fragments after the reload.
+            self.cache.bump_generation()
         self.manager = ExtractorManager(
             self.attribute_repository, self.source_repository,
             self.extractors, strict=self.strict_extraction, cache=self.cache,
@@ -185,6 +190,27 @@ class S2SMiddleware:
               merge_key: list[str] | None = None) -> QueryResult:
         """Execute an S2SQL query; the single point of entry."""
         return self.query_handler.execute(query, merge_key=merge_key)
+
+    def query_many(self, queries: list[str], *,
+                   merge_key: list[str] | None = None) -> list[QueryResult]:
+        """Execute many S2SQL queries through one shared scan per source.
+
+        Returns one :class:`QueryResult` per query, in submission order,
+        instance-identical to ``[self.query(q) for q in queries]`` but
+        visiting each data source once per batch instead of once per
+        query (experiment E14; see docs/batching.md)."""
+        return self.query_handler.execute_many(queries, merge_key=merge_key)
+
+    def scheduler(self, *, max_batch_size: int = 16,
+                  max_workers: int = 2) -> QueryScheduler:
+        """A micro-batching scheduler over this middleware.
+
+        Concurrently submitted queries are coalesced into shared scans
+        without the callers coordinating; use as a context manager so
+        the worker threads are shut down on exit."""
+        return QueryScheduler(self.query_handler,
+                              max_batch_size=max_batch_size,
+                              max_workers=max_workers)
 
     def extract_all(self) -> ExtractionOutcome:
         """Eagerly materialize every mapped attribute (E1 ablation)."""

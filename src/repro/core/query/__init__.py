@@ -13,9 +13,11 @@ instance assembly.
 """
 
 from .ast import Condition, S2sqlQuery
+from .batch import BatchPlan, QueryBatch, project_outcome
 from .executor import QueryHandler, QueryResult
 from .parser import parse_s2sql
 from .planner import QueryPlan, QueryPlanner
+from .scheduler import QueryScheduler
 
 __all__ = [
     "S2sqlQuery",
@@ -25,4 +27,8 @@ __all__ = [
     "QueryPlan",
     "QueryHandler",
     "QueryResult",
+    "QueryBatch",
+    "BatchPlan",
+    "project_outcome",
+    "QueryScheduler",
 ]

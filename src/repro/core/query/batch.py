@@ -1,0 +1,138 @@
+"""Shared-scan planning for batched S2SQL execution.
+
+One S2SQL query costs one extraction run; N concurrent queries over the
+same mapping naively cost N runs that mostly re-extract the same
+fragments.  The batch planner amortizes that: it plans every query
+individually, unions their required-attribute lists into **one shared
+scan**, and after the Extractor Manager has executed that scan once, it
+*projects* the shared outcome back down to each query — so instance
+generation and condition filtering see exactly what a standalone
+``query()`` would have seen.
+
+Grouping rules (documented in docs/batching.md):
+
+* every query keeps its own :class:`~repro.core.query.planner.QueryPlan`
+  (class resolution, closure, typed conditions — errors surface per
+  batch at plan time, before any extraction runs);
+* the union of all plans' required attributes, in first-seen order,
+  forms the shared scan; each data source is therefore visited **once
+  per batch** instead of once per query;
+* resilience (retries, breakers, deadlines, failover) and tracing apply
+  to the shared scan — once per scan, not once per query;
+* the per-query projection restricts record sets, problems, missing
+  attributes, health and per-source timings to the sources and
+  attributes that query's own plan would have touched, preserving the
+  standalone ``degraded`` / error-channel semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ...ids import AttributePath
+from ..extractor.manager import ExtractionOutcome
+from ..extractor.records import SourceRecordSet
+from ..extractor.schema import ExtractionSchema
+from .ast import S2sqlQuery
+from .planner import QueryPlan, QueryPlanner
+
+
+@dataclass
+class BatchPlan:
+    """The shared-scan plan for one batch of parsed queries."""
+
+    queries: list[S2sqlQuery]
+    plans: list[QueryPlan]
+    #: Ordered dedup union of every plan's required attributes — the
+    #: attribute list of the one shared extraction run.
+    shared_attributes: list[AttributePath] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def amortization(self) -> float:
+        """Attributes saved by sharing: requested / scanned (>= 1.0)."""
+        requested = sum(len(plan.required_attributes)
+                        for plan in self.plans)
+        scanned = len(self.shared_attributes)
+        return requested / scanned if scanned else 1.0
+
+
+class QueryBatch:
+    """Plans one shared scan over many parsed queries."""
+
+    def __init__(self, planner: QueryPlanner) -> None:
+        self.planner = planner
+
+    def plan(self, queries: list[S2sqlQuery]) -> BatchPlan:
+        """Plan every query and union the required attributes.
+
+        Planning errors (unknown class, untyped constraint) raise here,
+        before any source is touched — a malformed query fails the batch
+        at plan time exactly as it would fail ``query()`` alone."""
+        plans = [self.planner.plan(query) for query in queries]
+        shared: list[AttributePath] = []
+        seen: set[str] = set()
+        for plan in plans:
+            for path in plan.required_attributes:
+                if str(path) not in seen:
+                    seen.add(str(path))
+                    shared.append(path)
+        return BatchPlan(list(queries), plans, shared)
+
+
+def project_outcome(shared: ExtractionOutcome, schema: ExtractionSchema,
+                    plan: QueryPlan) -> ExtractionOutcome:
+    """The slice of a shared scan one query would have extracted alone.
+
+    ``schema`` is the extraction schema of the *shared* scan (it knows
+    which sources and replicas serve which attributes); ``plan`` is the
+    single query's own plan.  Fragments are re-ordered to the plan's
+    required-attribute order so instance assembly sees the same record
+    layout a standalone execution produces."""
+    wanted = {str(path): index
+              for index, path in enumerate(plan.required_attributes)}
+    relevant = {
+        source_id for source_id, entries in schema.by_source.items()
+        if any(entry.attribute_id in wanted for entry in entries)}
+    replica_ids = {
+        entry.source_id
+        for (attribute_id, primary), entries in schema.replicas.items()
+        if attribute_id in wanted and primary in relevant
+        for entry in entries}
+    visible = relevant | replica_ids
+
+    missing_ids = {str(path) for path in shared.missing_attributes}
+    outcome = ExtractionOutcome(
+        missing_attributes=[path for path in plan.required_attributes
+                            if str(path) in missing_ids],
+        elapsed_seconds=shared.elapsed_seconds,
+        deadline_seconds=shared.deadline_seconds)
+    for source_id in sorted(shared.record_sets):
+        if source_id not in relevant:
+            continue
+        record_set = shared.record_sets[source_id]
+        fragments = sorted(
+            (fragment for fragment in record_set.fragments
+             if str(fragment.attribute) in wanted),
+            key=lambda fragment: wanted[str(fragment.attribute)])
+        if not fragments:
+            continue
+        projected = SourceRecordSet(source_id)
+        for fragment in fragments:
+            projected.add(fragment)
+        outcome.record_sets[source_id] = projected
+    outcome.problems = [
+        problem for problem in shared.problems
+        if problem.source_id in visible
+        and (problem.attribute_id is None
+             or problem.attribute_id in wanted)]
+    outcome.per_source_seconds = {
+        source_id: seconds
+        for source_id, seconds in shared.per_source_seconds.items()
+        if source_id in visible}
+    outcome.health = {source_id: replace(health)
+                      for source_id, health in shared.health.items()
+                      if source_id in visible}
+    return outcome

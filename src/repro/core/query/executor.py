@@ -23,6 +23,7 @@ from ..instances.errors import ErrorReport
 from ..instances.generator import InstanceGenerator
 from ..instances.outputs import render_entities
 from .ast import S2sqlQuery
+from .batch import QueryBatch, project_outcome
 from .parser import parse_s2sql
 from .planner import QueryPlan, QueryPlanner, ResolvedCondition
 
@@ -169,6 +170,115 @@ class QueryHandler:
         if self.metrics is not None:
             self._record_query_metrics(result)
         return result
+
+    def execute_many(self, queries: list[str | S2sqlQuery],
+                     *, merge_key: list[str] | None = None,
+                     tracer: Tracer | None = None) -> list[QueryResult]:
+        """Execute a batch of queries through **one shared scan** per
+        source, returning one :class:`QueryResult` per query, in order.
+
+        All queries are parsed and planned first (a malformed query fails
+        the batch before any extraction runs), their required attributes
+        are unioned into a single extraction run — so retries, breakers,
+        deadlines, failover and tracing apply once per scan instead of
+        once per query — and the shared outcome is projected back onto
+        each query for its own instance generation and condition
+        filtering.  Results are instance-identical to running every query
+        alone; ``elapsed_seconds`` on each result is the *batch*
+        wall-clock (the queries ran together), and all results share the
+        batch's trace when a tracer is installed."""
+        if not queries:
+            return []
+        started = time.perf_counter()
+        tracer = tracer or self.tracer
+        root = (tracer.start("batch", queries=len(queries))
+                if tracer is not None else NULL_SPAN)
+
+        with root.child("parse"):
+            parsed = [query if isinstance(query, S2sqlQuery)
+                      else parse_s2sql(query) for query in queries]
+        distinct = len({str(query) for query in parsed})
+        with root.child("plan") as span:
+            batch = QueryBatch(self.planner).plan(parsed)
+            span.annotate(queries=len(batch), distinct=distinct,
+                          shared_attributes=len(batch.shared_attributes),
+                          amortization=round(batch.amortization, 3))
+        schema = self.manager.obtain_extraction_schema(
+            batch.shared_attributes)
+        with root.child("scan") as span:
+            span.annotate(attributes=len(batch.shared_attributes),
+                          sources=len(schema.source_ids()))
+            shared = self.manager.extract(batch.shared_attributes,
+                                          span=span, schema=schema)
+
+        # Duplicate queries inside one batch (common under concurrent
+        # traffic) are generated and filtered once; their results share
+        # the first occurrence's entities.
+        answered: dict[str, tuple] = {}
+        results: list[QueryResult] = []
+        for index, plan in enumerate(batch.plans):
+            text = str(parsed[index])
+            if text in answered:
+                entities, errors, outcome = answered[text]
+            else:
+                with root.child("query", index=index,
+                                text=text) as query_span:
+                    outcome = project_outcome(shared, schema, plan)
+                    with query_span.child("generate") as span:
+                        generation = self.generator.generate(
+                            outcome, plan.class_name, merge_key=merge_key)
+                        span.annotate(entities=len(generation.entities),
+                                      errors=len(generation.errors.entries))
+                    with query_span.child("filter") as span:
+                        entities = [entity
+                                    for entity in generation.entities
+                                    if self._matches(entity,
+                                                     plan.conditions)]
+                        span.annotate(candidates=len(generation.entities),
+                                      matched=len(entities))
+                errors = generation.errors
+                answered[text] = (entities, errors, outcome)
+            results.append(QueryResult(
+                parsed[index], plan, self.schema, list(entities), errors,
+                extraction_seconds=shared.elapsed_seconds,
+                extraction=outcome))
+        root.finish()
+
+        trace = tracer.trace_of(root) if tracer is not None else None
+        elapsed = time.perf_counter() - started
+        for result in results:
+            result.trace = trace
+            result.elapsed_seconds = elapsed
+        if self.metrics is not None:
+            self._record_batch_metrics(results, elapsed)
+        return results
+
+    def _record_batch_metrics(self, results: list[QueryResult],
+                              elapsed: float) -> None:
+        metrics = self.metrics
+        metrics.counter("batches_total", "query batches executed").inc()
+        metrics.counter("queries_total", "S2SQL queries executed").inc(
+            len(results))
+        metrics.histogram("queries_per_scan",
+                          "queries amortized over one shared scan",
+                          buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+                          ).observe(len(results))
+        metrics.histogram("batch_seconds",
+                          "end-to-end batch latency").observe(elapsed)
+        duplicates = len(results) - len(
+            {str(result.query) for result in results})
+        if duplicates:
+            metrics.counter(
+                "batch_query_dedup_total",
+                "duplicate in-batch queries answered from a sibling"
+                ).inc(duplicates)
+        metrics.counter("entities_returned_total",
+                        "assembled entities returned to callers").inc(
+                            sum(len(result.entities) for result in results))
+        degraded = sum(1 for result in results if result.degraded)
+        if degraded:
+            metrics.counter("degraded_queries_total",
+                            "queries answered best-effort").inc(degraded)
 
     def _record_query_metrics(self, result: QueryResult) -> None:
         metrics = self.metrics

@@ -1,0 +1,161 @@
+"""Bounded-concurrency micro-batching scheduler for S2SQL queries.
+
+Production traffic does not arrive as neat pre-assembled batches — it
+arrives as individual queries from many callers.  The scheduler bridges
+that gap: callers ``submit()`` single queries and get a
+:class:`~concurrent.futures.Future` back; a small pool of worker threads
+drains the queue in micro-batches of up to ``max_batch_size`` and runs
+each batch through :meth:`QueryHandler.execute_many`, so co-arriving
+queries share one scan per source without the callers coordinating.
+
+Isolation guarantee: when a batch as a whole fails (one malformed query
+fails ``execute_many`` at parse/plan time), the scheduler falls back to
+executing that batch's queries individually, so the bad query fails only
+its own future and its co-batched neighbours still get answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from .ast import S2sqlQuery
+from .executor import QueryHandler, QueryResult
+
+
+class _Item:
+    """One submitted query waiting in the scheduler's queue."""
+
+    __slots__ = ("query", "merge_key", "future")
+
+    def __init__(self, query: str | S2sqlQuery,
+                 merge_key: list[str] | None) -> None:
+        self.query = query
+        self.merge_key = merge_key
+        self.future: Future[QueryResult] = Future()
+
+
+class QueryScheduler:
+    """Batches concurrently submitted queries into shared scans.
+
+    ``max_batch_size`` bounds how many queries one worker drains into a
+    single ``execute_many`` call; ``max_workers`` bounds how many batches
+    run at once.  Only queries with equal ``merge_key`` are co-batched
+    (``execute_many`` applies one merge key to the whole batch), so a
+    worker takes the longest queue prefix sharing the front item's key.
+
+    Usable as a context manager::
+
+        with middleware.scheduler() as scheduler:
+            futures = [scheduler.submit(q) for q in queries]
+            results = [future.result() for future in futures]
+    """
+
+    def __init__(self, handler: QueryHandler, *,
+                 max_batch_size: int = 16, max_workers: int = 2) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.handler = handler
+        self.max_batch_size = max_batch_size
+        self._queue: list[_Item] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._run, daemon=True,
+                             name=f"query-scheduler-{index}")
+            for index in range(max_workers)]
+        for worker in self._workers:
+            worker.start()
+
+    # -- caller side --------------------------------------------------------
+
+    def submit(self, query: str | S2sqlQuery, *,
+               merge_key: list[str] | None = None) -> Future[QueryResult]:
+        """Enqueue one query; the future resolves to its QueryResult."""
+        item = _Item(query, merge_key)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed scheduler")
+            self._queue.append(item)
+            self._cond.notify()
+        return item.future
+
+    def map(self, queries: list[str | S2sqlQuery], *,
+            merge_key: list[str] | None = None) -> list[QueryResult]:
+        """Submit every query and block for the results, in order."""
+        futures = [self.submit(query, merge_key=merge_key)
+                   for query in queries]
+        return [future.result() for future in futures]
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting queries; drain the queue, then stop workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def pending(self) -> int:
+        """Queries accepted but not yet taken by a worker."""
+        with self._cond:
+            return len(self._queue)
+
+    # -- worker side --------------------------------------------------------
+
+    def _take_batch(self) -> list[_Item] | None:
+        """Block for work; return one mergeable batch, or None to exit."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            merge_key = self._queue[0].merge_key
+            count = 1
+            while (count < len(self._queue)
+                   and count < self.max_batch_size
+                   and self._queue[count].merge_key == merge_key):
+                count += 1
+            batch = self._queue[:count]
+            del self._queue[:count]
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Item]) -> None:
+        try:
+            results = self.handler.execute_many(
+                [item.query for item in batch],
+                merge_key=batch[0].merge_key)
+        except Exception:
+            # One malformed query fails the whole execute_many at plan
+            # time; re-run the batch members individually so the error
+            # lands only on the offending query's future.
+            for item in batch:
+                if not item.future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    item.future.set_result(self.handler.execute(
+                        item.query, merge_key=item.merge_key))
+                except BaseException as exc:
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(batch, results):
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_result(result)

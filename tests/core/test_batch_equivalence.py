@@ -1,0 +1,220 @@
+"""Property-based batch/sequential equivalence (stdlib ``random`` only).
+
+For every seed, a generator derives random S2SQL queries from the demo
+world's *actual* ground-truth values (so conditions are selective, not
+vacuous) and asserts that ``query_many(queries)`` is instance-identical
+to ``[query(q) for q in queries]`` — byte-identical serialization, same
+degraded flags, same health visibility.
+
+Two fault-injected variants re-run the property under failure:
+
+* **recoverable faults** — every source fails in scripted bursts shorter
+  than the retry budget, so both execution shapes converge on the same
+  complete answer even though they consume different numbers of calls;
+* **hard-down primary with replica** — one source never answers and its
+  healthy replica serves both paths, so both are *equally degraded*.
+
+Both variants build a fresh world per execution shape: the two shapes
+legitimately consume different call counts, so they must not share one
+fault script's cursor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import FakeClock
+from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
+                                   RetryPolicy)
+from repro.obs import MetricsRegistry
+from repro.sources.flaky import FlakySource
+from repro.workloads import B2BScenario
+
+# Attribute pools per query class: every attribute reachable from the
+# class's closure, tagged with its value family for operator choice.
+CLASS_ATTRIBUTES = {
+    "product": [("brand", "str"), ("model", "str"), ("price", "num"),
+                ("case", "str"), ("movement", "str"),
+                ("water_resistance", "num")],
+    "watch": [("case", "str"), ("movement", "str"),
+              ("water_resistance", "num"), ("brand", "str")],
+    "provider": [("name", "str"), ("country", "str")],
+}
+STRING_OPS = ["=", "!=", "CONTAINS", "LIKE"]
+NUMERIC_OPS = ["=", "!=", "<", ">", "<=", ">="]
+
+
+def result_key(result):
+    return sorted((entity.primary.class_name, str(entity.value("brand")),
+                   str(entity.value("model")), entity.source_id)
+                  for entity in result.entities)
+
+
+def assert_equivalent(sequential, batched):
+    assert len(sequential) == len(batched)
+    for left, right in zip(sequential, batched):
+        assert result_key(left) == result_key(right)
+        assert left.serialize("json") == right.serialize("json")
+        assert left.degraded == right.degraded
+        assert sorted(left.health) == sorted(right.health)
+
+
+def harvest_values(s2s) -> dict[str, list]:
+    """Ground-truth value pool per attribute, from an unfiltered query."""
+    result = s2s.query("SELECT product")
+    pools: dict[str, list] = {}
+    attributes = {name for pool in CLASS_ATTRIBUTES.values()
+                  for name, _family in pool}
+    for entity in result.entities:
+        for name in attributes:
+            value = entity.value(name)
+            if value is not None and value not in pools.setdefault(name, []):
+                pools[name].append(value)
+    return pools
+
+
+def random_condition(rng: random.Random, name: str, family: str,
+                     pools: dict[str, list]) -> str:
+    pool = pools.get(name) or (["fallback"] if family == "str" else [100])
+    value = rng.choice(pool)
+    if family == "num":
+        operator = rng.choice(NUMERIC_OPS)
+        if isinstance(value, float):
+            value = round(value + rng.choice([-5, 0, 5]), 2)
+        else:
+            value = value + rng.choice([-5, 0, 5])
+        return f"{name} {operator} {value}"
+    operator = rng.choice(STRING_OPS)
+    text = str(value)
+    if operator == "CONTAINS" and len(text) > 3:
+        start = rng.randrange(len(text) - 2)
+        text = text[start:start + 3]
+    elif operator == "LIKE" and len(text) > 2:
+        cut = rng.randrange(1, len(text))
+        text = text[:cut] + "%"
+    elif rng.random() < 0.2:
+        text += "-nomatch"  # deliberately unsatisfiable sometimes
+    return f'{name} {operator} "{text}"'
+
+
+def random_queries(rng: random.Random, pools: dict[str, list],
+                   count: int) -> list[str]:
+    queries = []
+    for _ in range(count):
+        class_name = rng.choice(sorted(CLASS_ATTRIBUTES))
+        conditions = [
+            random_condition(rng, *rng.choice(CLASS_ATTRIBUTES[class_name]),
+                             pools)
+            for _ in range(rng.randint(0, 2))]
+        query = f"SELECT {class_name}"
+        if conditions:
+            query += " WHERE " + " AND ".join(conditions)
+        queries.append(query)
+    return queries
+
+
+def healthy_world():
+    scenario = B2BScenario(n_sources=4, n_products=16, seed=7)
+    return scenario.build_middleware(metrics=MetricsRegistry())
+
+
+class TestHealthyEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_batches_match_sequential(self, seed):
+        rng = random.Random(seed)
+        s2s = healthy_world()
+        queries = random_queries(rng, harvest_values(s2s),
+                                 rng.randint(4, 10))
+        sequential = [s2s.query(q) for q in queries]
+        assert_equivalent(sequential, s2s.query_many(queries))
+
+    def test_duplicate_queries_in_one_batch(self):
+        s2s = healthy_world()
+        queries = ["SELECT provider"] * 3 + ["SELECT product"] * 2
+        sequential = [s2s.query(q) for q in queries]
+        assert_equivalent(sequential, s2s.query_many(queries))
+
+
+def recoverable_plan(rng: random.Random, *, length: int = 1200,
+                     max_run: int = 2) -> list[bool]:
+    """A failure script whose bursts always stay inside the retry
+    budget (max_attempts=3 survives runs of <= 2 failures)."""
+    plan, run = [], 0
+    for _ in range(length):
+        if run < max_run and rng.random() < 0.35:
+            plan.append(True)
+            run += 1
+        else:
+            plan.append(False)
+            run = 0
+    return plan
+
+
+def recoverable_world(seed: int):
+    """Every source fails in recoverable bursts; retries always win."""
+    clock = FakeClock()
+    scenario = B2BScenario(n_sources=4, n_products=12, seed=7)
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01,
+                          multiplier=2.0, jitter="none"),
+        breaker=None, failover=False, clock=clock)
+    s2s = scenario.build_middleware(resilience=config,
+                                    metrics=MetricsRegistry())
+    for org in scenario.organizations:
+        inner = s2s.source_repository.get(org.source_id)
+        plan = recoverable_plan(random.Random(seed * 100 + org.index))
+        s2s.source_repository.register(
+            FlakySource(inner, failure_rate=0.0, seed=org.index,
+                        failure_plan=plan, clock=clock),
+            replace=True)
+    return s2s
+
+
+def hard_down_world(seed: int):
+    """One primary never answers; its healthy replica serves instead."""
+    clock = FakeClock()
+    scenario = B2BScenario(n_sources=3, n_products=10, seed=7)
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01, jitter="none"),
+        breaker=BreakerPolicy(failure_threshold=3, cooldown_seconds=60.0),
+        clock=clock)
+    s2s = scenario.build_middleware(resilience=config,
+                                    metrics=MetricsRegistry())
+    scenario.add_replicas(s2s)
+    down = scenario.organizations[seed % len(scenario.organizations)]
+    s2s.source_repository.register(
+        FlakySource(s2s.source_repository.get(down.source_id),
+                    failure_rate=1.0, seed=5, clock=clock),
+        replace=True)
+    return s2s
+
+
+class TestFaultInjectedEquivalence:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_recoverable_faults_converge_to_same_answer(self, seed):
+        rng = random.Random(seed)
+        queries = random_queries(rng, harvest_values(healthy_world()),
+                                 rng.randint(4, 8))
+        # Fresh world per shape: the two shapes consume the fault script
+        # at different offsets, but every burst is survivable, so both
+        # converge on the complete answer.
+        world = recoverable_world(seed)
+        sequential = [world.query(q) for q in queries]
+        batched = recoverable_world(seed).query_many(queries)
+        assert_equivalent(sequential, batched)
+        for result in batched:
+            assert not result.degraded  # retries absorbed every burst
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_hard_down_primary_served_by_replica(self, seed):
+        rng = random.Random(seed)
+        queries = random_queries(rng, harvest_values(healthy_world()),
+                                 rng.randint(4, 8))
+        world = hard_down_world(seed)
+        sequential = [world.query(q) for q in queries]
+        batched = hard_down_world(seed).query_many(queries)
+        assert_equivalent(sequential, batched)
+        for result in batched:
+            assert result.degraded  # replica-served, visibly best-effort

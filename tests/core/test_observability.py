@@ -184,6 +184,87 @@ class TestDeterministicDegradedTrace:
         assert registry.value("degraded_queries_total") == 1
 
 
+def span_shape(span, depth: int = 0) -> list[str]:
+    """Skeleton of a span tree: names + identity attributes, no timing."""
+    label = span.name
+    for key in ("source", "attribute", "outcome", "replica", "number"):
+        if key in span.attributes:
+            label += f" {key}={span.attributes[key]}"
+    lines = ["  " * depth + label]
+    for child in span.children:
+        lines.extend(span_shape(child, depth + 1))
+    return lines
+
+
+# Golden snapshot: one batched run against the degraded world — retries
+# with backoff, breaker trip, failover — all inside a single shared scan
+# serving two queries.  Any structural change to the batch pipeline or
+# the resilience fan-out must update this deliberately.
+GOLDEN_BATCH_SHAPE = """\
+batch
+  parse
+  plan
+  scan
+    source source=DB_1
+      entry attribute=thing.product.brand
+        attempt source=DB_1 outcome=transient-error number=1
+        backoff
+        attempt source=DB_1 outcome=transient-error number=2
+        backoff
+        attempt source=DB_1 outcome=transient-error number=3
+        failover replica=DB_R1
+          attempt source=DB_R1 outcome=ok number=1
+      entry attribute=thing.product.price
+        breaker-open source=DB_1
+        failover replica=DB_R1
+          attempt source=DB_R1 outcome=ok number=1
+  query
+    generate
+    filter
+  query
+    generate
+    filter"""
+
+BATCH_QUERIES = ["SELECT product", 'SELECT product WHERE brand = "Seiko"']
+
+
+class TestGoldenBatchTrace:
+    """Stable span-tree snapshot for a batched degraded execution."""
+
+    def test_batch_trace_matches_golden_shape(self):
+        s2s, _tracer, _registry, _clock = degraded_world()
+        results = s2s.query_many(BATCH_QUERIES)
+        assert "\n".join(span_shape(results[0].trace.root)) \
+            == GOLDEN_BATCH_SHAPE
+        # Both queries answered from the replica, both visibly degraded.
+        assert [len(r) for r in results] == [2, 1]
+        assert all(r.degraded for r in results)
+        assert all(r.trace is results[0].trace for r in results)
+
+    def test_golden_shape_is_reproducible(self):
+        """Two fresh worlds produce byte-identical shapes — the snapshot
+        is deterministic, not a lucky interleaving."""
+        shapes = []
+        for _ in range(2):
+            s2s, _tracer, _registry, _clock = degraded_world()
+            results = s2s.query_many(BATCH_QUERIES)
+            shapes.append("\n".join(span_shape(results[0].trace.root)))
+        assert shapes[0] == shapes[1] == GOLDEN_BATCH_SHAPE
+
+    def test_batch_degraded_counters(self):
+        s2s, _tracer, registry, _clock = degraded_world()
+        s2s.query_many(BATCH_QUERIES)
+        # Resilience cost paid once for the scan, not once per query...
+        assert registry.value("retries_total", source="DB_1") == 2
+        assert registry.value("failovers_total", source="DB_1") == 2
+        assert registry.value("breaker_rejections_total", source="DB_1") == 1
+        # ...while query-level accounting still sees both queries.
+        assert registry.value("batches_total") == 1
+        assert registry.value("queries_total") == 2
+        assert registry.get("queries_per_scan").sum() == 2
+        assert registry.value("degraded_queries_total") == 2
+
+
 class TestMetricsCounters:
     def test_query_counters(self, traced_world):
         _scenario, s2s, _tracer, registry = traced_world

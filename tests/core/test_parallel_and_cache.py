@@ -86,6 +86,110 @@ class TestFragmentCache:
             FragmentCache(max_entries=0)
 
 
+class TestGenerationCoherence:
+    """Generation tags: mapping reloads kill in-flight stale write-backs.
+
+    Regression for a latent staleness race: an extraction that started
+    *before* ``load_mapping`` used to be able to ``put`` its (old-
+    mapping) fragment back *after* the reload's invalidate, resurrecting
+    stale data into a supposedly fresh cache."""
+
+    def test_bump_clears_and_advances(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id,
+                                     ["x"]))
+        assert cache.generation == 0
+        assert cache.bump_generation() == 1
+        assert cache.generation == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_stale_put_discarded_after_bump(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        observed = cache.generation  # a scan starts here...
+        cache.bump_generation()      # ...mapping reloads mid-scan...
+        accepted = cache.put(
+            entry, RawFragment(entry.attribute, entry.source_id,
+                               ["STALE"]),
+            generation=observed)     # ...its write-back must die.
+        assert accepted is False
+        assert cache.get(entry) is None
+        assert cache.stats.stale_discards == 1
+
+    def test_current_generation_put_accepted(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        cache.bump_generation()
+        entry = make_entry()
+        assert cache.put(entry,
+                         RawFragment(entry.attribute, entry.source_id,
+                                     ["fresh"]),
+                         generation=cache.generation) is True
+        assert cache.get(entry).values == ["fresh"]
+
+    def test_acquire_release_single_thread_protocol(self):
+        from repro.core.extractor.records import RawFragment
+        cache = FragmentCache()
+        entry = make_entry()
+        fragment, leading = cache.acquire(entry)
+        assert fragment is None and leading is True
+        cache.put(entry, RawFragment(entry.attribute, entry.source_id,
+                                     ["x"]), generation=cache.generation)
+        cache.release(entry)
+        cache.release(entry)  # idempotent
+        fragment, leading = cache.acquire(entry)
+        assert fragment.values == ["x"] and leading is False
+        assert cache.stats.flights == 1
+
+    def test_reload_survives_on_same_cache_instance(self, scenario):
+        """load_mapping bumps the generation instead of swapping the
+        cache object, so in-flight writers' stamps stay comparable."""
+        s2s = scenario.build_middleware(cache_extractions=True)
+        cache = s2s.cache
+        s2s.query("SELECT product")  # warm
+        assert len(cache) > 0
+        before = cache.generation
+        by_id = {org.source_id: org for org in scenario.organizations}
+        s2s.load_mapping(s2s.dump_mapping(),
+                         lambda sid, info: scenario.connector(by_id[sid]))
+        assert s2s.cache is cache
+        assert cache.generation == before + 1
+        assert len(cache) == 0
+
+    def test_remapped_attribute_reextracted_after_reload(self, scenario):
+        """The end-to-end regression: a fragment stamped before the
+        reload cannot serve queries after it — the attribute is
+        re-extracted from the live source."""
+        s2s = scenario.build_middleware(cache_extractions=True)
+        cache = s2s.cache
+        result = s2s.query('SELECT product WHERE brand != "zzz"')
+        assert len(result) > 0
+        # An extraction that started before the reload holds this stamp.
+        observed = cache.generation
+        entry = s2s.attribute_repository.entries_for(
+            "thing.product.brand")[0]
+
+        by_id = {org.source_id: org for org in scenario.organizations}
+        s2s.load_mapping(s2s.dump_mapping(),
+                         lambda sid, info: scenario.connector(by_id[sid]))
+
+        # The pre-reload writer finishes late: its stale value must die.
+        from repro.core.extractor.records import RawFragment
+        assert cache.put(entry,
+                         RawFragment(entry.attribute, entry.source_id,
+                                     ["STALE-VALUE"]),
+                         generation=observed) is False
+        fresh = s2s.query('SELECT product WHERE brand != "zzz"')
+        values = {e.value("brand") for e in fresh.entities}
+        assert "STALE-VALUE" not in values
+        assert len(fresh) == len(result)
+        assert cache.stats.stale_discards == 1
+
+
 class TestCachedMiddleware:
     def test_second_query_hits_cache(self, scenario):
         s2s = scenario.build_middleware(cache_extractions=True)

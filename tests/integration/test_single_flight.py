@@ -1,0 +1,184 @@
+"""Deterministic single-flight dedup tests.
+
+Concurrency here is *orchestrated*, not raced: a gated source blocks the
+first extraction until the test opens the gate, so the interleaving is
+the same on every run.  Resilience timing runs on a FakeClock — nothing
+in this module sleeps for a retry backoff.
+
+Covered contracts:
+
+* two threads missing on the same cache key at the same time perform
+  **one** extraction; the waiter is served the leader's fragment;
+* a *failed* flight does not poison its waiter: the waiter wakes, finds
+  the cache still empty, is elected leader itself and extracts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ExtractionRule, S2SMiddleware
+from repro.clock import FakeClock
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.errors import TransientSourceError
+from repro.obs import MetricsRegistry
+from repro.ontology.builders import watch_domain_ontology
+from repro.sources.base import ConnectionInfo, DataSource
+
+WAIT = 10.0  # generous upper bound; tests pass in milliseconds
+
+
+class GatedSource(DataSource):
+    """A database-typed source whose extraction blocks on a gate.
+
+    ``entered`` is set when a call reaches the source; the call then
+    blocks until the test sets ``gate``.  ``fail_next`` holds scripted
+    outcomes consumed one per call (True → raise TransientSourceError).
+    """
+
+    source_type = "database"
+
+    def __init__(self, source_id: str, values: list[str]) -> None:
+        super().__init__(source_id)
+        self.values = values
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.fail_next: list[bool] = []
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def execute_rule(self, code: str) -> list[str]:
+        with self._lock:
+            self.calls += 1
+            script = self.fail_next.pop(0) if self.fail_next else False
+        self.entered.set()
+        assert self.gate.wait(WAIT), "test never opened the gate"
+        if script:
+            raise TransientSourceError(f"{self.source_id}: scripted failure")
+        return list(self.values)
+
+    def connection_info(self) -> ConnectionInfo:
+        return ConnectionInfo("database", {"location": "memory"})
+
+
+def gated_world(values=("Seiko", "Casio")):
+    """Cached middleware over one GatedSource with one mapped entry."""
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter="none"),
+        breaker=None, clock=FakeClock())
+    s2s = S2SMiddleware(watch_domain_ontology(), cache_extractions=True,
+                        resilience=config, metrics=MetricsRegistry())
+    source = GatedSource("DB_GATED", list(values))
+    s2s.register_source(source)
+    s2s.register_attribute(("product", "brand"),
+                           ExtractionRule.sql("SELECT brand FROM watches"),
+                           "DB_GATED")
+    return s2s, source
+
+
+def run_query_in_thread(s2s):
+    """Start ``SELECT product`` on a worker; returns (thread, outbox)."""
+    outbox: dict = {}
+
+    def work():
+        try:
+            outbox["result"] = s2s.query("SELECT product")
+        except BaseException as exc:  # surface, don't swallow
+            outbox["error"] = exc
+
+    thread = threading.Thread(target=work, daemon=True)
+    thread.start()
+    return thread, outbox
+
+
+def wait_until(predicate, *, message: str):
+    deadline = time.monotonic() + WAIT
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail(f"timed out waiting for: {message}")
+        time.sleep(0.001)
+
+
+class TestSingleFlight:
+    def test_two_concurrent_queries_one_extraction(self):
+        s2s, source = gated_world()
+        cache = s2s.cache
+
+        leader_thread, leader_box = run_query_in_thread(s2s)
+        assert source.entered.wait(WAIT)  # leader is inside the source
+
+        waiter_thread, waiter_box = run_query_in_thread(s2s)
+        wait_until(lambda: cache.stats.waits == 1,
+                   message="second query blocking on the in-flight entry")
+
+        source.gate.set()  # let the leader finish
+        leader_thread.join(WAIT)
+        waiter_thread.join(WAIT)
+        assert "error" not in leader_box and "error" not in waiter_box
+
+        # One extraction served both queries.
+        assert source.calls == 1
+        assert cache.stats.flights == 1
+        assert cache.stats.dedup_hits == 1
+        assert cache.stats.waits == 1
+        assert cache.stats.dedup_ratio == pytest.approx(0.5)
+
+        brands = {"Seiko", "Casio"}
+        for box in (leader_box, waiter_box):
+            values = {e.value("brand") for e in box["result"].entities}
+            assert values == brands
+
+    def test_failed_flight_does_not_poison_waiter(self):
+        s2s, source = gated_world()
+        cache = s2s.cache
+        source.fail_next = [True]  # first call (the leader's) fails
+
+        leader_thread, leader_box = run_query_in_thread(s2s)
+        assert source.entered.wait(WAIT)
+        source.entered.clear()
+
+        waiter_thread, waiter_box = run_query_in_thread(s2s)
+        wait_until(lambda: cache.stats.waits == 1,
+                   message="second query blocking on the in-flight entry")
+
+        source.gate.set()  # leader now fails; waiter re-extracts
+        leader_thread.join(WAIT)
+        waiter_thread.join(WAIT)
+        assert "error" not in leader_box and "error" not in waiter_box
+
+        # The waiter woke, found no fragment, became leader, extracted.
+        assert source.calls == 2
+        assert cache.stats.flights == 2
+        assert cache.stats.dedup_hits == 0
+
+        # Leader's answer is degraded (its one attempt failed) ...
+        leader = leader_box["result"]
+        assert len(leader) == 0
+        assert leader.extraction.problems
+        # ... the waiter's is healthy, served by its own extraction.
+        waiter = waiter_box["result"]
+        assert {e.value("brand") for e in waiter.entities} \
+            == {"Seiko", "Casio"}
+
+    def test_release_is_idempotent_and_wakes_all_waiters(self):
+        s2s, source = gated_world()
+        cache = s2s.cache
+
+        leader_thread, leader_box = run_query_in_thread(s2s)
+        assert source.entered.wait(WAIT)
+        boxes = [run_query_in_thread(s2s) for _ in range(3)]
+        wait_until(lambda: cache.stats.waits == 3,
+                   message="three queries blocking on the flight")
+
+        source.gate.set()
+        leader_thread.join(WAIT)
+        for thread, _box in boxes:
+            thread.join(WAIT)
+        assert source.calls == 1
+        assert cache.stats.dedup_hits == 3
+        for _thread, box in boxes:
+            assert {e.value("brand") for e in box["result"].entities} \
+                == {"Seiko", "Casio"}

@@ -58,6 +58,52 @@ class TestQuery:
         assert code == 0
         assert len(json.loads(out)) == 6  # no duplicates in this world
 
+    def test_batch_file_runs_all_queries(self, capsys, tmp_path):
+        batch = tmp_path / "queries.s2sql"
+        batch.write_text(
+            "# the paper's example plus two more\n"
+            'SELECT product WHERE case = "stainless-steel"\n'
+            "\n"
+            "SELECT provider\n"
+            "SELECT product\n")
+        code, out, err = run_cli(
+            capsys, "query", "--batch-file", str(batch),
+            "--format", "text", "--sources", "2", "--products", "6")
+        assert code == 0
+        assert out.count("===") == 2 * 3  # one header per query
+        assert "3 queries in one shared scan" in err
+
+    def test_batch_file_json_blocks(self, capsys, tmp_path):
+        batch = tmp_path / "queries.s2sql"
+        batch.write_text("SELECT provider\nSELECT product\n")
+        code, out, _err = run_cli(
+            capsys, "query", "--batch-file", str(batch),
+            "--format", "json", "--sources", "2", "--products", "4")
+        assert code == 0
+        assert "SELECT provider" in out and "SELECT product" in out
+
+    def test_batch_file_and_inline_query_rejected(self, capsys, tmp_path):
+        batch = tmp_path / "queries.s2sql"
+        batch.write_text("SELECT product\n")
+        code, _out, err = run_cli(
+            capsys, "query", "SELECT product",
+            "--batch-file", str(batch))
+        assert code == 2
+        assert "not both" in err
+
+    def test_neither_query_nor_batch_file_rejected(self, capsys):
+        code, _out, err = run_cli(capsys, "query")
+        assert code == 2
+        assert "either" in err
+
+    def test_empty_batch_file_rejected(self, capsys, tmp_path):
+        batch = tmp_path / "queries.s2sql"
+        batch.write_text("# only comments\n\n")
+        code, _out, err = run_cli(
+            capsys, "query", "--batch-file", str(batch))
+        assert code == 2
+        assert "no queries" in err
+
     def test_conflict_level_none(self, capsys):
         code, out, _err = run_cli(
             capsys, "query",
