@@ -20,7 +20,7 @@ from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
                               xpath_rule)
 from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "S2SMiddleware",

@@ -55,7 +55,7 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
                         help="print the metrics registry to stderr")
 
 
-def _build(args: argparse.Namespace):
+def _build(args: argparse.Namespace, *, store: bool = False):
     from dataclasses import replace as _replace
 
     from .core.resilience import ResilienceConfig
@@ -69,7 +69,8 @@ def _build(args: argparse.Namespace):
     tracer = Tracer() if getattr(args, "trace", False) else None
     middleware = scenario.build_middleware(resilience=resilience,
                                            tracer=tracer,
-                                           metrics=MetricsRegistry())
+                                           metrics=MetricsRegistry(),
+                                           store=store)
     return scenario, middleware
 
 
@@ -198,6 +199,58 @@ def _cmd_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``store refresh|status|export`` over the demo world's store.
+
+    ``--dir`` makes the store persistent across invocations: an existing
+    snapshot is warm-loaded before the subcommand runs, and ``refresh``
+    saves the store back afterwards."""
+    import os
+
+    _scenario, s2s = _build(args, store=True)
+    directory = getattr(args, "dir", None)
+    if directory and os.path.exists(os.path.join(directory,
+                                                 "manifest.json")):
+        loaded = s2s.store.load(directory)
+        print(f"loaded {loaded} materialization(s) from {directory}",
+              file=sys.stderr)
+
+    if args.store_command == "status":
+        rows = s2s.store_status()
+        if not rows:
+            print("(store empty — run 'store refresh' to materialize)")
+        for row in rows:
+            freshness = "fresh" if row["fresh"] else "stale"
+            stale_note = (f", stale sources: "
+                          f"{', '.join(row['stale_sources'])}"
+                          if row["stale_sources"] else "")
+            print(f"{row['class']} [{row['attributes']} attributes]: "
+                  f"{row['entities']} entities from "
+                  f"{len(row['sources'])} sources, {freshness} "
+                  f"(age {row['age_seconds']:.1f}s, "
+                  f"generation {row['generation']}{stale_note})")
+        return 0
+
+    if args.store_command == "export":
+        sys.stdout.write(s2s.store.export(args.format))
+        return 0
+
+    # refresh
+    if args.materialize or not s2s.store.materializations():
+        query = args.materialize or "SELECT product"
+        result = s2s.materialize(query)
+        print(f"materialized: {result.summary()} "
+              f"({result.elapsed_seconds * 1e3:.1f} ms)")
+    else:
+        for result in s2s.refresh_store(force=args.force):
+            print(f"refreshed: {result.summary()} "
+                  f"({result.elapsed_seconds * 1e3:.1f} ms)")
+    if directory:
+        manifest = s2s.store.save(directory)
+        print(f"saved store to {manifest}", file=sys.stderr)
+    return 0
+
+
 def _cmd_ontology(args: argparse.Namespace) -> int:
     ontology = watch_domain_ontology()
     sys.stdout.write(serialize_ontology(
@@ -249,6 +302,39 @@ def build_parser() -> argparse.ArgumentParser:
         "suggest", help="show assisted mapping suggestions")
     _add_scenario_arguments(suggest)
     suggest.set_defaults(handler=_cmd_suggest)
+
+    store = commands.add_parser(
+        "store", help="materialized semantic store operations")
+    store_commands = store.add_subparsers(dest="store_command",
+                                          required=True)
+    refresh = store_commands.add_parser(
+        "refresh", help="materialize or incrementally refresh the store")
+    refresh.add_argument("--dir", default=None,
+                         help="directory to load/save the store snapshot "
+                              "(persistent across invocations)")
+    refresh.add_argument("--force", action="store_true",
+                         help="re-extract every source, ignoring "
+                              "content fingerprints")
+    refresh.add_argument("--materialize", default=None, metavar="S2SQL",
+                         help="materialize this query's answer "
+                              "(default: SELECT product when the store "
+                              "is empty)")
+    _add_scenario_arguments(refresh)
+    refresh.set_defaults(handler=_cmd_store)
+    status = store_commands.add_parser(
+        "status", help="per-materialization freshness summary")
+    status.add_argument("--dir", default=None,
+                        help="directory holding a saved store snapshot")
+    _add_scenario_arguments(status)
+    status.set_defaults(handler=_cmd_store)
+    export = store_commands.add_parser(
+        "export", help="serialize the store graph to stdout")
+    export.add_argument("--dir", default=None,
+                        help="directory holding a saved store snapshot")
+    export.add_argument("--format", choices=("turtle", "ntriples"),
+                        default="turtle")
+    _add_scenario_arguments(export)
+    export.set_defaults(handler=_cmd_store)
 
     ontology = commands.add_parser("ontology",
                                    help="print the demo ontology as OWL")

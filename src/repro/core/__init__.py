@@ -15,5 +15,7 @@ Subpackages mirror the architecture of the paper's Figure 1:
 
 from .mapping.rules import ExtractionRule
 from .middleware import S2SMiddleware
+from .store import RefreshPolicy, SemanticStore
 
-__all__ = ["S2SMiddleware", "ExtractionRule"]
+__all__ = ["S2SMiddleware", "ExtractionRule", "RefreshPolicy",
+           "SemanticStore"]

@@ -51,6 +51,31 @@ class AssembledEntity:
                 return satellite.values[attribute]
         return default
 
+    def clone(self) -> "AssembledEntity":
+        """An independent deep copy.
+
+        The merge step and condition filtering mutate entities in place
+        (value back-fill, satellite adoption), so anything stored for
+        reuse — the semantic store — must hand out copies.  Links are
+        remapped so a clone's individuals reference each other, never
+        the originals."""
+        copies: dict[int, Individual] = {}
+        for individual in self.all_individuals():
+            copies[id(individual)] = Individual(
+                individual.identifier, individual.class_name,
+                {name: (list(value) if isinstance(value, list) else value)
+                 for name, value in individual.values.items()})
+        for individual in self.all_individuals():
+            copy = copies[id(individual)]
+            for name, targets in individual.links.items():
+                copy.links[name] = [
+                    copies.get(id(target), target) for target in targets]
+        return AssembledEntity(
+            copies[id(self.primary)],
+            [copies[id(satellite)] for satellite in self.satellites],
+            self.source_id, self.record_index,
+            list(self.coercion_errors))
+
 
 def _identifier(class_name: str, source_id: str, index: int) -> str:
     safe_source = re.sub(r"[^A-Za-z0-9_]", "_", source_id)

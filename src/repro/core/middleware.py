@@ -30,6 +30,7 @@ from __future__ import annotations
 import warnings
 from typing import Any
 
+from ..errors import S2SError
 from ..ids import AttributePath
 from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from ..ontology.model import Ontology
@@ -48,7 +49,10 @@ from .mapping.registration import AttributeRegistrar
 from .mapping.repository import AttributeRepository
 from .mapping.rules import ExtractionRule, TransformRegistry
 from .query.executor import QueryHandler, QueryResult
+from .query.parser import parse_s2sql
 from .query.scheduler import QueryScheduler
+from .store import (DeltaRefresher, RefreshPolicy, RefreshResult,
+                    SemanticStore, StoreRefresher)
 
 
 def _deprecated_rule(language: str, code: str, *, name: str = "",
@@ -93,6 +97,7 @@ class S2SMiddleware:
                  resilience: ResilienceConfig | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
+                 store: "SemanticStore | RefreshPolicy | bool | None" = None,
                  parallel: Any = UNSET, max_workers: Any = UNSET,
                  retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
         self.ontology = ontology
@@ -110,7 +115,21 @@ class S2SMiddleware:
         self.resilience = legacy_kwargs_to_config(
             resilience, parallel=parallel, max_workers=max_workers,
             retries=retries, retry_delay=retry_delay, owner="S2SMiddleware")
+        self.store = self._build_store(store)
         self._rebuild()
+
+    def _build_store(self, store) -> SemanticStore | None:
+        """Resolve the ``store=`` kwarg: ``True`` enables a store with
+        the default policy, a :class:`RefreshPolicy` enables one with
+        that policy, a ready :class:`SemanticStore` is used as-is."""
+        if store is None or store is False:
+            return None
+        if isinstance(store, SemanticStore):
+            return store
+        policy = store if isinstance(store, RefreshPolicy) else None
+        return SemanticStore(policy=policy, clock=self.resilience.clock,
+                             metrics=self._metrics,
+                             namespace=self.ontology.base_iri)
 
     def _rebuild(self) -> None:
         """(Re)wire registrar, manager and query handler over the current
@@ -130,6 +149,11 @@ class S2SMiddleware:
             # so their late write-backs are discarded instead of
             # resurrecting stale fragments after the reload.
             self.cache.bump_generation()
+        if self.store is not None:
+            # Same coherence rule for materialized instances: a stale
+            # post-reload store must never be served (every slice was
+            # generated against the old mapping).
+            self.store.bump_generation()
         self.manager = ExtractorManager(
             self.attribute_repository, self.source_repository,
             self.extractors, strict=self.strict_extraction, cache=self.cache,
@@ -140,7 +164,7 @@ class S2SMiddleware:
         self.query_handler = QueryHandler(
             self.schema, self.manager,
             validate_instances=self.validate_instances,
-            tracer=self.tracer, metrics=self._metrics)
+            tracer=self.tracer, metrics=self._metrics, store=self.store)
 
     # -- registration -------------------------------------------------------
 
@@ -164,13 +188,23 @@ class S2SMiddleware:
                                         replica_of=replica_of)
         if replace and self.cache is not None:
             self.cache.invalidate(source_id)
+        if self.store is not None:
+            # Any mapping change can alter what a materialization would
+            # contain (a new source for an already-materialized
+            # attribute, a replaced rule): expire everything so the next
+            # query re-extracts and re-folds under the new mapping.
+            self.store.mark_stale()
         return entry
 
     def invalidate_cache(self, source_id: str | None = None) -> int:
         """Drop cached fragments after a source's data changed.
 
         Returns the number of cache entries removed; a no-op (0) when the
-        middleware was built without ``cache_extractions``."""
+        middleware was built without ``cache_extractions``.  When a
+        semantic store is configured, materializations holding the
+        source are force-expired too, so the next query goes live."""
+        if self.store is not None:
+            self.store.mark_stale(source_id)
         if self.cache is None:
             return 0
         return self.cache.invalidate(source_id)
@@ -215,6 +249,64 @@ class S2SMiddleware:
     def extract_all(self) -> ExtractionOutcome:
         """Eagerly materialize every mapped attribute (E1 ablation)."""
         return self.manager.extract_all_registered()
+
+    # -- semantic store -----------------------------------------------------
+
+    def _require_store(self) -> SemanticStore:
+        if self.store is None:
+            raise S2SError(
+                "no semantic store configured; construct the middleware "
+                "with store=True (or a RefreshPolicy / SemanticStore)")
+        return self.store
+
+    def _refresher(self) -> DeltaRefresher:
+        """A delta refresher over the *current* manager and generator.
+
+        Built per call (it is stateless) so a mapping reload's rebuilt
+        manager is always the one refreshed through."""
+        return DeltaRefresher(self._require_store(), self.manager,
+                              self.query_handler.generator,
+                              tracer=self.tracer, metrics=self._metrics)
+
+    def sparql(self, query_text: str):
+        """Run a SPARQL query against the materialized store graph.
+
+        The store's graph holds every materialized entity's triples plus
+        per-entity provenance (``store:source`` / ``store:recordIndex``).
+        Returns a :class:`~repro.rdf.sparql.SparqlResult` for SELECT, a
+        bool for ASK.  Raises when no store is configured."""
+        from ..rdf.sparql import execute_sparql
+        return execute_sparql(self._require_store().graph, query_text)
+
+    def materialize(self, query: str) -> RefreshResult:
+        """Materialize one query's answer into the store ahead of time
+        (or force-refresh it if already materialized).  Subsequent
+        ``query()`` calls with the same class and attribute set are
+        answered from the store."""
+        plan = self.query_handler.planner.plan(parse_s2sql(query))
+        return self._refresher().materialize(plan)
+
+    def refresh_store(self, *, force: bool = False) -> list[RefreshResult]:
+        """Incrementally refresh every materialization: re-extract only
+        sources whose content fingerprint changed (all reachable sources
+        with ``force=True``); breaker-open sources keep serving
+        last-known-good data."""
+        return self._refresher().refresh(force=force)
+
+    def store_status(self) -> list[dict]:
+        """One freshness/content summary dict per materialization."""
+        return self._require_store().status()
+
+    def store_refresher(self, *, interval_seconds: float = 60.0,
+                        poll_seconds: float | None = None) -> StoreRefresher:
+        """A background refresher driving :meth:`refresh_store` every
+        ``interval_seconds`` on the resilience clock.  Use as a context
+        manager so the worker thread is shut down on exit."""
+        self._require_store()
+        return StoreRefresher(self.refresh_store,
+                              interval_seconds=interval_seconds,
+                              clock=self.resilience.clock,
+                              poll_seconds=poll_seconds)
 
     # -- observability ------------------------------------------------------
 

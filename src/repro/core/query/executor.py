@@ -49,6 +49,12 @@ class QueryResult:
     extraction_seconds: float = 0.0
     extraction: ExtractionOutcome | None = field(default=None, repr=False)
     trace: Trace | None = field(default=None, repr=False)
+    #: True when the answer came from the semantic store instead of live
+    #: extraction (``extraction`` is then None).
+    store_hit: bool = False
+    #: True when a store-served answer contained stale data (past TTL
+    #: while a refresh was in flight, or last-known-good slices).
+    store_stale: bool = False
 
     def __len__(self) -> int:
         return len(self.entities)
@@ -115,7 +121,8 @@ class QueryHandler:
     def __init__(self, schema: OntologySchema, manager: ExtractorManager,
                  *, validate_instances: bool = True,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 store=None) -> None:
         self.schema = schema
         self.manager = manager
         self.planner = QueryPlanner(schema)
@@ -123,6 +130,10 @@ class QueryHandler:
                                            validate=validate_instances)
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional :class:`~repro.core.store.SemanticStore`.  When set,
+        #: fresh materializations answer queries without extraction and
+        #: complete live answers are folded back in (write-through).
+        self.store = store
 
     def execute(self, query: str | S2sqlQuery,
                 *, merge_key: list[str] | None = None,
@@ -145,14 +156,33 @@ class QueryHandler:
             span.annotate(query_class=plan.class_name,
                           attributes=len(plan.required_attributes),
                           conditions=len(plan.conditions))
+
+        if self.store is not None:
+            with root.child("store") as span:
+                serving = self.store.serve(plan, span=span)
+            if serving is not None:
+                return self._finish_store_hit(query, plan, serving,
+                                              merge_key, root, tracer,
+                                              started)
+
         with root.child("extract") as span:
             outcome = self.manager.extract(plan.required_attributes,
                                            span=span)
         with root.child("generate") as span:
-            generation = self.generator.generate(outcome, plan.class_name,
-                                                 merge_key=merge_key)
+            # With a store, generate unmerged so the fold keeps pristine
+            # per-source entities; the query's merge applies afterwards.
+            generation = self.generator.generate(
+                outcome, plan.class_name,
+                merge_key=None if self.store is not None else merge_key)
             span.annotate(entities=len(generation.entities),
                           errors=len(generation.errors.entries))
+        if self.store is not None:
+            with root.child("store") as span:
+                self.store.fold(plan, outcome, generation,
+                                self.manager.sources, span=span)
+            if merge_key:
+                generation.entities = self.generator._merge(
+                    generation.entities, merge_key, generation.errors)
         with root.child("filter") as span:
             entities = [entity for entity in generation.entities
                         if self._matches(entity, plan.conditions)]
@@ -164,6 +194,31 @@ class QueryHandler:
                              generation.errors,
                              extraction_seconds=outcome.elapsed_seconds,
                              extraction=outcome)
+        if tracer is not None:
+            result.trace = tracer.trace_of(root)
+        result.elapsed_seconds = time.perf_counter() - started
+        if self.metrics is not None:
+            self._record_query_metrics(result)
+        return result
+
+    def _finish_store_hit(self, query: S2sqlQuery, plan: QueryPlan,
+                          serving, merge_key: list[str] | None, root,
+                          tracer: Tracer | None,
+                          started: float) -> QueryResult:
+        """Build a :class:`QueryResult` from a store serving: apply the
+        query's merge key and conditions to the served clones, exactly
+        as the live path applies them to generated entities."""
+        entities = serving.entities
+        errors = serving.errors
+        if merge_key:
+            entities = self.generator._merge(entities, merge_key, errors)
+        with root.child("filter") as span:
+            matched = [entity for entity in entities
+                       if self._matches(entity, plan.conditions)]
+            span.annotate(candidates=len(entities), matched=len(matched))
+        root.finish()
+        result = QueryResult(query, plan, self.schema, matched, errors,
+                             store_hit=True, store_stale=serving.stale)
         if tracer is not None:
             result.trace = tracer.trace_of(root)
         result.elapsed_seconds = time.perf_counter() - started
@@ -203,6 +258,13 @@ class QueryHandler:
             span.annotate(queries=len(batch), distinct=distinct,
                           shared_attributes=len(batch.shared_attributes),
                           amortization=round(batch.amortization, 3))
+
+        if self.store is not None:
+            results = self._serve_batch_from_store(batch, parsed, merge_key,
+                                                   root, tracer, started)
+            if results is not None:
+                return results
+
         schema = self.manager.obtain_extraction_schema(
             batch.shared_attributes)
         with root.child("scan") as span:
@@ -226,9 +288,19 @@ class QueryHandler:
                     outcome = project_outcome(shared, schema, plan)
                     with query_span.child("generate") as span:
                         generation = self.generator.generate(
-                            outcome, plan.class_name, merge_key=merge_key)
+                            outcome, plan.class_name,
+                            merge_key=(None if self.store is not None
+                                       else merge_key))
                         span.annotate(entities=len(generation.entities),
                                       errors=len(generation.errors.entries))
+                    if self.store is not None:
+                        with query_span.child("store") as span:
+                            self.store.fold(plan, outcome, generation,
+                                            self.manager.sources, span=span)
+                        if merge_key:
+                            generation.entities = self.generator._merge(
+                                generation.entities, merge_key,
+                                generation.errors)
                     with query_span.child("filter") as span:
                         entities = [entity
                                     for entity in generation.entities
@@ -242,6 +314,62 @@ class QueryHandler:
                 parsed[index], plan, self.schema, list(entities), errors,
                 extraction_seconds=shared.elapsed_seconds,
                 extraction=outcome))
+        root.finish()
+
+        trace = tracer.trace_of(root) if tracer is not None else None
+        elapsed = time.perf_counter() - started
+        for result in results:
+            result.trace = trace
+            result.elapsed_seconds = elapsed
+        if self.metrics is not None:
+            self._record_batch_metrics(results, elapsed)
+        return results
+
+    def _serve_batch_from_store(self, batch, parsed: list[S2sqlQuery],
+                                merge_key: list[str] | None, root,
+                                tracer: Tracer | None,
+                                started: float) -> list[QueryResult] | None:
+        """Answer a whole batch from the store, or None to go live.
+
+        All-or-nothing: a batch with even one unservable query runs the
+        shared scan anyway (the scan visits the union of sources, so a
+        partial store answer would not save the extraction)."""
+        if not all(self.store.servable(plan) for plan in batch.plans):
+            return None
+        servings: dict[str, object] = {}
+        with root.child("store", queries=len(batch.plans)) as store_span:
+            for index, plan in enumerate(batch.plans):
+                text = str(parsed[index])
+                if text in servings:
+                    continue
+                with store_span.child("query", index=index,
+                                      text=text) as span:
+                    serving = self.store.serve(plan, span=span)
+                if serving is None:
+                    # Raced a TTL expiry between servable() and serve():
+                    # fall back to the live shared scan.
+                    store_span.annotate(fallback="stale-race")
+                    return None
+                servings[text] = serving
+
+        answered: dict[str, tuple] = {}
+        results: list[QueryResult] = []
+        for index, plan in enumerate(batch.plans):
+            text = str(parsed[index])
+            if text not in answered:
+                serving = servings[text]
+                entities = serving.entities
+                errors = serving.errors
+                if merge_key:
+                    entities = self.generator._merge(entities, merge_key,
+                                                     errors)
+                entities = [entity for entity in entities
+                            if self._matches(entity, plan.conditions)]
+                answered[text] = (entities, errors, serving.stale)
+            entities, errors, stale = answered[text]
+            results.append(QueryResult(
+                parsed[index], plan, self.schema, list(entities), errors,
+                store_hit=True, store_stale=stale))
         root.finish()
 
         trace = tracer.trace_of(root) if tracer is not None else None

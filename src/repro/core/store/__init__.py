@@ -1,0 +1,28 @@
+"""The materialized semantic store subsystem.
+
+Materializes the Instance Generator's OWL instances ahead of query
+time, serves repeat queries from the materialization, and refreshes
+incrementally by re-extracting only the sources whose content
+fingerprints changed.  See docs/store.md.
+"""
+
+from .delta import DeltaRefresher, RefreshResult
+from .refresh import RefreshPolicy, StoreRefresher
+from .snapshot import fingerprint_source, load_store, save_store
+from .store import (STORE, Materialization, SemanticStore, SourceSlice,
+                    StoreServing)
+
+__all__ = [
+    "STORE",
+    "DeltaRefresher",
+    "Materialization",
+    "RefreshPolicy",
+    "RefreshResult",
+    "SemanticStore",
+    "SourceSlice",
+    "StoreRefresher",
+    "StoreServing",
+    "fingerprint_source",
+    "load_store",
+    "save_store",
+]

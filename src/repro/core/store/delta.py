@@ -1,0 +1,288 @@
+"""Change-aware incremental refresh: re-extract only what changed.
+
+A full refresh of a materialization would re-run extraction against
+every source — exactly the cost the store exists to avoid.  The
+:class:`DeltaRefresher` instead:
+
+1. takes the current extraction schema for the materialization's
+   required attributes (sources may have been added or removed since
+   the last refresh — removed sources are tombstoned, new ones are
+   always extracted);
+2. skips sources whose circuit breaker is open, keeping their
+   last-known-good slice marked stale (graceful degradation) instead
+   of failing the refresh;
+3. compares each remaining source's current content fingerprint
+   (:func:`~repro.core.store.snapshot.fingerprint_source`) against the
+   one stored at materialization time — matching fingerprints mean the
+   source is *unchanged* and is not touched at all;
+4. extracts only the changed sources, through a filtered
+   :class:`~repro.core.extractor.schema.ExtractionSchema` handed to the
+   Extractor Manager (so retries, breakers, deadlines and failover all
+   still apply), regenerates their instances, and folds the delta into
+   the store with per-source upserts — untouched sources' slices are
+   left exactly as they were.
+
+Per-source failures during the delta extraction degrade instead of
+destroy: with ``keep_last_known_good`` (the default policy) the failing
+source's previous slice stays servable, marked stale; with it disabled
+the slice is tombstoned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ...errors import S2SError
+from ...obs import NULL_SPAN, MetricsRegistry, Tracer
+from ..extractor.manager import ExtractorManager
+from ..extractor.schema import ExtractionSchema
+from ..instances.assembly import AssembledEntity
+from ..instances.generator import InstanceGenerator
+from .snapshot import fingerprint_source
+from .store import Materialization, SemanticStore
+
+
+@dataclass
+class RefreshResult:
+    """What one materialization's refresh did, source by source."""
+
+    class_name: str
+    attribute_ids: frozenset[str]
+    #: sources whose data was re-extracted and upserted
+    refreshed: list[str] = field(default_factory=list)
+    #: sources whose fingerprint matched — not touched at all
+    unchanged: list[str] = field(default_factory=list)
+    #: failing/breaker-open sources kept serving last-known-good data
+    kept_stale: list[str] = field(default_factory=list)
+    #: sources no longer in the mapping — slices tombstoned
+    removed: list[str] = field(default_factory=list)
+    #: sources the delta extraction actually visited (the E15 assertion
+    #: target: a 1-changed-source refresh must list exactly that source)
+    extracted_sources: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    trace: object | None = None
+
+    @property
+    def noop(self) -> bool:
+        """True when nothing was extracted, kept stale or removed."""
+        return not (self.refreshed or self.kept_stale or self.removed)
+
+    def summary(self) -> str:
+        return (f"{self.class_name}: {len(self.refreshed)} refreshed, "
+                f"{len(self.unchanged)} unchanged, "
+                f"{len(self.kept_stale)} kept stale, "
+                f"{len(self.removed)} removed")
+
+
+class DeltaRefresher:
+    """Refreshes a :class:`SemanticStore` through the live pipeline."""
+
+    def __init__(self, store: SemanticStore, manager: ExtractorManager,
+                 generator: InstanceGenerator, *,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.store = store
+        self.manager = manager
+        self.generator = generator
+        self.tracer = tracer
+        self.metrics = metrics
+
+    # -- public entry points -------------------------------------------
+
+    def refresh(self, *, force: bool = False) -> list[RefreshResult]:
+        """Refresh every materialization; returns one result each.
+
+        ``force=True`` ignores fingerprints and re-extracts every
+        reachable source (breaker-open sources are still skipped)."""
+        return [self.refresh_one(mat, force=force)
+                for mat in self.store.materializations()]
+
+    def materialize(self, plan) -> RefreshResult:
+        """Materialize one query plan (or force-refresh it if present).
+
+        The first materialization must be complete: a degraded
+        extraction outcome is not folded, and raises instead."""
+        mat = self.store.lookup(plan)
+        if mat is not None:
+            return self.refresh_one(mat, force=True)
+        started = time.perf_counter()
+        root = (self.tracer.start("materialize", query_class=plan.class_name)
+                if self.tracer is not None else NULL_SPAN)
+        try:
+            with root.child("extract") as span:
+                outcome = self.manager.extract(
+                    list(plan.required_attributes), span=span)
+            with root.child("generate"):
+                generation = self.generator.generate(outcome,
+                                                     plan.class_name)
+            with root.child("store") as span:
+                stored = self.store.fold(plan, outcome, generation,
+                                         self.manager.sources, span=span)
+            if stored == 0:
+                problems = "; ".join(str(p) for p in outcome.problems[:3])
+                raise S2SError(
+                    f"cannot materialize {plan.class_name!r}: extraction "
+                    f"was degraded ({problems})")
+        finally:
+            root.finish()
+        result = RefreshResult(
+            plan.class_name, self.store.key_for(plan)[1],
+            refreshed=sorted(outcome.per_source_seconds),
+            extracted_sources=sorted(outcome.per_source_seconds),
+            elapsed_seconds=time.perf_counter() - started,
+            trace=(self.tracer.trace_of(root)
+                   if self.tracer is not None else None))
+        self._observe(result)
+        return result
+
+    # -- the delta algorithm -------------------------------------------
+
+    def refresh_one(self, mat: Materialization, *,
+                    force: bool = False) -> RefreshResult:
+        """Refresh one materialization, re-extracting only its changed
+        sources (all reachable ones when ``force``)."""
+        started = time.perf_counter()
+        result = RefreshResult(mat.class_name, mat.attribute_ids)
+        root = (self.tracer.start("refresh", query_class=mat.class_name,
+                                  force=force)
+                if self.tracer is not None else NULL_SPAN)
+        key = mat.key
+        self.store.begin_refresh(key)
+        try:
+            self._refresh_under(mat, key, force, result, root)
+        finally:
+            self.store.end_refresh(key)
+            root.finish()
+        result.elapsed_seconds = time.perf_counter() - started
+        result.trace = (self.tracer.trace_of(root)
+                        if self.tracer is not None else None)
+        self._observe(result)
+        return result
+
+    def _refresh_under(self, mat: Materialization, key, force: bool,
+                       result: RefreshResult, root) -> None:
+        schema = self.manager.obtain_extraction_schema(mat.required)
+        current_sources = set(schema.by_source)
+
+        # Sources that left the mapping: their data is gone for good.
+        for source_id in sorted(set(mat.slices) - current_sources):
+            self.store.tombstone(key, source_id)
+            result.removed.append(source_id)
+
+        open_sources = (set(self.manager.breakers.open_sources())
+                        if self.manager.breakers is not None else set())
+        fingerprints: dict[str, str | None] = {}
+        changed: list[str] = []
+        with root.child("diff", sources=len(current_sources)) as diff_span:
+            for source_id in sorted(current_sources):
+                slice_ = mat.slices.get(source_id)
+                if source_id in open_sources and slice_ is not None:
+                    # Breaker open: don't even knock — keep serving the
+                    # last-known-good slice, marked stale.
+                    self.store.mark_slice_stale(key, source_id)
+                    result.kept_stale.append(source_id)
+                    diff_span.child("source", source=source_id,
+                                    verdict="breaker-open").finish()
+                    continue
+                fingerprint = self._fingerprint(source_id)
+                fingerprints[source_id] = fingerprint
+                if (not force and slice_ is not None and not slice_.stale
+                        and fingerprint is not None
+                        and fingerprint == slice_.fingerprint):
+                    result.unchanged.append(source_id)
+                    diff_span.child("source", source=source_id,
+                                    verdict="unchanged").finish()
+                    continue
+                changed.append(source_id)
+                diff_span.child("source", source=source_id,
+                                verdict="changed").finish()
+            diff_span.annotate(changed=len(changed),
+                               unchanged=len(result.unchanged),
+                               kept_stale=len(result.kept_stale))
+
+        if changed:
+            self._extract_delta(mat, key, schema, changed, fingerprints,
+                                result, root)
+        self.store.touch(key)
+
+    def _extract_delta(self, mat: Materialization, key,
+                       schema: ExtractionSchema, changed: list[str],
+                       fingerprints: dict[str, str | None],
+                       result: RefreshResult, root) -> None:
+        """Extract only ``changed`` sources and upsert their slices."""
+        changed_set = set(changed)
+        delta_schema = ExtractionSchema(
+            requested=list(schema.requested),
+            by_source={source_id: entries
+                       for source_id, entries in schema.by_source.items()
+                       if source_id in changed_set},
+            missing=list(schema.missing),
+            replicas={replica_key: entries
+                      for replica_key, entries in schema.replicas.items()
+                      if replica_key[1] in changed_set})
+        with root.child("extract", sources=len(changed)) as span:
+            outcome = self.manager.extract(list(mat.required), span=span,
+                                           schema=delta_schema)
+        result.extracted_sources = sorted(outcome.per_source_seconds)
+        with root.child("generate"):
+            generation = self.generator.generate(outcome, mat.class_name)
+
+        by_source: dict[str, list[AssembledEntity]] = {}
+        for entity in generation.entities:
+            by_source.setdefault(entity.source_id, []).append(entity)
+        failed = {problem.source_id for problem in outcome.problems}
+
+        with root.child("store") as span:
+            for source_id in changed:
+                if source_id in failed and source_id not in by_source:
+                    # Total failure of this source's delta extraction.
+                    if (self.store.policy.keep_last_known_good
+                            and source_id in mat.slices):
+                        self.store.mark_slice_stale(key, source_id)
+                        result.kept_stale.append(source_id)
+                    else:
+                        self.store.tombstone(key, source_id)
+                        result.removed.append(source_id)
+                    continue
+                if source_id in failed:
+                    # Partial answer: store it but flag the slice.
+                    self.store.upsert(key, source_id,
+                                      by_source.get(source_id, []),
+                                      fingerprint=None, stale=True)
+                    result.kept_stale.append(source_id)
+                    continue
+                self.store.upsert(key, source_id,
+                                  by_source.get(source_id, []),
+                                  fingerprint=fingerprints.get(source_id))
+                result.refreshed.append(source_id)
+            span.annotate(store="upsert", refreshed=len(result.refreshed))
+        upserted = [source_id for source_id in changed
+                    if source_id not in failed or source_id in by_source]
+        self.store.replace_errors(key, list(generation.errors.entries),
+                                  for_sources=upserted)
+
+    # -- helpers -------------------------------------------------------
+
+    def _fingerprint(self, source_id: str) -> str | None:
+        try:
+            source = self.manager.sources.get(source_id)
+        except S2SError:
+            return None
+        return fingerprint_source(source)
+
+    def _observe(self, result: RefreshResult) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.histogram(
+            "store_refresh_seconds",
+            "wall-clock time of one materialization refresh").observe(
+                result.elapsed_seconds)
+        self.metrics.counter(
+            "store_refreshes_total",
+            "materialization refresh runs").inc()
+        if result.kept_stale:
+            self.metrics.counter(
+                "store_kept_stale_total",
+                "sources kept serving last-known-good data").inc(
+                    len(result.kept_stale))

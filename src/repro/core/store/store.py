@@ -1,0 +1,558 @@
+"""The materialized semantic store — the serving layer over the pipeline.
+
+The paper's end product is "semantic knowledge": OWL instances compiled
+by the Instance Generator.  The :class:`SemanticStore` materializes those
+instances ahead of query time, so repeat queries are answered from the
+store instead of re-extracting every source (the standard move in
+ontology-based integration systems; see docs/store.md).
+
+Design points:
+
+* **Unmerged, per-source storage.**  A materialization keeps one
+  :class:`SourceSlice` per data source holding that source's assembled
+  entities *before* any ``merge_key`` deduplication.  Per-source
+  generation is deterministic and independent, so concatenating the
+  slices in sorted-source order and applying the Instance Generator's
+  merge at serve time reproduces a live query's answer exactly — for
+  any merge key, not just the one used when the store was filled.
+
+* **Pristine copies.**  Entities are cloned on the way in (``fold`` /
+  ``upsert``) and on the way out (``serve``), because downstream merge
+  and condition filtering mutate entities in place.
+
+* **A queryable RDF graph.**  Every stored entity's triples live in
+  ``self.graph`` (plus per-entity provenance: source, record index,
+  entity class under the ``store:`` vocabulary), kept coherent through
+  per-triple reference counts — identifiers are shared between
+  materializations, so a subject's triples are only removed when its
+  last owner releases them.  ``S2SMiddleware.sparql`` runs against this
+  graph.
+
+* **Generation coherence.**  ``bump_generation()`` mirrors
+  :meth:`~repro.core.extractor.cache.FragmentCache.bump_generation`:
+  a mapping reload drops every materialization, so a stale post-reload
+  store is never served.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ...clock import Clock, SystemClock
+from ...errors import S2SError
+from ...ids import AttributePath
+from ...obs import NULL_SPAN, MetricsRegistry
+from ...rdf.graph import Graph
+from ...rdf.namespace import RDF, Namespace
+from ...rdf.ntriples import serialize_ntriples
+from ...rdf.terms import Literal, Triple, python_to_literal
+from ...rdf.turtle import serialize_turtle
+from ..instances.assembly import AssembledEntity
+from ..instances.errors import ErrorEntry, ErrorReport
+from .refresh import RefreshPolicy
+
+#: Provenance vocabulary for stored entities.
+STORE = Namespace("http://example.org/s2s/store#")
+
+#: Default namespace entity triples are minted in (the demo ontology's).
+DEFAULT_ENTITY_NAMESPACE = "http://example.org/s2s/ontology#"
+
+#: A materialization's identity: (query class, required attribute ids).
+StoreKey = tuple[str, frozenset[str]]
+
+
+@dataclass
+class SourceSlice:
+    """One source's stored (unmerged) entities for one materialization.
+
+    ``fingerprint`` is the source's content hash at extraction time
+    (None = unfingerprintable, treated as changed on refresh); ``stale``
+    marks last-known-good data kept after the source started failing."""
+
+    source_id: str
+    entities: list[AssembledEntity] = field(default_factory=list)
+    fingerprint: str | None = None
+    stale: bool = False
+
+
+@dataclass
+class Materialization:
+    """Everything stored for one (query class, attribute set)."""
+
+    class_name: str
+    attribute_ids: frozenset[str]
+    required: list[AttributePath]
+    slices: dict[str, SourceSlice] = field(default_factory=dict)
+    errors: list[ErrorEntry] = field(default_factory=list)
+    materialized_at: float = 0.0
+    generation: int = 0
+    expired: bool = False
+
+    @property
+    def key(self) -> StoreKey:
+        return (self.class_name, self.attribute_ids)
+
+    def entity_count(self) -> int:
+        """Total stored entities across all slices."""
+        return sum(len(slice_.entities) for slice_ in self.slices.values())
+
+    def stale_sources(self) -> list[str]:
+        """Sources currently serving last-known-good data, sorted."""
+        return sorted(source_id for source_id, slice_ in self.slices.items()
+                      if slice_.stale)
+
+
+@dataclass
+class StoreServing:
+    """What :meth:`SemanticStore.serve` hands the query executor."""
+
+    entities: list[AssembledEntity]
+    errors: ErrorReport
+    stale: bool = False
+    stale_sources: list[str] = field(default_factory=list)
+
+
+class SemanticStore:
+    """Materialized, incrementally-refreshed instance store.
+
+    Thread-safe: the query scheduler's workers may serve, fold and
+    refresh concurrently."""
+
+    def __init__(self, *, policy: RefreshPolicy | None = None,
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 namespace: str = DEFAULT_ENTITY_NAMESPACE) -> None:
+        self.policy = policy or RefreshPolicy()
+        self.clock = clock or SystemClock()
+        self.metrics = metrics
+        self.namespace = Namespace(namespace)
+        self.graph = Graph()
+        self.graph.namespace_manager.bind("s2s", self.namespace)
+        self.graph.namespace_manager.bind("store", STORE)
+        self.generation = 0
+        self._materializations: dict[StoreKey, Materialization] = {}
+        self._triple_refs: dict[Triple, int] = {}
+        self._refreshing: set[StoreKey] = set()
+        self._lock = threading.RLock()
+
+    # -- identity ------------------------------------------------------
+
+    @staticmethod
+    def key_for(plan) -> StoreKey:
+        """The store key of one query plan: (class, attribute-id set).
+
+        Keying on the *attribute set* (not just the class) keeps two
+        queries with different required attributes — e.g. one whose
+        condition pulls in an attribute outside the class closure —
+        from serving each other's materializations."""
+        return (plan.class_name,
+                frozenset(str(path) for path in plan.required_attributes))
+
+    def lookup(self, plan) -> Materialization | None:
+        """The materialization answering ``plan``, fresh or not."""
+        with self._lock:
+            return self._materializations.get(self.key_for(plan))
+
+    def materializations(self) -> list[Materialization]:
+        """All current materializations (stable order by key)."""
+        with self._lock:
+            return [self._materializations[key]
+                    for key in sorted(self._materializations,
+                                      key=lambda k: (k[0], sorted(k[1])))]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._materializations)
+
+    # -- refresh bookkeeping -------------------------------------------
+
+    def begin_refresh(self, key: StoreKey) -> None:
+        """Mark a refresh in flight (stale serving may continue)."""
+        with self._lock:
+            self._refreshing.add(key)
+
+    def end_refresh(self, key: StoreKey) -> None:
+        """Clear the in-flight mark."""
+        with self._lock:
+            self._refreshing.discard(key)
+
+    def refreshing(self, key: StoreKey) -> bool:
+        """Whether a refresh of ``key`` is currently in flight."""
+        with self._lock:
+            return key in self._refreshing
+
+    # -- serving -------------------------------------------------------
+
+    def _stale(self, mat: Materialization) -> bool:
+        age = self.clock.monotonic() - mat.materialized_at
+        return mat.expired or self.policy.is_stale(age)
+
+    def servable(self, plan) -> bool:
+        """Whether :meth:`serve` would answer ``plan`` right now
+        (without the cloning cost and without touching metrics)."""
+        with self._lock:
+            mat = self._materializations.get(self.key_for(plan))
+            if mat is None:
+                return False
+            if not self._stale(mat):
+                return True
+            return (self.refreshing(mat.key)
+                    and self.policy.serve_stale_while_refreshing)
+
+    def serve(self, plan, *, span=NULL_SPAN) -> StoreServing | None:
+        """Answer ``plan`` from the store, or None to fall through live.
+
+        A fresh materialization is always served.  A stale one is served
+        only while a refresh is in flight (and the policy allows it) —
+        otherwise the caller runs live extraction, whose fold replaces
+        the stale snapshot."""
+        with self._lock:
+            mat = self._materializations.get(self.key_for(plan))
+            if mat is None:
+                span.annotate(store="miss")
+                self._count("store_misses_total",
+                            "queries the store could not answer",
+                            reason="unmaterialized")
+                return None
+            ttl_stale = self._stale(mat)
+            if ttl_stale and not (self.refreshing(mat.key)
+                                  and self.policy.serve_stale_while_refreshing):
+                span.annotate(store="stale")
+                self._count("store_misses_total",
+                            "queries the store could not answer",
+                            reason="stale")
+                return None
+            entities: list[AssembledEntity] = []
+            for source_id in sorted(mat.slices):
+                entities.extend(entity.clone()
+                                for entity in mat.slices[source_id].entities)
+            stale_sources = mat.stale_sources()
+            stale = ttl_stale or bool(stale_sources)
+            span.annotate(store="hit", entities=len(entities), stale=stale)
+            self._count("store_hits_total",
+                        "queries answered from the semantic store")
+            if stale:
+                self._count("stale_served_total",
+                            "queries answered with stale store data")
+            return StoreServing(entities, ErrorReport(list(mat.errors)),
+                                stale, stale_sources)
+
+    # -- filling -------------------------------------------------------
+
+    def fold(self, plan, outcome, generation, sources,
+             *, span=NULL_SPAN) -> int:
+        """Write-through from a live query: materialize its (unmerged)
+        generation result.  Returns the number of source slices stored.
+
+        Degraded outcomes (extraction problems) are *not* folded — the
+        store only materializes complete answers; per-source failure
+        handling with last-known-good data is the delta refresher's
+        job.  ``sources`` is the data-source repository, used to stamp
+        each slice with its content fingerprint."""
+        if outcome.problems:
+            span.annotate(store="fold-skipped",
+                          problems=len(outcome.problems))
+            return 0
+        by_source: dict[str, list[AssembledEntity]] = {}
+        for entity in generation.entities:
+            by_source.setdefault(entity.source_id, []).append(entity)
+        with self._lock:
+            key = self.key_for(plan)
+            old = self._materializations.pop(key, None)
+            if old is not None:
+                self._release_materialization(old)
+            mat = Materialization(
+                plan.class_name, key[1], list(plan.required_attributes),
+                errors=list(generation.errors.entries),
+                materialized_at=self.clock.monotonic(),
+                generation=self.generation)
+            # Every attempted source gets a slice — an extracted-empty
+            # source is knowledge too ("no records" served from the
+            # store instead of re-asking).
+            for source_id in sorted(outcome.per_source_seconds):
+                clones = [entity.clone()
+                          for entity in by_source.get(source_id, [])]
+                slice_ = SourceSlice(source_id, clones,
+                                     self._fingerprint(sources, source_id))
+                mat.slices[source_id] = slice_
+                for entity in clones:
+                    self._add_entity(mat.class_name, entity)
+            self._materializations[key] = mat
+            span.annotate(store="fold", sources=len(mat.slices),
+                          entities=mat.entity_count())
+            self._count("store_folds_total",
+                        "live query results folded into the store")
+            return len(mat.slices)
+
+    def _fingerprint(self, sources, source_id: str) -> str | None:
+        from .snapshot import fingerprint_source
+        try:
+            source = sources.get(source_id)
+        except S2SError:
+            return None
+        return fingerprint_source(source)
+
+    # -- incremental maintenance ---------------------------------------
+
+    def _require(self, key: StoreKey) -> Materialization:
+        mat = self._materializations.get(key)
+        if mat is None:
+            raise S2SError(f"no materialization for {key[0]!r} with "
+                           f"{len(key[1])} attributes")
+        return mat
+
+    def upsert(self, key: StoreKey, source_id: str,
+               entities: list[AssembledEntity], *,
+               fingerprint: str | None = None,
+               merge_key: list[str] | None = None,
+               stale: bool = False) -> int:
+        """Replace-or-merge one source's slice; returns entities stored.
+
+        With ``merge_key=None`` (the delta refresher's mode) the whole
+        slice is replaced — records that disappeared from the source are
+        tombstoned implicitly.  With a merge key, incoming entities
+        whose key values match a stored entity replace it in place and
+        the rest append, leaving unmatched stored records alone."""
+        with self._lock:
+            mat = self._require(key)
+            slice_ = mat.slices.get(source_id)
+            clones = [entity.clone() for entity in entities]
+            if slice_ is None or merge_key is None:
+                if slice_ is not None:
+                    self._release_slice(mat.class_name, slice_)
+                mat.slices[source_id] = SourceSlice(source_id, clones,
+                                                    fingerprint, stale)
+                for entity in clones:
+                    self._add_entity(mat.class_name, entity)
+                return len(clones)
+
+            def key_of(entity: AssembledEntity) -> tuple:
+                return tuple(entity.value(attribute)
+                             for attribute in merge_key)
+
+            positions = {key_of(entity): index
+                         for index, entity in enumerate(slice_.entities)}
+            for clone in clones:
+                values = key_of(clone)
+                position = (positions.get(values)
+                            if None not in values else None)
+                if position is not None:
+                    self._release_entity(mat.class_name,
+                                         slice_.entities[position])
+                    slice_.entities[position] = clone
+                else:
+                    positions[values] = len(slice_.entities)
+                    slice_.entities.append(clone)
+                self._add_entity(mat.class_name, clone)
+            slice_.fingerprint = fingerprint
+            slice_.stale = stale
+            return len(clones)
+
+    def tombstone(self, key: StoreKey, source_id: str) -> int:
+        """Delete one source's slice (entities, triples, error entries);
+        returns the number of entities removed."""
+        with self._lock:
+            mat = self._require(key)
+            slice_ = mat.slices.pop(source_id, None)
+            if slice_ is None:
+                return 0
+            self._release_slice(mat.class_name, slice_)
+            mat.errors = [entry for entry in mat.errors
+                          if entry.source_id != source_id]
+            return len(slice_.entities)
+
+    def mark_slice_stale(self, key: StoreKey, source_id: str,
+                         stale: bool = True) -> None:
+        """Flag one source's slice as last-known-good (or clear it)."""
+        with self._lock:
+            mat = self._require(key)
+            slice_ = mat.slices.get(source_id)
+            if slice_ is not None:
+                slice_.stale = stale
+
+    def touch(self, key: StoreKey) -> None:
+        """Re-stamp a materialization as fresh (after a refresh)."""
+        with self._lock:
+            mat = self._require(key)
+            mat.materialized_at = self.clock.monotonic()
+            mat.expired = False
+
+    def replace_errors(self, key: StoreKey, entries: list[ErrorEntry],
+                       *, for_sources: list[str]) -> None:
+        """Swap the error entries belonging to the refreshed sources
+        (and the source-less global entries) for the new generation's."""
+        with self._lock:
+            mat = self._require(key)
+            targeted = set(for_sources)
+            kept = [entry for entry in mat.errors
+                    if entry.source_id is not None
+                    and entry.source_id not in targeted]
+            fresh = [entry for entry in entries
+                     if entry.source_id is None
+                     or entry.source_id in targeted]
+            mat.errors = kept + fresh
+
+    # -- invalidation --------------------------------------------------
+
+    def mark_stale(self, source_id: str | None = None) -> int:
+        """Force-expire materializations so the next query goes live.
+
+        ``source_id`` limits the expiry to materializations holding that
+        source (the ``invalidate_cache`` integration: the caller knows
+        that source's data changed); None expires everything.  Returns
+        the number of materializations expired."""
+        with self._lock:
+            expired = 0
+            for mat in self._materializations.values():
+                if source_id is None or source_id in mat.slices:
+                    mat.expired = True
+                    expired += 1
+            return expired
+
+    def bump_generation(self) -> int:
+        """Mapping-reload coherence, mirroring FragmentCache: drop every
+        materialization and start a new generation, so instances built
+        against the old mapping are never served after a reload."""
+        with self._lock:
+            for mat in self._materializations.values():
+                self._release_materialization(mat)
+            self._materializations.clear()
+            self._refreshing.clear()
+            self.graph.clear()
+            self._triple_refs.clear()
+            self.generation += 1
+            return self.generation
+
+    def reset(self, *, generation: int = 0) -> None:
+        """Drop everything and set an explicit generation (warm load)."""
+        with self._lock:
+            self.bump_generation()
+            self.generation = generation
+
+    def adopt(self, mat: Materialization) -> None:
+        """Install a fully-built materialization (the warm-load path),
+        indexing its entities into the graph."""
+        with self._lock:
+            old = self._materializations.pop(mat.key, None)
+            if old is not None:
+                self._release_materialization(old)
+            mat.generation = self.generation
+            self._materializations[mat.key] = mat
+            for slice_ in mat.slices.values():
+                for entity in slice_.entities:
+                    self._add_entity(mat.class_name, entity)
+
+    # -- provenance / introspection ------------------------------------
+
+    def entities_for_source(self, source_id: str) -> list[AssembledEntity]:
+        """Clones of every stored entity extracted from one source."""
+        with self._lock:
+            found: list[AssembledEntity] = []
+            for mat in self._materializations.values():
+                slice_ = mat.slices.get(source_id)
+                if slice_ is not None:
+                    found.extend(entity.clone()
+                                 for entity in slice_.entities)
+            return found
+
+    def status(self) -> list[dict]:
+        """One summary dict per materialization (for CLI / monitoring)."""
+        with self._lock:
+            now = self.clock.monotonic()
+            rows = []
+            for mat in self.materializations():
+                age = now - mat.materialized_at
+                rows.append({
+                    "class": mat.class_name,
+                    "attributes": len(mat.attribute_ids),
+                    "sources": sorted(mat.slices),
+                    "entities": mat.entity_count(),
+                    "age_seconds": max(age, 0.0),
+                    "fresh": not self._stale(mat),
+                    "refreshing": mat.key in self._refreshing,
+                    "stale_sources": mat.stale_sources(),
+                    "generation": mat.generation,
+                })
+            return rows
+
+    def export(self, format: str = "turtle") -> str:
+        """Serialize the store graph (``turtle`` or ``ntriples``)."""
+        with self._lock:
+            if format == "turtle":
+                return serialize_turtle(self.graph)
+            if format == "ntriples":
+                return serialize_ntriples(self.graph)
+            raise S2SError(f"unknown store export format {format!r}; "
+                           f"expected 'turtle' or 'ntriples'")
+
+    def save(self, directory: str, *, format: str = "turtle") -> str:
+        """Persist to ``directory``; see :func:`snapshot.save_store`."""
+        from .snapshot import save_store
+        with self._lock:
+            return save_store(self, directory, format=format)
+
+    def load(self, directory: str) -> int:
+        """Warm-restart from ``directory``; see :func:`snapshot.load_store`."""
+        from .snapshot import load_store
+        with self._lock:
+            return load_store(self, directory)
+
+    # -- graph maintenance ---------------------------------------------
+
+    def _entity_triples(self, class_name: str, entity: AssembledEntity):
+        for individual in entity.all_individuals():
+            subject = self.namespace[individual.identifier]
+            yield Triple(subject, RDF.type,
+                         self.namespace[individual.class_name])
+            for name, value in individual.values.items():
+                items = value if isinstance(value, list) else [value]
+                for item in items:
+                    yield Triple(subject, self.namespace[name],
+                                 python_to_literal(item))
+            for name, targets in individual.links.items():
+                for target in targets:
+                    yield Triple(subject, self.namespace[name],
+                                 self.namespace[target.identifier])
+        primary = self.namespace[entity.primary.identifier]
+        yield Triple(primary, STORE.source, Literal(entity.source_id))
+        yield Triple(primary, STORE.recordIndex,
+                     python_to_literal(entity.record_index))
+        yield Triple(primary, STORE.entityClass, Literal(class_name))
+
+    def _add_entity(self, class_name: str, entity: AssembledEntity) -> None:
+        for triple in self._entity_triples(class_name, entity):
+            self._triple_refs[triple] = self._triple_refs.get(triple, 0) + 1
+            self.graph.add_triple(triple)
+
+    def _release_entity(self, class_name: str,
+                        entity: AssembledEntity) -> None:
+        for triple in self._entity_triples(class_name, entity):
+            count = self._triple_refs.get(triple, 0) - 1
+            if count <= 0:
+                self._triple_refs.pop(triple, None)
+                self.graph.remove(triple.subject, triple.predicate,
+                                  triple.object)
+            else:
+                self._triple_refs[triple] = count
+
+    def _release_slice(self, class_name: str, slice_: SourceSlice) -> None:
+        for entity in slice_.entities:
+            self._release_entity(class_name, entity)
+
+    def _release_materialization(self, mat: Materialization) -> None:
+        for slice_ in mat.slices.values():
+            self._release_slice(mat.class_name, slice_)
+
+    # -- metrics -------------------------------------------------------
+
+    def _count(self, name: str, help_text: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help_text).inc(**labels)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"SemanticStore(materializations="
+                    f"{len(self._materializations)}, "
+                    f"triples={len(self.graph)}, "
+                    f"generation={self.generation})")

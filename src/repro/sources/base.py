@@ -10,9 +10,24 @@ location, login, password, and driver type".
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
 
 from ..errors import S2SError
+
+
+def stable_digest(*parts: str) -> str:
+    """A sha256 hex digest over ``parts`` with unambiguous framing.
+
+    Shared by the connectors' ``content_fingerprint`` implementations;
+    length-prefixed so ``("ab", "c")`` and ``("a", "bc")`` differ."""
+    digest = hashlib.sha256()
+    for part in parts:
+        encoded = part.encode("utf-8")
+        digest.update(str(len(encoded)).encode("ascii"))
+        digest.update(b":")
+        digest.update(encoded)
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -89,6 +104,19 @@ class DataSource(abc.ABC):
     @abc.abstractmethod
     def connection_info(self) -> ConnectionInfo:
         """The registry-persistable connection description of this source."""
+
+    def content_fingerprint(self) -> str | None:
+        """A stable hash of the source's observable content, or None.
+
+        The semantic store's delta refresher compares fingerprints
+        taken at materialization time against current ones to decide
+        which sources need re-extraction.  ``None`` means "cannot
+        observe" and is treated as *changed* — a connector that cannot
+        fingerprint is simply always re-extracted, never wrongly
+        skipped.  Implementations must not count as an access in any
+        instrumentation the source keeps (a fingerprint probe is not a
+        data fetch)."""
+        return None
 
     def describe(self) -> str:
         """Human-readable one-line description."""

@@ -146,6 +146,14 @@ class FlakySource(DataSource):
             raise self.error_factory(reason)
         return self.inner.execute_rule(rule)
 
+    def content_fingerprint(self) -> str | None:
+        """Forwarded from the wrapped source.
+
+        Deliberately not fault-injected: a fingerprint probe models a
+        cheap metadata check, and change detection failing open (None →
+        treated as changed) is already the safe default."""
+        return self.inner.content_fingerprint()
+
     def connection_info(self) -> ConnectionInfo:
         """Forwarded from the wrapped source."""
         return self.inner.connection_info()

@@ -10,7 +10,7 @@ unreachable remote system (used by failure-injection tests).
 from __future__ import annotations
 
 from ...errors import ExtractionError, S2SError
-from ..base import ConnectionInfo, DataSource
+from ..base import ConnectionInfo, DataSource, stable_digest
 from .database import Database
 
 
@@ -62,6 +62,17 @@ class RelationalDataSource(DataSource):
                 f"{result.columns}", source_id=self.source_id)
         return ["" if value is None else str(value)
                 for value in result.scalars()]
+
+    def content_fingerprint(self) -> str | None:
+        """Hash of the whole catalog: table schemas plus row data."""
+        parts: list[str] = []
+        for table_name in self.database.table_names():
+            table = self.database.require_table(table_name)
+            parts.append(table_name)
+            parts.extend(f"{column.name}:{column.type}"
+                         for column in table.columns)
+            parts.extend(repr(row) for row in table.rows)
+        return stable_digest(*parts)
 
     def connection_info(self) -> ConnectionInfo:
         """The paper's database fields: location/login/password/driver."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 import re
 
 from ...errors import ExtractionError
-from ..base import ConnectionInfo, DataSource
+from ..base import ConnectionInfo, DataSource, stable_digest
 from .store import TextFileStore
 
 _FILE_PREFIX = "file:"
@@ -63,6 +63,14 @@ class TextDataSource(DataSource):
             else:
                 records.append(match.group(0).strip())
         return records
+
+    def content_fingerprint(self) -> str | None:
+        """Hash of every stored file's contents."""
+        parts: list[str] = []
+        for path in self.store.paths():
+            parts.append(path)
+            parts.append(self.store.read(path))
+        return stable_digest(*parts)
 
     def connection_info(self) -> ConnectionInfo:
         """Registry-persistable connection description."""

@@ -88,6 +88,17 @@ class SimulatedWeb:
             time.sleep(self.latency_seconds)
         return html
 
+    def peek(self, url: str) -> str | None:
+        """The page body without counting a fetch or simulating latency.
+
+        The semantic store's change detection hashes page content; a
+        fingerprint probe must not perturb fetch counters (experiments
+        assert on them) nor pay simulated network latency.  Returns
+        None for unregistered URLs."""
+        with self._lock:
+            page = self._pages.get(self._normalize(url))
+            return None if page is None else page.html
+
     def has(self, url: str) -> bool:
         """Whether a page is registered at ``url``."""
         return self._normalize(url) in self._pages

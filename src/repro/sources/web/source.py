@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ...errors import ExtractionError, WeblError
 from ...webl.interpreter import WeblInterpreter
-from ..base import ConnectionInfo, DataSource
+from ..base import ConnectionInfo, DataSource, stable_digest
 from .site import SimulatedWeb
 
 
@@ -69,6 +69,13 @@ class WebDataSource(DataSource):
         if isinstance(value, float) and value.is_integer():
             return str(int(value))
         return str(value)
+
+    def content_fingerprint(self) -> str | None:
+        """Hash of the page body, read without counting a fetch."""
+        html = self.web.peek(self.url)
+        if html is None:
+            return None
+        return stable_digest(self.url, html)
 
     def connection_info(self) -> ConnectionInfo:
         """The page URL (all a web source needs, per the paper)."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ...errors import ExtractionError
 from ...xmlkit import XPath
 from ...xmlkit.xquery import XQuery, is_flwor
-from ..base import ConnectionInfo, DataSource
+from ..base import ConnectionInfo, DataSource, stable_digest
 from .store import XmlDocumentStore
 
 _DOC_PREFIX = "doc:"
@@ -71,6 +71,14 @@ class XmlDataSource(DataSource):
         else:
             values = compiled.values(document)
         return [value.strip() for value in values]
+
+    def content_fingerprint(self) -> str | None:
+        """Hash of every stored document's serialized XML."""
+        parts: list[str] = []
+        for name in self.store.names():
+            parts.append(name)
+            parts.append(self.store.export(name))
+        return stable_digest(*parts)
 
     def connection_info(self) -> ConnectionInfo:
         """Registry-persistable connection description."""
