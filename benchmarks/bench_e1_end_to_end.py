@@ -72,7 +72,7 @@ def test_e1_parallel_and_cache_ablation():
     scenario = B2BScenario(n_sources=8, n_products=24,
                            source_mix=("webpage",), web_latency=0.005)
     serial = scenario.build_middleware()
-    parallel = scenario.build_middleware(parallel=True)
+    parallel = scenario.build_middleware(concurrency="thread")
     cached = scenario.build_middleware(cache_extractions=True)
 
     serial_time = measure(lambda: serial.extract_all(), repeats=3)

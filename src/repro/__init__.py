@@ -18,13 +18,16 @@ Public entry points:
 from .core.mapping.rules import ExtractionRule
 from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
                               xpath_rule)
+from .core.resilience import ConcurrencyConfig, ResilienceConfig
 from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "S2SMiddleware",
     "ExtractionRule",
+    "ConcurrencyConfig",
+    "ResilienceConfig",
     "MetricsRegistry",
     "Trace",
     "Tracer",

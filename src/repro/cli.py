@@ -44,8 +44,13 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="heterogeneity level (default full)")
     parser.add_argument("--seed", type=int, default=7,
                         help="world seed (default 7)")
+    parser.add_argument("--concurrency",
+                        choices=("serial", "thread", "asyncio"),
+                        default=None,
+                        help="extraction engine: serial (default), a "
+                             "thread pool, or the asyncio engine")
     parser.add_argument("--parallel", action="store_true",
-                        help="extract sources concurrently")
+                        help="deprecated alias of --concurrency thread")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,14 +63,19 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
 def _build(args: argparse.Namespace, *, store: bool = False):
     from dataclasses import replace as _replace
 
-    from .core.resilience import ResilienceConfig
+    from .core.resilience import ConcurrencyConfig, ResilienceConfig
     from .obs import MetricsRegistry, Tracer
 
     scenario = B2BScenario(n_sources=args.sources, n_products=args.products,
                            conflicts=_CONFLICT_LEVELS[args.conflicts],
                            seed=args.seed)
+    mode = args.concurrency
+    if mode is None:
+        # --parallel predates --concurrency; honor it quietly here (the
+        # library-level kwargs are where the DeprecationWarning lives).
+        mode = "thread" if args.parallel else "serial"
     resilience = _replace(ResilienceConfig.conservative(),
-                          parallel=args.parallel)
+                          concurrency=ConcurrencyConfig(mode=mode))
     tracer = Tracer() if getattr(args, "trace", False) else None
     middleware = scenario.build_middleware(resilience=resilience,
                                            tracer=tracer,

@@ -11,6 +11,7 @@ and the resilience test suite fast and reproducible.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 
@@ -26,6 +27,16 @@ class Clock:
         """Block for ``seconds`` (no-op for non-positive values)."""
         raise NotImplementedError
 
+    async def sleep_async(self, seconds: float) -> None:
+        """Wait ``seconds`` without blocking the event loop.
+
+        The asyncio extraction engine awaits this for backoff delays and
+        injected source latency.  The default runs the synchronous
+        :meth:`sleep` in a worker thread, which is correct for any
+        subclass; :class:`SystemClock` and :class:`FakeClock` override it
+        with cheaper native behaviour."""
+        await asyncio.to_thread(self.sleep, seconds)
+
 
 class SystemClock(Clock):
     """The real wall clock: ``time.monotonic`` + ``time.sleep``."""
@@ -36,6 +47,10 @@ class SystemClock(Clock):
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+
+    async def sleep_async(self, seconds: float) -> None:
+        if seconds > 0:
+            await asyncio.sleep(seconds)
 
 
 class FakeClock(Clock):
@@ -56,6 +71,15 @@ class FakeClock(Clock):
 
     def sleep(self, seconds: float) -> None:
         self.advance(seconds)
+
+    async def sleep_async(self, seconds: float) -> None:
+        """Advance fake time instantly, yielding once to the event loop.
+
+        The yield keeps concurrently gathered extraction tasks
+        interleaving the way a real sleep would, while the suite stays
+        sleep-free."""
+        self.advance(seconds)
+        await asyncio.sleep(0)
 
     def advance(self, seconds: float) -> None:
         """Move time forward (negative deltas are ignored)."""

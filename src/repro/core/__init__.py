@@ -15,7 +15,8 @@ Subpackages mirror the architecture of the paper's Figure 1:
 
 from .mapping.rules import ExtractionRule
 from .middleware import S2SMiddleware
+from .resilience import ConcurrencyConfig, ResilienceConfig
 from .store import RefreshPolicy, SemanticStore
 
-__all__ = ["S2SMiddleware", "ExtractionRule", "RefreshPolicy",
-           "SemanticStore"]
+__all__ = ["S2SMiddleware", "ExtractionRule", "ConcurrencyConfig",
+           "ResilienceConfig", "RefreshPolicy", "SemanticStore"]

@@ -17,6 +17,7 @@ in the middleware core changes (claim C4 in DESIGN.md).
 from __future__ import annotations
 
 import abc
+import asyncio
 
 from ...errors import ExtractionError, S2SError, TransientSourceError
 from ...sources.base import DataSource
@@ -46,6 +47,36 @@ class Extractor(abc.ABC):
         except (ExtractionError, TransientSourceError):
             # Transient errors keep their type so the manager's retry
             # policy can distinguish them from permanent failures.
+            raise
+        except S2SError as exc:
+            raise ExtractionError(
+                str(exc), attribute_id=entry.attribute_id,
+                source_id=source.source_id) from exc
+        values = self.transforms.apply(entry.rule.transform, values)
+        return RawFragment(entry.attribute, source.source_id, values)
+
+    async def aextract(self, source: DataSource,
+                       entry: MappingEntry) -> RawFragment:
+        """Async twin of :meth:`extract` for the asyncio engine.
+
+        Sources exposing an ``aexecute_rule`` coroutine (the
+        :class:`~repro.sources.base.AsyncDataSource` protocol) are
+        awaited natively, keeping the event loop free while they wait on
+        their transport; legacy sync connectors are the auto-adapted
+        path — the whole synchronous :meth:`extract` runs in a worker
+        thread.  Error classification and transform application are
+        identical on both paths."""
+        run_rule = getattr(source, "aexecute_rule", None)
+        if run_rule is None:
+            return await asyncio.to_thread(self.extract, source, entry)
+        if source.source_type != self.source_type:
+            raise ExtractionError(
+                f"{type(self).__name__} cannot extract from "
+                f"{source.source_type!r} source",
+                attribute_id=entry.attribute_id, source_id=source.source_id)
+        try:
+            values = await run_rule(entry.rule.code)
+        except (ExtractionError, TransientSourceError):
             raise
         except S2SError as exc:
             raise ExtractionError(

@@ -32,14 +32,18 @@ configured through one :class:`~repro.core.resilience.ResilienceConfig`):
   attached to every outcome so callers can distinguish a complete answer
   from a best-effort one.
 
-Two opt-in performance features (both ablated in experiment E1):
-``parallel=True`` (in the config) extracts sources concurrently with a
-thread pool, and ``cache=FragmentCache()`` reuses fragments across
-queries until explicitly invalidated.
+Two opt-in performance features (both ablated in experiment E1): a
+``thread``-mode :class:`~repro.core.resilience.ConcurrencyConfig`
+extracts sources concurrently with a thread pool (``asyncio`` mode
+selects the :class:`~repro.core.extractor.AsyncExtractorManager`
+subclass instead — see ``docs/async.md``), and ``cache=FragmentCache()``
+reuses fragments across queries until explicitly invalidated.
 """
 
 from __future__ import annotations
 
+import asyncio
+import logging
 import threading
 import time
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
@@ -64,6 +68,8 @@ from .schema import ExtractionSchema
 
 #: Anything span-shaped the instrumentation points accept.
 AnySpan = Span | NullSpan
+
+logger = logging.getLogger("repro.core.extractor")
 
 
 @dataclass
@@ -259,6 +265,30 @@ class ExtractorManager:
             self._record_outcome_metrics(outcome)
         return outcome
 
+    async def extract_async(self, required: list[AttributePath],
+                            *, deadline: Deadline | float | None = None,
+                            span: AnySpan = NULL_SPAN,
+                            schema: ExtractionSchema | None = None
+                            ) -> ExtractionOutcome:
+        """Awaitable :meth:`extract` — the hook ``aquery()`` rides on.
+
+        The base (serial / thread-pool) engine has no native async
+        implementation, so the whole synchronous extraction runs in a
+        worker thread, keeping the caller's event loop responsive while
+        producing byte-identical outcomes and span trees.  The
+        :class:`~repro.core.extractor.AsyncExtractorManager` subclass
+        overrides this with a true asyncio fan-out."""
+        return await asyncio.to_thread(
+            self.extract, required, deadline=deadline, span=span,
+            schema=schema)
+
+    def close(self) -> None:
+        """Release engine resources; a no-op for the thread engine.
+
+        The middleware calls this when a mapping reload replaces the
+        manager; the asyncio subclass uses it to stop its private event
+        loop."""
+
     def _record_outcome_metrics(self, outcome: ExtractionOutcome) -> None:
         metrics = self.metrics
         metrics.counter("extractions_total",
@@ -289,8 +319,32 @@ class ExtractorManager:
         sleeps are clamped to the remaining budget), so the outer wait
         timeout only matters when a connector blocks in foreign code —
         then the source is reported as timed out and its thread is
-        abandoned rather than joined."""
-        workers = self.config.max_workers or min(len(source_ids), 16)
+        abandoned rather than joined.
+
+        Pool sizing follows the concurrency config: an explicit
+        ``max_workers`` is honored exactly, ``0`` means one worker per
+        source (unbounded), and the adaptive default caps at
+        ``min(n_sources, 16)`` — when that default cap truncates the
+        fan-out, the truncation is logged, counted
+        (``fanout_capped_total``) and annotated on the span, so a
+        many-slow-sources workload silently queueing behind 16 threads
+        is visible (and steerable to ``asyncio`` mode, which has no
+        cap)."""
+        concurrency = self.config.concurrency
+        workers = concurrency.workers_for(len(source_ids))
+        if concurrency.caps_fanout(len(source_ids)):
+            span.annotate(fanout_capped=workers)
+            logger.warning(
+                "extraction fan-out truncated: %d sources queue behind "
+                "%d workers (set ConcurrencyConfig(max_workers=0) for "
+                "unbounded threads, or mode='asyncio' for uncapped "
+                "non-blocking fan-out)", len(source_ids), workers)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "fanout_capped_total",
+                    "extractions whose fan-out was truncated by the "
+                    "adaptive worker cap").inc(
+                        sources=str(len(source_ids)))
         pool = ThreadPoolExecutor(max_workers=workers)
         try:
             futures = {

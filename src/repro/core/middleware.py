@@ -28,6 +28,7 @@ dedicated :class:`~repro.obs.MetricsRegistry` is injected).
 from __future__ import annotations
 
 import warnings
+from dataclasses import replace
 from typing import Any
 
 from ..errors import S2SError
@@ -36,10 +37,12 @@ from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from ..ontology.model import Ontology
 from ..ontology.schema import OntologySchema
 from ..sources.base import DataSource
+from .extractor.async_manager import AsyncExtractorManager
 from .extractor.cache import FragmentCache
 from .extractor.extractors import Extractor, ExtractorRegistry
 from .extractor.manager import ExtractionOutcome, ExtractorManager
-from .resilience import (UNSET, ResilienceConfig, SourceHealth,
+from .resilience import (UNSET, ConcurrencyConfig, ResilienceConfig,
+                         SourceHealth, coerce_concurrency,
                          legacy_kwargs_to_config)
 from .instances.outputs import OUTPUT_FORMATS
 from .mapping.attributes import MappingEntry
@@ -98,6 +101,7 @@ class S2SMiddleware:
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  store: "SemanticStore | RefreshPolicy | bool | None" = None,
+                 concurrency: "ConcurrencyConfig | str | None" = None,
                  parallel: Any = UNSET, max_workers: Any = UNSET,
                  retries: Any = UNSET, retry_delay: Any = UNSET) -> None:
         self.ontology = ontology
@@ -115,6 +119,12 @@ class S2SMiddleware:
         self.resilience = legacy_kwargs_to_config(
             resilience, parallel=parallel, max_workers=max_workers,
             retries=retries, retry_delay=retry_delay, owner="S2SMiddleware")
+        concurrency_config = coerce_concurrency(concurrency)
+        if concurrency_config is not None:
+            # `concurrency=` is the one engine knob; it wins over whatever
+            # the resilience config (or a legacy kwarg) said.
+            self.resilience = replace(self.resilience,
+                                      concurrency=concurrency_config)
         self.store = self._build_store(store)
         self._rebuild()
 
@@ -154,13 +164,17 @@ class S2SMiddleware:
             # post-reload store must never be served (every slice was
             # generated against the old mapping).
             self.store.bump_generation()
-        self.manager = ExtractorManager(
+        manager_cls = (AsyncExtractorManager
+                       if self.resilience.concurrency.mode == "asyncio"
+                       else ExtractorManager)
+        self.manager = manager_cls(
             self.attribute_repository, self.source_repository,
             self.extractors, strict=self.strict_extraction, cache=self.cache,
             resilience=self.resilience, metrics=self._metrics)
         if previous is not None:
             self.manager.health.merge_from(previous.health)
             self.manager.retry_count = previous.retry_count
+            previous.close()  # stop a replaced asyncio engine's loop
         self.query_handler = QueryHandler(
             self.schema, self.manager,
             validate_instances=self.validate_instances,
@@ -222,8 +236,23 @@ class S2SMiddleware:
 
     def query(self, query: str, *,
               merge_key: list[str] | None = None) -> QueryResult:
-        """Execute an S2SQL query; the single point of entry."""
+        """Execute an S2SQL query; the single point of entry.
+
+        Blocking under every engine: with ``concurrency="asyncio"`` the
+        extraction fan-out runs as tasks on the engine's private event
+        loop while this call waits — traces, metrics, store behaviour
+        and results are identical to the thread engine's."""
         return self.query_handler.execute(query, merge_key=merge_key)
+
+    async def aquery(self, query: str, *,
+                     merge_key: list[str] | None = None) -> QueryResult:
+        """Awaitable :meth:`query` for callers on an event loop.
+
+        Same pipeline, same observability, same answers — extraction is
+        awaited natively under ``concurrency="asyncio"`` and runs in a
+        worker thread under the serial/thread engines, so the caller's
+        loop never blocks either way (see docs/async.md)."""
+        return await self.query_handler.aexecute(query, merge_key=merge_key)
 
     def query_many(self, queries: list[str], *,
                    merge_key: list[str] | None = None) -> list[QueryResult]:
@@ -234,6 +263,14 @@ class S2SMiddleware:
         visiting each data source once per batch instead of once per
         query (experiment E14; see docs/batching.md)."""
         return self.query_handler.execute_many(queries, merge_key=merge_key)
+
+    async def aquery_many(self, queries: list[str], *,
+                          merge_key: list[str] | None = None
+                          ) -> list[QueryResult]:
+        """Awaitable :meth:`query_many`: one shared scan per batch,
+        extraction awaited instead of blocking the caller's loop."""
+        return await self.query_handler.aexecute_many(queries,
+                                                      merge_key=merge_key)
 
     def scheduler(self, *, max_batch_size: int = 16,
                   max_workers: int = 2) -> QueryScheduler:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
+from typing import Any
 
 from ...errors import QueryError
 from ...obs import NULL_SPAN, MetricsRegistry, Trace, Tracer
@@ -109,6 +110,38 @@ class QueryResult:
         return check_consistency(self.entities, key, tolerance=tolerance)
 
 
+@dataclass
+class _PreparedQuery:
+    """Everything :meth:`QueryHandler.execute` does before extraction.
+
+    When the store already answered, ``result`` is the finished
+    :class:`QueryResult` and no extraction runs.  Shared by the sync and
+    async execution paths so they differ *only* in how the extraction
+    outcome is obtained."""
+
+    query: S2sqlQuery | None = None
+    plan: QueryPlan | None = None
+    root: Any = NULL_SPAN
+    tracer: Tracer | None = None
+    started: float = 0.0
+    result: QueryResult | None = None
+
+
+@dataclass
+class _PreparedBatch:
+    """Everything :meth:`QueryHandler.execute_many` does before the
+    shared scan; ``results`` short-circuits (empty batch or full store
+    serving)."""
+
+    parsed: list[S2sqlQuery] = field(default_factory=list)
+    batch: Any = None
+    schema: Any = None
+    root: Any = NULL_SPAN
+    tracer: Tracer | None = None
+    started: float = 0.0
+    results: list[QueryResult] | None = None
+
+
 class QueryHandler:
     """Executes S2SQL queries through the extraction pipeline.
 
@@ -142,13 +175,43 @@ class QueryHandler:
 
         ``tracer`` overrides the handler's installed tracer for this one
         call (``S2SMiddleware.explain`` uses this)."""
+        prep = self._prepare(query, merge_key, tracer)
+        if prep.result is not None:
+            return prep.result
+        with prep.root.child("extract") as span:
+            outcome = self.manager.extract(prep.plan.required_attributes,
+                                           span=span)
+        return self._finish_live(prep, outcome, merge_key)
+
+    async def aexecute(self, query: str | S2sqlQuery,
+                       *, merge_key: list[str] | None = None,
+                       tracer: Tracer | None = None) -> QueryResult:
+        """Awaitable :meth:`execute` for callers on an event loop.
+
+        Parsing, planning, store serving/folding, generation, filtering,
+        tracing and metrics are byte-for-byte the sync path's (shared
+        helpers); only the extraction outcome is awaited — natively
+        under the asyncio engine, in a worker thread otherwise."""
+        prep = self._prepare(query, merge_key, tracer)
+        if prep.result is not None:
+            return prep.result
+        with prep.root.child("extract") as span:
+            outcome = await self.manager.extract_async(
+                prep.plan.required_attributes, span=span)
+        return self._finish_live(prep, outcome, merge_key)
+
+    def _prepare(self, query: str | S2sqlQuery,
+                 merge_key: list[str] | None,
+                 tracer: Tracer | None) -> _PreparedQuery:
+        """Parse, plan and (when a store is installed) try to serve —
+        everything :meth:`execute` does before touching the extractor."""
         started = time.perf_counter()
         tracer = tracer or self.tracer
         text = query if isinstance(query, str) else str(query)
         root = (tracer.start("query", text=text)
                 if tracer is not None else NULL_SPAN)
 
-        with root.child("parse") as span:
+        with root.child("parse"):
             if isinstance(query, str):
                 query = parse_s2sql(query)
         with root.child("plan") as span:
@@ -156,18 +219,23 @@ class QueryHandler:
             span.annotate(query_class=plan.class_name,
                           attributes=len(plan.required_attributes),
                           conditions=len(plan.conditions))
+        prep = _PreparedQuery(query=query, plan=plan, root=root,
+                              tracer=tracer, started=started)
 
         if self.store is not None:
             with root.child("store") as span:
                 serving = self.store.serve(plan, span=span)
             if serving is not None:
-                return self._finish_store_hit(query, plan, serving,
-                                              merge_key, root, tracer,
-                                              started)
+                prep.result = self._finish_store_hit(
+                    query, plan, serving, merge_key, root, tracer, started)
+        return prep
 
-        with root.child("extract") as span:
-            outcome = self.manager.extract(plan.required_attributes,
-                                           span=span)
+    def _finish_live(self, prep: _PreparedQuery,
+                     outcome: ExtractionOutcome,
+                     merge_key: list[str] | None) -> QueryResult:
+        """Generate, fold, filter and record — everything after the
+        extraction outcome exists, shared by sync and async paths."""
+        query, plan, root = prep.query, prep.plan, prep.root
         with root.child("generate") as span:
             # With a store, generate unmerged so the fold keeps pristine
             # per-source entities; the query's merge applies afterwards.
@@ -194,9 +262,9 @@ class QueryHandler:
                              generation.errors,
                              extraction_seconds=outcome.elapsed_seconds,
                              extraction=outcome)
-        if tracer is not None:
-            result.trace = tracer.trace_of(root)
-        result.elapsed_seconds = time.perf_counter() - started
+        if prep.tracer is not None:
+            result.trace = prep.tracer.trace_of(root)
+        result.elapsed_seconds = time.perf_counter() - prep.started
         if self.metrics is not None:
             self._record_query_metrics(result)
         return result
@@ -242,19 +310,53 @@ class QueryHandler:
         alone; ``elapsed_seconds`` on each result is the *batch*
         wall-clock (the queries ran together), and all results share the
         batch's trace when a tracer is installed."""
+        prep = self._prepare_batch(queries, merge_key, tracer)
+        if prep.results is not None:
+            return prep.results
+        with prep.root.child("scan") as span:
+            span.annotate(attributes=len(prep.batch.shared_attributes),
+                          sources=len(prep.schema.source_ids()))
+            shared = self.manager.extract(prep.batch.shared_attributes,
+                                          span=span, schema=prep.schema)
+        return self._finish_batch(prep, shared, merge_key)
+
+    async def aexecute_many(self, queries: list[str | S2sqlQuery],
+                            *, merge_key: list[str] | None = None,
+                            tracer: Tracer | None = None
+                            ) -> list[QueryResult]:
+        """Awaitable :meth:`execute_many`: same single shared scan, same
+        planning/store/projection helpers, extraction awaited."""
+        prep = self._prepare_batch(queries, merge_key, tracer)
+        if prep.results is not None:
+            return prep.results
+        with prep.root.child("scan") as span:
+            span.annotate(attributes=len(prep.batch.shared_attributes),
+                          sources=len(prep.schema.source_ids()))
+            shared = await self.manager.extract_async(
+                prep.batch.shared_attributes, span=span, schema=prep.schema)
+        return self._finish_batch(prep, shared, merge_key)
+
+    def _prepare_batch(self, queries: list[str | S2sqlQuery],
+                       merge_key: list[str] | None,
+                       tracer: Tracer | None) -> _PreparedBatch:
+        """Parse + plan the batch and try the store — everything
+        :meth:`execute_many` does before the shared scan."""
+        prep = _PreparedBatch()
         if not queries:
-            return []
-        started = time.perf_counter()
-        tracer = tracer or self.tracer
-        root = (tracer.start("batch", queries=len(queries))
-                if tracer is not None else NULL_SPAN)
+            prep.results = []
+            return prep
+        prep.started = started = time.perf_counter()
+        prep.tracer = tracer = tracer or self.tracer
+        prep.root = root = (tracer.start("batch", queries=len(queries))
+                            if tracer is not None else NULL_SPAN)
 
         with root.child("parse"):
-            parsed = [query if isinstance(query, S2sqlQuery)
-                      else parse_s2sql(query) for query in queries]
+            prep.parsed = parsed = [query if isinstance(query, S2sqlQuery)
+                                    else parse_s2sql(query)
+                                    for query in queries]
         distinct = len({str(query) for query in parsed})
         with root.child("plan") as span:
-            batch = QueryBatch(self.planner).plan(parsed)
+            prep.batch = batch = QueryBatch(self.planner).plan(parsed)
             span.annotate(queries=len(batch), distinct=distinct,
                           shared_attributes=len(batch.shared_attributes),
                           amortization=round(batch.amortization, 3))
@@ -263,16 +365,20 @@ class QueryHandler:
             results = self._serve_batch_from_store(batch, parsed, merge_key,
                                                    root, tracer, started)
             if results is not None:
-                return results
+                prep.results = results
+                return prep
 
-        schema = self.manager.obtain_extraction_schema(
+        prep.schema = self.manager.obtain_extraction_schema(
             batch.shared_attributes)
-        with root.child("scan") as span:
-            span.annotate(attributes=len(batch.shared_attributes),
-                          sources=len(schema.source_ids()))
-            shared = self.manager.extract(batch.shared_attributes,
-                                          span=span, schema=schema)
+        return prep
 
+    def _finish_batch(self, prep: _PreparedBatch,
+                      shared: ExtractionOutcome,
+                      merge_key: list[str] | None) -> list[QueryResult]:
+        """Project the shared outcome onto every query — everything
+        after the scan, shared by sync and async paths."""
+        parsed, batch, schema = prep.parsed, prep.batch, prep.schema
+        root, tracer = prep.root, prep.tracer
         # Duplicate queries inside one batch (common under concurrent
         # traffic) are generated and filtered once; their results share
         # the first occurrence's entities.
@@ -317,7 +423,7 @@ class QueryHandler:
         root.finish()
 
         trace = tracer.trace_of(root) if tracer is not None else None
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - prep.started
         for result in results:
             result.trace = trace
             result.elapsed_seconds = elapsed

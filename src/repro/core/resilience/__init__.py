@@ -14,16 +14,21 @@ degrade gracefully instead of amplifying downstream flakiness:
 * :class:`SourceHealth` / :class:`SourceHealthRegistry` — the per-source
   ledger surfaced on ``ExtractionOutcome`` and ``QueryResult``;
 * :class:`ResilienceConfig` — the single knob object replacing the old
-  ``retries``/``retry_delay``/``parallel``/``max_workers`` kwargs.
+  ``retries``/``retry_delay``/``parallel``/``max_workers`` kwargs;
+* :class:`ConcurrencyConfig` — the fan-out engine selector
+  (``serial`` | ``thread`` | ``asyncio``) plus the thread-pool bound,
+  carried on :class:`ResilienceConfig`.
 
 See ``docs/resilience.md`` for the lifecycle diagrams and failover
-semantics.
+semantics, and ``docs/async.md`` for the asyncio engine.
 """
 
 from ...clock import Clock, FakeClock, SystemClock
 from .breaker import (CLOSED, HALF_OPEN, OPEN, BreakerPolicy, CircuitBreaker,
                       CircuitBreakerRegistry, TransitionListener)
-from .config import UNSET, ResilienceConfig, legacy_kwargs_to_config
+from .config import (DEFAULT_WORKER_CAP, UNSET, ConcurrencyConfig,
+                     ResilienceConfig, coerce_concurrency,
+                     legacy_kwargs_to_config)
 from .deadline import Deadline
 from .health import SourceHealth, SourceHealthRegistry
 from .retry import RetryBudget, RetryPolicy
@@ -32,8 +37,9 @@ __all__ = [
     "BreakerPolicy", "CircuitBreaker", "CircuitBreakerRegistry",
     "CLOSED", "OPEN", "HALF_OPEN",
     "Clock", "FakeClock", "SystemClock",
+    "ConcurrencyConfig", "DEFAULT_WORKER_CAP",
     "Deadline", "ResilienceConfig", "RetryBudget", "RetryPolicy",
     "SourceHealth", "SourceHealthRegistry",
     "TransitionListener",
-    "UNSET", "legacy_kwargs_to_config",
+    "UNSET", "coerce_concurrency", "legacy_kwargs_to_config",
 ]

@@ -6,6 +6,12 @@ behaviour (``retries``, ``retry_delay``, ``parallel``, ``max_workers``);
 caller can build once and share.  The old kwargs survive as a deprecated
 shim (see :func:`legacy_kwargs_to_config`) with their exact seed-era
 semantics.
+
+Fan-out shape is its own sub-config since the asyncio engine landed:
+:class:`ConcurrencyConfig` names the engine (``serial`` | ``thread`` |
+``asyncio``) and the thread pool bound in one frozen value, replacing
+the scattered ``parallel=``/``max_workers=`` pair (which remain as
+DeprecationWarning shims on :class:`ResilienceConfig` itself).
 """
 
 from __future__ import annotations
@@ -21,31 +27,157 @@ from .retry import RetryPolicy
 #: Sentinel distinguishing "not passed" from any real value.
 UNSET: Any = object()
 
+#: Fan-out engines ConcurrencyConfig.mode accepts.
+CONCURRENCY_MODES = ("serial", "thread", "asyncio")
+
+#: Default thread-pool cap when ``max_workers`` is left adaptive: the
+#: pool is bounded by ``min(n_sources, DEFAULT_WORKER_CAP)``.
+DEFAULT_WORKER_CAP = 16
+
+
+@dataclass(frozen=True)
+class ConcurrencyConfig:
+    """How the Extractor Manager fans extraction out across sources.
+
+    ``mode`` selects the engine:
+
+    * ``"serial"`` — one source after another (the seed's default);
+    * ``"thread"`` — a thread pool, one worker per source up to the
+      worker bound;
+    * ``"asyncio"`` — the async engine: every source is a task on one
+      event loop, with no worker cap at all (sync connectors are run in
+      worker threads via the auto-adapter).
+
+    ``max_workers`` bounds the thread pool in ``"thread"`` mode:
+    ``None`` means the adaptive default ``min(n_sources, 16)`` (which
+    logs and counts a metric when it truncates the fan-out), ``0`` means
+    explicitly unbounded (one worker per source, however many), and any
+    positive value is an exact cap.  The asyncio engine ignores it.
+    """
+
+    mode: str = "serial"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in CONCURRENCY_MODES:
+            raise ValueError(
+                f"concurrency mode must be one of {CONCURRENCY_MODES}, "
+                f"not {self.mode!r}")
+        if self.max_workers is not None and self.max_workers < 0:
+            raise ValueError(
+                "max_workers must be None (adaptive), 0 (unbounded) or "
+                "positive")
+
+    @classmethod
+    def threads(cls, max_workers: int | None = None) -> "ConcurrencyConfig":
+        """Thread-pool fan-out (the pre-asyncio ``parallel=True``)."""
+        return cls(mode="thread", max_workers=max_workers)
+
+    @classmethod
+    def asyncio(cls) -> "ConcurrencyConfig":
+        """Event-loop fan-out: unbounded, non-blocking per-source tasks."""
+        return cls(mode="asyncio")
+
+    @property
+    def parallel(self) -> bool:
+        """Whether sources are extracted concurrently (legacy reading)."""
+        return self.mode != "serial"
+
+    def workers_for(self, n_sources: int) -> int:
+        """The thread-pool size for a fan-out over ``n_sources``."""
+        if self.max_workers == 0:
+            return max(n_sources, 1)
+        if self.max_workers:
+            return self.max_workers
+        return max(min(n_sources, DEFAULT_WORKER_CAP), 1)
+
+    def caps_fanout(self, n_sources: int) -> bool:
+        """True when the *adaptive default* cap truncates ``n_sources``.
+
+        An explicit positive ``max_workers`` below the source count is a
+        deliberate bound, not a surprise — only the implicit
+        ``min(n, 16)`` default is reported when it bites."""
+        return self.max_workers is None and n_sources > DEFAULT_WORKER_CAP
+
+
+def coerce_concurrency(value: "ConcurrencyConfig | str | None",
+                       ) -> ConcurrencyConfig | None:
+    """A :class:`ConcurrencyConfig` from a config or mode string.
+
+    Accepts ``"serial"``/``"thread"``/``"asyncio"`` as shorthand (the
+    middleware's ``concurrency=`` kwarg), passes configs through, and
+    maps ``None`` to ``None`` (meaning "no override")."""
+    if value is None or isinstance(value, ConcurrencyConfig):
+        return value
+    return ConcurrencyConfig(mode=value)
+
 
 @dataclass
 class ResilienceConfig:
     """Everything the Extractor Manager needs to degrade gracefully.
 
     ``breaker=None`` disables circuit breaking, ``deadline_seconds=None``
-    means unbounded, ``failover=False`` ignores replica mappings.  The
-    ``clock`` is the single time source for backoff sleeps, breaker
-    cooldowns, deadlines and (when shared with the fault-injection
-    sources) latency/outage simulation.
+    means unbounded, ``failover=False`` ignores replica mappings,
+    ``concurrency`` picks the fan-out engine.  The ``clock`` is the
+    single time source for backoff sleeps, breaker cooldowns, deadlines
+    and (when shared with the fault-injection sources) latency/outage
+    simulation.
+
+    ``parallel=``/``max_workers=`` are deprecated spellings folded into
+    ``concurrency`` with a warning; after construction they remain
+    readable as plain attributes mirroring the concurrency config, so
+    pre-asyncio callers keep working.  An explicit ``concurrency``
+    always wins over the legacy pair — which is also what makes
+    ``dataclasses.replace(config, concurrency=...)`` the supported way
+    to change engines on an existing config (``replace`` re-passes the
+    stale mirror attributes, and they must not override the new value).
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
     deadline_seconds: float | None = None
-    parallel: bool = False
-    max_workers: int | None = None
+    concurrency: ConcurrencyConfig | None = None
     failover: bool = True
     clock: Clock = field(default_factory=SystemClock)
+    parallel: Any = UNSET
+    max_workers: Any = UNSET
 
     def __post_init__(self) -> None:
         if self.deadline_seconds is not None and self.deadline_seconds < 0:
             raise ValueError("deadline_seconds must be >= 0 or None")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError("max_workers must be >= 1 or None")
+        legacy = {name: value for name, value in
+                  (("parallel", self.parallel),
+                   ("max_workers", self.max_workers))
+                  if value is not UNSET}
+        base = self.concurrency
+        if base is None:
+            base = ConcurrencyConfig()
+            if legacy:
+                if ("max_workers" in legacy
+                        and legacy["max_workers"] is not None
+                        and legacy["max_workers"] < 1):
+                    # The legacy kwarg never accepted 0/negative; keep its
+                    # exact old contract (unbounded is
+                    # ConcurrencyConfig-only).
+                    raise ValueError("max_workers must be >= 1 or None")
+                warnings.warn(
+                    "ResilienceConfig(parallel=, max_workers=) is "
+                    "deprecated; pass concurrency=ConcurrencyConfig(...) "
+                    "instead", DeprecationWarning, stacklevel=3)
+                mode = base.mode
+                if "parallel" in legacy:
+                    mode = "thread" if legacy["parallel"] else "serial"
+                base = ConcurrencyConfig(
+                    mode=mode,
+                    max_workers=legacy.get("max_workers", base.max_workers))
+        # else: an explicit concurrency config wins over the legacy pair
+        # unconditionally — dataclasses.replace() re-passes the mirror
+        # attributes below, and they must never override it.
+        self.concurrency = base
+        # Normalized mirrors so pre-asyncio readers (`config.parallel`)
+        # keep working and replace() round-trips stay consistent.
+        self.parallel = base.parallel
+        self.max_workers = base.max_workers
 
     @classmethod
     def conservative(cls) -> "ResilienceConfig":
@@ -80,10 +212,20 @@ def legacy_kwargs_to_config(base: ResilienceConfig | None, *,
         f"{owner}({', '.join(sorted(used))}) is deprecated; pass "
         f"resilience=ResilienceConfig(...) instead",
         DeprecationWarning, stacklevel=stacklevel)
-    if "parallel" in used:
-        config.parallel = bool(used["parallel"])
-    if "max_workers" in used:
-        config.max_workers = used["max_workers"]
+    if "parallel" in used or "max_workers" in used:
+        if ("max_workers" in used and used["max_workers"] is not None
+                and used["max_workers"] < 1):
+            raise ValueError("max_workers must be >= 1 or None")
+        mode = config.concurrency.mode
+        if "parallel" in used:
+            mode = "thread" if used["parallel"] else "serial"
+        concurrency = ConcurrencyConfig(
+            mode=mode,
+            max_workers=used.get("max_workers",
+                                 config.concurrency.max_workers))
+        config.concurrency = concurrency
+        config.parallel = concurrency.parallel
+        config.max_workers = concurrency.max_workers
     if "retries" in used or "retry_delay" in used:
         config.retry = RetryPolicy.from_legacy(
             used.get("retries", config.retry.retries),

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.extractor.cache import FragmentCache
+from repro.core.resilience import ConcurrencyConfig
 from repro.core.mapping.attributes import MappingEntry
 from repro.core.mapping.rules import ExtractionRule
 from repro.ids import AttributePath
@@ -241,7 +242,7 @@ class TestCachedMiddleware:
 class TestParallelExtraction:
     def test_parallel_matches_serial(self, scenario):
         serial = scenario.build_middleware()
-        parallel = scenario.build_middleware(parallel=True)
+        parallel = scenario.build_middleware(concurrency="thread")
         key = lambda e: (e.value("brand"), e.value("model"), e.source_id)
         for query in ("SELECT product",
                       'SELECT product WHERE price < 300'):
@@ -252,7 +253,7 @@ class TestParallelExtraction:
         scenario = B2BScenario(n_sources=6, n_products=12,
                                source_mix=("webpage",), web_latency=0.01)
         serial = scenario.build_middleware()
-        parallel = scenario.build_middleware(parallel=True)
+        parallel = scenario.build_middleware(concurrency="thread")
         serial_outcome = serial.extract_all()
         parallel_outcome = parallel.extract_all()
         assert parallel_outcome.total_records() == \
@@ -262,7 +263,7 @@ class TestParallelExtraction:
             serial_outcome.elapsed_seconds
 
     def test_parallel_collects_failures(self, scenario):
-        s2s = scenario.build_middleware(parallel=True)
+        s2s = scenario.build_middleware(concurrency="thread")
         web_org = [o for o in scenario.organizations
                    if o.source_type == "webpage"][0]
         scenario.web.unpublish(web_org.url)
@@ -272,7 +273,7 @@ class TestParallelExtraction:
 
     def test_parallel_strict_raises(self, scenario):
         from repro.errors import S2SError
-        s2s = scenario.build_middleware(parallel=True,
+        s2s = scenario.build_middleware(concurrency="thread",
                                         strict_extraction=True)
         web_org = [o for o in scenario.organizations
                    if o.source_type == "webpage"][0]
@@ -281,5 +282,6 @@ class TestParallelExtraction:
             s2s.query("SELECT product")
 
     def test_max_workers_respected(self, scenario):
-        s2s = scenario.build_middleware(parallel=True, max_workers=1)
+        s2s = scenario.build_middleware(
+            concurrency=ConcurrencyConfig.threads(max_workers=1))
         assert len(s2s.query("SELECT product")) == 20

@@ -10,7 +10,8 @@ import pytest
 
 from repro import S2SMiddleware, ExtractionRule
 from repro.clock import FakeClock, SystemClock
-from repro.core.resilience import (BreakerPolicy, CircuitBreaker, Deadline,
+from repro.core.resilience import (BreakerPolicy, CircuitBreaker,
+                                   ConcurrencyConfig, Deadline,
                                    ResilienceConfig, RetryBudget, RetryPolicy)
 from repro.errors import (DeadlineExceededError, ExtractionError,
                           TransientSourceError)
@@ -338,7 +339,8 @@ class TestManagerRetryIntegration:
         clock = FakeClock()
         config = ResilienceConfig(
             retry=RetryPolicy(max_attempts=1), breaker=None,
-            deadline_seconds=1.0, parallel=True, clock=clock)
+            deadline_seconds=1.0, concurrency=ConcurrencyConfig.threads(),
+            clock=clock)
         s2s = scenario.build_middleware(resilience=config)
         for org in scenario.organizations:
             inner = s2s.source_repository.get(org.source_id)
@@ -384,9 +386,57 @@ class TestResilienceConfigShim:
         assert config.max_workers == 3
 
     def test_config_object_does_not_warn(self, ontology, recwarn):
-        S2SMiddleware(ontology, resilience=ResilienceConfig(parallel=True))
+        S2SMiddleware(ontology, resilience=ResilienceConfig(
+            concurrency=ConcurrencyConfig.threads()))
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_fields_warn_and_translate(self, ontology):
+        with pytest.warns(DeprecationWarning, match="ConcurrencyConfig"):
+            config = ResilienceConfig(parallel=True, max_workers=3)
+        assert config.concurrency == ConcurrencyConfig.threads(max_workers=3)
+        assert config.parallel is True
+        assert config.max_workers == 3
+
+    def test_explicit_concurrency_wins_over_legacy_mirrors(self):
+        from dataclasses import replace
+        config = ResilienceConfig(concurrency=ConcurrencyConfig.threads())
+        # replace() re-passes the normalized parallel/max_workers mirrors;
+        # the new concurrency value must win over them, silently.
+        switched = replace(config,
+                           concurrency=ConcurrencyConfig.asyncio())
+        assert switched.concurrency.mode == "asyncio"
+        assert switched.parallel is True
+
+    def test_replace_round_trip_is_silent(self, recwarn):
+        from dataclasses import replace
+        config = ResilienceConfig(
+            concurrency=ConcurrencyConfig(mode="thread", max_workers=0))
+        again = replace(config, deadline_seconds=2.0)
+        assert again.concurrency == config.concurrency
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_concurrency_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(mode="fibers")
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(max_workers=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_workers=0)  # legacy kwarg: >= 1 only
+
+    def test_workers_for_and_cap_reporting(self):
+        adaptive = ConcurrencyConfig.threads()
+        assert adaptive.workers_for(4) == 4
+        assert adaptive.workers_for(40) == 16
+        assert adaptive.caps_fanout(40)
+        assert not adaptive.caps_fanout(16)
+        exact = ConcurrencyConfig.threads(max_workers=2)
+        assert exact.workers_for(40) == 2
+        assert not exact.caps_fanout(40)  # deliberate bound, not a surprise
+        unbounded = ConcurrencyConfig(mode="thread", max_workers=0)
+        assert unbounded.workers_for(40) == 40
+        assert not unbounded.caps_fanout(40)
 
     def test_default_matches_seed_behaviour(self, ontology):
         s2s = S2SMiddleware(ontology)

@@ -117,7 +117,7 @@ class TestRetryPolicy:
 
     def test_retry_works_in_parallel_mode(self, scenario):
         s2s = self._flaky_scenario_middleware(scenario, retries=8,
-                                              parallel=True)
+                                              concurrency="thread")
         result = s2s.query("SELECT product")
         assert result.errors.ok
         assert len(result) == 20

@@ -46,7 +46,7 @@ class TestConcurrentQueries:
 
     def test_concurrent_queries_with_parallel_extraction(self):
         scenario = B2BScenario(n_sources=4, n_products=16)
-        s2s = scenario.build_middleware(parallel=True)
+        s2s = scenario.build_middleware(concurrency="thread")
         expected = result_key(s2s.query("SELECT product"))
         with ThreadPoolExecutor(max_workers=6) as pool:
             results = list(pool.map(

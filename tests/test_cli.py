@@ -26,6 +26,13 @@ class TestDemo:
                                   "--products", "8", "--parallel")
         assert code == 0
 
+    @pytest.mark.parametrize("mode", ["serial", "thread", "asyncio"])
+    def test_demo_concurrency_modes(self, capsys, mode):
+        code, out, _err = run_cli(capsys, "demo", "--sources", "2",
+                                  "--products", "8", "--concurrency", mode)
+        assert code == 0
+        assert "products integrated" in out
+
 
 class TestQuery:
     def test_text_output(self, capsys):
