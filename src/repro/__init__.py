@@ -21,7 +21,7 @@ from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
 from .core.resilience import ConcurrencyConfig, ResilienceConfig
 from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "S2SMiddleware",

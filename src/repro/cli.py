@@ -261,6 +261,69 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """``ingest run|status|dead-letter|requeue`` — the durable pipeline.
+
+    The journal directory is the unit of recovery: rerunning ``ingest
+    run`` with the same ``--journal`` resumes exactly the jobs a crashed
+    or aborted run left unfinished.  ``--dir`` persists the store
+    snapshot across invocations, same as the ``store`` command."""
+    import os
+
+    if args.ingest_command == "dead-letter":
+        from .core.ingest import DeadLetterLedger
+        entries = DeadLetterLedger(args.journal, fsync=False).entries()
+        if not entries:
+            print("(dead-letter ledger empty)")
+        for entry in entries:
+            job = entry.get("job", {})
+            print(f"{job.get('job_id')}  source={job.get('source_id')} "
+                  f"stage={job.get('stage')} attempts={job.get('attempts')}")
+            print(f"  error: {entry.get('error')}")
+        return 0
+
+    _scenario, s2s = _build(args, store=True)
+    directory = getattr(args, "dir", None)
+    if directory and os.path.exists(os.path.join(directory,
+                                                 "manifest.json")):
+        loaded = s2s.store.load(directory)
+        print(f"loaded {loaded} materialization(s) from {directory}",
+              file=sys.stderr)
+
+    if args.ingest_command == "status":
+        status = s2s.ingest_status(args.journal)
+        jobs = status["jobs"] or {}
+        tally = ", ".join(f"{count} {state}"
+                          for state, count in sorted(jobs.items()))
+        print(f"journal: {status['journal']}")
+        print(f"jobs: {tally or '(none journaled)'}")
+        print(f"dead letters: {status['dead_letter']}")
+        for line in status["unfinished"]:
+            print(f"  unfinished: {line}")
+        return 0
+
+    if args.ingest_command == "requeue":
+        jobs = s2s.ingest_requeue(args.journal, args.job_ids or None)
+        if not jobs:
+            print("(nothing to requeue)")
+        for job in jobs:
+            print(f"requeued {job.job_id} (source={job.source_id})")
+        return 0
+
+    # run
+    report = s2s.ingest(args.s2sql or "SELECT product",
+                        journal_dir=args.journal,
+                        n_workers=args.workers, pool=args.pool,
+                        force=args.force, stop_after=args.stop_after)
+    print(report.summary())
+    for error in report.errors:
+        print(f"  {error}", file=sys.stderr)
+    if directory:
+        manifest = s2s.store.save(directory)
+        print(f"saved store to {manifest}", file=sys.stderr)
+    return 1 if report.aborted else 0
+
+
 def _cmd_ontology(args: argparse.Namespace) -> int:
     ontology = watch_domain_ontology()
     sys.stdout.write(serialize_ontology(
@@ -345,6 +408,51 @@ def build_parser() -> argparse.ArgumentParser:
                         default="turtle")
     _add_scenario_arguments(export)
     export.set_defaults(handler=_cmd_store)
+
+    ingest = commands.add_parser(
+        "ingest", help="durable staged ingest pipeline operations")
+    ingest_commands = ingest.add_subparsers(dest="ingest_command",
+                                            required=True)
+    ingest_run = ingest_commands.add_parser(
+        "run", help="run a supervised, crash-recoverable ingest")
+    ingest_run.add_argument("s2sql", nargs="?", default=None,
+                            help="query to materialize "
+                                 "(default: SELECT product)")
+    ingest_run.add_argument("--journal", required=True,
+                            help="journal directory (the unit of crash "
+                                 "recovery; reuse it to resume)")
+    ingest_run.add_argument("--dir", default=None,
+                            help="directory to load/save the store "
+                                 "snapshot (persistent across runs)")
+    ingest_run.add_argument("--workers", type=int, default=2,
+                            help="shard worker count (default 2)")
+    ingest_run.add_argument("--pool", choices=("thread", "subprocess"),
+                            default="thread",
+                            help="worker isolation (default thread)")
+    ingest_run.add_argument("--force", action="store_true",
+                            help="re-ingest every source, ignoring "
+                                 "content fingerprints")
+    ingest_run.add_argument("--stop-after", type=int, default=None,
+                            help="abandon the run after N completed jobs "
+                                 "(crash simulation; exit code 1)")
+    _add_scenario_arguments(ingest_run)
+    ingest_run.set_defaults(handler=_cmd_ingest)
+    ingest_status = ingest_commands.add_parser(
+        "status", help="journal-level job counts and unfinished work")
+    ingest_status.add_argument("--journal", required=True)
+    _add_scenario_arguments(ingest_status)
+    ingest_status.set_defaults(handler=_cmd_ingest)
+    ingest_dead = ingest_commands.add_parser(
+        "dead-letter", help="list quarantined jobs and their errors")
+    ingest_dead.add_argument("--journal", required=True)
+    ingest_dead.set_defaults(handler=_cmd_ingest)
+    ingest_requeue = ingest_commands.add_parser(
+        "requeue", help="release dead-letter jobs back to pending")
+    ingest_requeue.add_argument("job_ids", nargs="*",
+                                help="job ids to requeue (default: all)")
+    ingest_requeue.add_argument("--journal", required=True)
+    _add_scenario_arguments(ingest_requeue)
+    ingest_requeue.set_defaults(handler=_cmd_ingest)
 
     ontology = commands.add_parser("ontology",
                                    help="print the demo ontology as OWL")

@@ -65,6 +65,18 @@ class FakeClock(Clock):
         self._now = float(start)
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Picklable (for subprocess ingest workers); the lock is
+        re-created on the other side.  A pickled copy's time diverges
+        from the original's — fine for workers, which only *read*."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def monotonic(self) -> float:
         with self._lock:
             return self._now

@@ -13,10 +13,12 @@ Subpackages mirror the architecture of the paper's Figure 1:
   "single point of entry".
 """
 
+from .ingest import IngestReport, IngestTarget, ShardCoordinator
 from .mapping.rules import ExtractionRule
 from .middleware import S2SMiddleware
 from .resilience import ConcurrencyConfig, ResilienceConfig
 from .store import RefreshPolicy, SemanticStore
 
 __all__ = ["S2SMiddleware", "ExtractionRule", "ConcurrencyConfig",
-           "ResilienceConfig", "RefreshPolicy", "SemanticStore"]
+           "IngestReport", "IngestTarget", "ResilienceConfig",
+           "RefreshPolicy", "SemanticStore", "ShardCoordinator"]

@@ -1,0 +1,155 @@
+"""The unit of durable ingest work: one source flowing through stages.
+
+An :class:`IngestJob` is one (materialization key, data source) pair
+travelling the EXTRACT → STAGE → CLEAN → MATERIALIZE waterfall.  Jobs
+are the granularity of everything the pipeline guarantees: journal
+records, retry state, dead-letter quarantine, worker assignment and
+crash recovery all speak in jobs.  A job is deliberately small and
+JSON-serializable — the journal persists *state transitions*, not
+payloads (stage payloads are checkpointed separately, see
+:mod:`repro.core.ingest.staging`).
+
+Job identity is deterministic (``<class>:<attribute-digest>:<source>``)
+so a restarted coordinator re-derives the same ids from the same
+mapping and can match journaled history against a fresh plan.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+
+from ...sources.base import stable_digest
+
+#: The staged waterfall, in execution order.
+EXTRACT = "EXTRACT"
+STAGE = "STAGE"
+CLEAN = "CLEAN"
+MATERIALIZE = "MATERIALIZE"
+STAGES = (EXTRACT, STAGE, CLEAN, MATERIALIZE)
+
+#: Job statuses.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+DEAD = "dead"
+STATUSES = (PENDING, RUNNING, DONE, DEAD)
+
+#: A materialization's identity, as carried by jobs: class + attribute ids.
+JobKey = tuple[str, frozenset[str]]
+
+
+def key_digest(class_name: str, attribute_ids: frozenset[str]) -> str:
+    """A short stable digest of one materialization key."""
+    return stable_digest(class_name, *sorted(attribute_ids))[:8]
+
+
+def job_id_for(class_name: str, attribute_ids: frozenset[str],
+               source_id: str) -> str:
+    """Deterministic job identity: same mapping → same id across runs."""
+    return f"{class_name}:{key_digest(class_name, attribute_ids)}:{source_id}"
+
+
+def shard_of(source_id: str, n_shards: int) -> int:
+    """Stable shard routing: one source always lands on the same shard
+    (for a given pool width), so per-source work is never concurrently
+    in flight on two workers."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    return zlib.crc32(source_id.encode("utf-8")) % n_shards
+
+
+def next_stage(stage: str) -> str | None:
+    """The stage after ``stage``, or None after the last one."""
+    index = STAGES.index(stage)
+    return STAGES[index + 1] if index + 1 < len(STAGES) else None
+
+
+@dataclass
+class IngestJob:
+    """One source's trip through the ingest waterfall.
+
+    ``stage`` is the *next* stage to execute — it only advances when a
+    stage completes (and its output is checkpointed), so a job that
+    failed or was abandoned mid-stage re-runs that stage.  ``attempts``
+    and ``next_eligible_at`` are the per-job retry state: a failed job
+    goes back to pending with a backoff computed from the shared
+    :class:`~repro.core.resilience.RetryPolicy` on the injectable
+    clock."""
+
+    job_id: str
+    source_id: str
+    class_name: str
+    attribute_ids: frozenset[str]
+    merge_key: tuple[str, ...] | None = None
+    stage: str = EXTRACT
+    status: str = PENDING
+    attempts: int = 0
+    next_eligible_at: float = 0.0
+    error: str | None = None
+    #: content fingerprint probed at planning time; stamped on the
+    #: stored slice so the next plan's cheap probe can skip the source.
+    fingerprint: str | None = None
+    enqueued_at: float = 0.0
+    worker: int | None = None
+    #: stages completed so far (observability; mirrors journal events)
+    completed_stages: list[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> JobKey:
+        return (self.class_name, self.attribute_ids)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (DONE, DEAD)
+
+    def eligible(self, now: float) -> bool:
+        """Whether the job may be dispatched at clock time ``now``."""
+        return self.status == PENDING and now >= self.next_eligible_at
+
+    def clone(self) -> "IngestJob":
+        return replace(self, attribute_ids=self.attribute_ids,
+                       completed_stages=list(self.completed_stages))
+
+    # -- journal (de)serialization -------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "source_id": self.source_id,
+            "class": self.class_name,
+            "attributes": sorted(self.attribute_ids),
+            "merge_key": list(self.merge_key) if self.merge_key else None,
+            "stage": self.stage,
+            "status": self.status,
+            "attempts": self.attempts,
+            "next_eligible_at": self.next_eligible_at,
+            "error": self.error,
+            "fingerprint": self.fingerprint,
+            "enqueued_at": self.enqueued_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IngestJob":
+        merge_key = data.get("merge_key")
+        return cls(
+            job_id=data["job_id"],
+            source_id=data["source_id"],
+            class_name=data["class"],
+            attribute_ids=frozenset(data.get("attributes", [])),
+            merge_key=tuple(merge_key) if merge_key else None,
+            stage=data.get("stage", EXTRACT),
+            status=data.get("status", PENDING),
+            attempts=int(data.get("attempts", 0)),
+            next_eligible_at=float(data.get("next_eligible_at", 0.0)),
+            error=data.get("error"),
+            fingerprint=data.get("fingerprint"),
+            enqueued_at=float(data.get("enqueued_at", 0.0)),
+        )
+
+    def describe(self) -> str:
+        state = self.status
+        if self.status == PENDING and self.attempts:
+            state = f"retry #{self.attempts}"
+        return (f"{self.job_id} [{state}] next={self.stage} "
+                f"done={'/'.join(self.completed_stages) or '-'}")

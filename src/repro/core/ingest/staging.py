@@ -1,0 +1,96 @@
+"""Stage checkpoints: the payload half of crash recovery.
+
+The journal records *that* a stage completed; the staging area records
+the stage's *output*, so a resumed job continues from its last completed
+stage instead of re-running the whole waterfall.  Checkpoints are
+pickled per ``(job, stage)`` and fsync'd like journal records.  They are
+an optimization, never a correctness dependency: a missing or corrupt
+checkpoint quarantines the file (``.corrupt``) and the job simply falls
+back to re-running from EXTRACT — at-least-once execution plus the
+store's idempotent upsert make the re-run harmless.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from ...obs import MetricsRegistry
+from .jobs import STAGES
+
+logger = logging.getLogger("repro.core.ingest")
+
+STAGING_DIR = "staging"
+
+
+class StagingArea:
+    """Durable per-(job, stage) payload checkpoints."""
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.directory = Path(directory) / STAGING_DIR
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.metrics = metrics
+
+    def _path(self, job_id: str, stage: str) -> Path:
+        # job ids contain ':'; keep filenames portable.
+        safe = job_id.replace(":", "_").replace("/", "_")
+        return self.directory / f"{safe}.{stage}.pkl"
+
+    def checkpoint(self, job_id: str, stage: str, payload: Any) -> None:
+        """Durably record ``stage``'s output for ``job_id``."""
+        path = self._path(job_id, stage)
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def load(self, job_id: str, stage: str) -> tuple[bool, Any]:
+        """(found, payload) for a stage checkpoint.
+
+        Unpicklable/corrupt checkpoints are quarantined and reported as
+        absent — the caller falls back to re-running earlier stages."""
+        path = self._path(job_id, stage)
+        if not path.exists():
+            return False, None
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:
+            corrupt = path.with_name(path.name + ".corrupt")
+            if corrupt.exists():
+                corrupt.unlink()
+            path.rename(corrupt)
+            logger.warning("corrupt staging checkpoint %s quarantined to %s",
+                           path.name, corrupt.name)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "ingest_journal_corrupt_total",
+                    "Corrupt persistence files quarantined during recovery"
+                ).inc(kind="staging")
+            return False, None
+
+    def latest(self, job_id: str, before_stage: str) -> tuple[str | None, Any]:
+        """The newest intact checkpoint at or before ``before_stage``.
+
+        Returns ``(stage, payload)`` for the latest stage whose output
+        survives, scanning backwards from the stage *preceding*
+        ``before_stage``; ``(None, None)`` means start from scratch."""
+        limit = STAGES.index(before_stage)
+        for stage in reversed(STAGES[:limit]):
+            found, payload = self.load(job_id, stage)
+            if found:
+                return stage, payload
+        return None, None
+
+    def discard(self, job_id: str) -> None:
+        """Drop all checkpoints for a finished job."""
+        for stage in STAGES:
+            path = self._path(job_id, stage)
+            if path.exists():
+                path.unlink()

@@ -1,0 +1,397 @@
+"""Supervised ingest workers: thread and subprocess behind one protocol.
+
+A worker owns one *shard* (a stable partition of the source space, see
+:func:`~repro.core.ingest.jobs.shard_of`) and runs the per-job stage
+waterfall, reporting progress to the coordinator as plain-dict events on
+a results queue:
+
+* ``beat`` — liveness heartbeat, emitted when a job is picked up and at
+  every stage boundary (the coordinator stamps receipt time on its own
+  clock, so heartbeat detection works identically for threads and
+  subprocesses, and under :class:`~repro.clock.FakeClock`);
+* ``stage`` — one stage completed, carrying its output payload (the
+  coordinator checkpoints it and journals the transition);
+* ``done`` — the job's :class:`UpsertPayload` is ready to commit;
+* ``failed`` — the job raised; ``retryable`` says whether the queue
+  should back off and retry or dead-letter it.
+
+Workers *compute*; the coordinator *commits*.  No worker ever touches
+the :class:`~repro.core.store.SemanticStore` or the journal — that is
+what makes the two pool flavours interchangeable: a subprocess child
+works on pickled copies of the sources and its mutations are discarded,
+while the committed results flow back through the event queue either
+way.
+
+Subprocess workers use the ``spawn`` start method deliberately: children
+re-import and re-pickle everything (no forked shared state), so the
+pickling contract the thread pool never exercises is enforced in tests.
+Custom user-registered transform *functions* do not cross the boundary —
+children rebuild a default :class:`~repro.core.mapping.rules.\
+TransformRegistry` (built-ins plus ``scale:``/``map:`` forms); mappings
+needing bespoke transforms should use thread workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from ...errors import (CircuitOpenError, PoisonPayloadError, S2SError,
+                       TransientSourceError)
+from ...sources.flaky import KillableWorker, WorkerCrashed
+from ..extractor.extractors import ExtractorRegistry
+from ..extractor.manager import ExtractionOutcome
+from ..extractor.records import SourceRecordSet
+from ..instances.generator import InstanceGenerator
+from ..mapping.rules import TransformRegistry
+from ..store.snapshot import fingerprint_source
+from .jobs import CLEAN, EXTRACT, MATERIALIZE, STAGE, STAGES, IngestJob
+
+#: Exit code a subprocess worker dies with on a scripted kill.
+KILL_EXIT_CODE = 17
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs to run stages, picklable as a unit.
+
+    ``extractors`` rides along for thread workers only — subprocess
+    children rebuild a fresh registry (transform lambdas don't pickle).
+    """
+
+    sources: Any  # DataSourceRepository
+    generator: InstanceGenerator
+    killable: KillableWorker | None = None
+    extractors: ExtractorRegistry | None = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["extractors"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def registry(self) -> ExtractorRegistry:
+        if self.extractors is None:
+            self.extractors = ExtractorRegistry(TransformRegistry())
+        return self.extractors
+
+
+@dataclass
+class WorkItem:
+    """One dispatched job: the job plus everything stage-running needs.
+
+    ``resume_stage`` / ``resume_payload`` carry the newest intact
+    staging checkpoint so a resumed job continues mid-waterfall."""
+
+    job: dict
+    entries: list  # list[MappingEntry]
+    resume_stage: str | None = None
+    resume_payload: Any = None
+
+
+@dataclass
+class ExtractBatch:
+    """EXTRACT output: raw record set + content fingerprint at read time."""
+
+    record_set: SourceRecordSet
+    fingerprint: str | None = None
+
+
+@dataclass
+class StagedBatch:
+    """STAGE/CLEAN output: assembled entities + their error entries."""
+
+    entities: list = field(default_factory=list)
+    error_entries: list = field(default_factory=list)
+    fingerprint: str | None = None
+
+
+@dataclass
+class UpsertPayload:
+    """MATERIALIZE output: everything the coordinator commits."""
+
+    source_id: str
+    class_name: str
+    entities: list = field(default_factory=list)
+    error_entries: list = field(default_factory=list)
+    fingerprint: str | None = None
+
+
+def execute_stage(stage: str, job: IngestJob, item: WorkItem, payload: Any,
+                  ctx: WorkerContext, *, cancel: Any = None,
+                  in_subprocess: bool = False) -> Any:
+    """Run one stage of one job; returns the stage's output payload."""
+    if ctx.killable is not None:
+        ctx.killable.check(job.source_id, stage, cancel=cancel,
+                           in_subprocess=in_subprocess)
+    if stage == EXTRACT:
+        source = ctx.sources.get(job.source_id)
+        extractor = ctx.registry().for_source(source)
+        record_set = SourceRecordSet(job.source_id)
+        for entry in item.entries:
+            record_set.add(extractor.extract(source, entry))
+        return ExtractBatch(record_set, fingerprint_source(source))
+    if stage == STAGE:
+        batch: ExtractBatch = payload
+        record_sets = ({job.source_id: batch.record_set}
+                       if batch.record_set.fragments else {})
+        outcome = ExtractionOutcome(
+            record_sets=record_sets,
+            per_source_seconds={job.source_id: 0.0})
+        generation = ctx.generator.generate(outcome, job.class_name)
+        return StagedBatch(generation.entities,
+                           list(generation.errors.entries),
+                           batch.fingerprint)
+    if stage == CLEAN:
+        staged: StagedBatch = payload
+        if job.merge_key:
+            from ..instances.errors import ErrorReport
+            report = ErrorReport(list(staged.error_entries))
+            staged.entities = InstanceGenerator._merge(
+                staged.entities, list(job.merge_key), report)
+            staged.error_entries = list(report.entries)
+        return staged
+    if stage == MATERIALIZE:
+        staged = payload
+        return UpsertPayload(job.source_id, job.class_name,
+                             staged.entities, staged.error_entries,
+                             staged.fingerprint)
+    raise S2SError(f"unknown ingest stage {stage!r}")
+
+
+def run_item(shard: int, item: WorkItem, ctx: WorkerContext, emit, *,
+             cancel: Any = None, in_subprocess: bool = False) -> None:
+    """Run one work item's remaining stages, emitting progress events.
+
+    ``emit`` receives plain dicts.  :class:`WorkerCrashed` propagates —
+    the caller's loop dies with it, which is the point."""
+    job = IngestJob.from_dict(item.job)
+    emit({"kind": "beat", "shard": shard, "job_id": job.job_id})
+    if item.resume_stage is not None:
+        start = STAGES.index(item.resume_stage) + 1
+        payload = item.resume_payload
+    else:
+        start = STAGES.index(job.stage) if job.stage in STAGES else 0
+        payload = None
+        if start > 0:
+            # The journal says earlier stages completed but no intact
+            # checkpoint survived: fall back to the top of the waterfall.
+            start = 0
+    try:
+        for stage in STAGES[start:]:
+            payload = execute_stage(stage, job, item, payload, ctx,
+                                    cancel=cancel,
+                                    in_subprocess=in_subprocess)
+            if stage == MATERIALIZE:
+                emit({"kind": "done", "shard": shard, "job_id": job.job_id,
+                      "payload": payload})
+            else:
+                emit({"kind": "stage", "shard": shard, "job_id": job.job_id,
+                      "stage": stage, "payload": payload})
+    except (TransientSourceError, CircuitOpenError) as exc:
+        emit({"kind": "failed", "shard": shard, "job_id": job.job_id,
+              "stage": job.stage, "error": str(exc), "retryable": True})
+    except PoisonPayloadError as exc:
+        emit({"kind": "failed", "shard": shard, "job_id": job.job_id,
+              "stage": job.stage, "error": str(exc), "retryable": False})
+    except S2SError as exc:
+        emit({"kind": "failed", "shard": shard, "job_id": job.job_id,
+              "stage": job.stage, "error": str(exc), "retryable": False})
+
+
+def worker_loop(shard: int, inbox, results, ctx: WorkerContext, *,
+                cancel: Any = None, in_subprocess: bool = False) -> None:
+    """The worker main loop: drain the inbox until the None sentinel.
+
+    Shared verbatim by thread and subprocess workers; only the queue
+    implementations and the kill mechanism differ."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        try:
+            run_item(shard, item, ctx, results.put, cancel=cancel,
+                     in_subprocess=in_subprocess)
+        except WorkerCrashed:
+            # Simulated sudden death: exit the loop without reporting
+            # anything — no failure event, no further heartbeats.  The
+            # supervisor must notice on its own.
+            return
+
+
+def _subprocess_main(shard: int, inbox, results, cancel,
+                     context_bytes: bytes) -> None:
+    """Top-level subprocess entry point (spawn requires importability)."""
+    ctx: WorkerContext = pickle.loads(context_bytes)
+    worker_loop(shard, inbox, results, ctx, cancel=cancel,
+                in_subprocess=True)
+
+
+class WorkerPool(Protocol):
+    """What the coordinator requires of a pool of shard workers."""
+
+    n_workers: int
+
+    def start(self) -> None: ...
+    def submit(self, shard: int, item: WorkItem) -> None: ...
+    def events(self, timeout: float) -> list[dict]: ...
+    def alive(self, shard: int) -> bool: ...
+    def restart(self, shard: int) -> None: ...
+    def shutdown(self) -> None: ...
+
+
+class _ThreadWorker:
+    __slots__ = ("thread", "inbox", "cancel")
+
+    def __init__(self, thread: threading.Thread,
+                 inbox: "queue_module.Queue", cancel: threading.Event
+                 ) -> None:
+        self.thread = thread
+        self.inbox = inbox
+        self.cancel = cancel
+
+
+class ThreadWorkerPool:
+    """Shard workers as daemon threads sharing the process state.
+
+    The cheap default: no pickling, shared fault-injection state (a
+    scripted kill consumed by one worker is gone for all), and the
+    coordinator's FakeClock is genuinely shared with the workers."""
+
+    def __init__(self, ctx: WorkerContext, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.ctx = ctx
+        self.n_workers = n_workers
+        self.results: "queue_module.Queue[dict]" = queue_module.Queue()
+        self._workers: dict[int, _ThreadWorker] = {}
+
+    def _spawn(self, shard: int) -> _ThreadWorker:
+        inbox: "queue_module.Queue" = queue_module.Queue()
+        cancel = threading.Event()
+        thread = threading.Thread(
+            target=worker_loop, args=(shard, inbox, self.results, self.ctx),
+            kwargs={"cancel": cancel}, daemon=True,
+            name=f"ingest-worker-{shard}")
+        thread.start()
+        return _ThreadWorker(thread, inbox, cancel)
+
+    def start(self) -> None:
+        for shard in range(self.n_workers):
+            self._workers[shard] = self._spawn(shard)
+
+    def submit(self, shard: int, item: WorkItem) -> None:
+        self._workers[shard].inbox.put(item)
+
+    def events(self, timeout: float) -> list[dict]:
+        collected: list[dict] = []
+        try:
+            collected.append(self.results.get(timeout=timeout))
+        except queue_module.Empty:
+            return collected
+        while True:
+            try:
+                collected.append(self.results.get_nowait())
+            except queue_module.Empty:
+                return collected
+
+    def alive(self, shard: int) -> bool:
+        worker = self._workers.get(shard)
+        return worker is not None and worker.thread.is_alive()
+
+    def restart(self, shard: int) -> None:
+        old = self._workers.get(shard)
+        if old is not None:
+            old.cancel.set()  # release a hung worker, if that's the cause
+        self._workers[shard] = self._spawn(shard)
+
+    def shutdown(self) -> None:
+        for worker in self._workers.values():
+            worker.cancel.set()
+            worker.inbox.put(None)
+        for worker in self._workers.values():
+            worker.thread.join(timeout=1.0)
+        self._workers.clear()
+
+
+class SubprocessWorkerPool:
+    """Shard workers as spawned subprocesses (real process isolation).
+
+    Everything crossing the boundary is pickled: the worker context at
+    spawn, work items on dispatch, payloads on the way back — which is
+    exactly the contract a distributed deployment would need.  A
+    scripted kill here is a genuine ``os._exit``."""
+
+    def __init__(self, ctx: WorkerContext, n_workers: int = 2) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        import multiprocessing
+        self._mp = multiprocessing.get_context("spawn")
+        self.ctx = ctx
+        self._context_bytes = pickle.dumps(ctx)
+        self.n_workers = n_workers
+        self.results = self._mp.Queue()
+        self._workers: dict[int, Any] = {}
+        self._inboxes: dict[int, Any] = {}
+        self._cancels: dict[int, Any] = {}
+
+    def _spawn(self, shard: int) -> None:
+        inbox = self._mp.Queue()
+        cancel = self._mp.Event()
+        process = self._mp.Process(
+            target=_subprocess_main,
+            args=(shard, inbox, self.results, cancel, self._context_bytes),
+            daemon=True, name=f"ingest-worker-{shard}")
+        process.start()
+        self._workers[shard] = process
+        self._inboxes[shard] = inbox
+        self._cancels[shard] = cancel
+
+    def start(self) -> None:
+        for shard in range(self.n_workers):
+            self._spawn(shard)
+
+    def submit(self, shard: int, item: WorkItem) -> None:
+        self._inboxes[shard].put(item)
+
+    def events(self, timeout: float) -> list[dict]:
+        collected: list[dict] = []
+        try:
+            collected.append(self.results.get(timeout=timeout))
+        except queue_module.Empty:
+            return collected
+        while True:
+            try:
+                collected.append(self.results.get_nowait())
+            except queue_module.Empty:
+                return collected
+
+    def alive(self, shard: int) -> bool:
+        process = self._workers.get(shard)
+        return process is not None and process.is_alive()
+
+    def restart(self, shard: int) -> None:
+        old = self._workers.get(shard)
+        if old is not None and old.is_alive():
+            self._cancels[shard].set()
+            old.terminate()
+            old.join(timeout=2.0)
+        self._spawn(shard)
+
+    def shutdown(self) -> None:
+        for shard, process in list(self._workers.items()):
+            self._cancels[shard].set()
+            if process.is_alive():
+                self._inboxes[shard].put(None)
+        for process in self._workers.values():
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+        self._workers.clear()
+        self._inboxes.clear()
+        self._cancels.clear()

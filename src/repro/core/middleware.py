@@ -41,6 +41,7 @@ from .extractor.async_manager import AsyncExtractorManager
 from .extractor.cache import FragmentCache
 from .extractor.extractors import Extractor, ExtractorRegistry
 from .extractor.manager import ExtractionOutcome, ExtractorManager
+from .ingest import IngestJob, IngestReport, IngestTarget, ShardCoordinator
 from .resilience import (UNSET, ConcurrencyConfig, ResilienceConfig,
                          SourceHealth, coerce_concurrency,
                          legacy_kwargs_to_config)
@@ -344,6 +345,71 @@ class S2SMiddleware:
                               interval_seconds=interval_seconds,
                               clock=self.resilience.clock,
                               poll_seconds=poll_seconds)
+
+    # -- durable ingest -----------------------------------------------------
+
+    def ingest_coordinator(self, journal_dir: str,
+                           **options: Any) -> ShardCoordinator:
+        """A :class:`ShardCoordinator` over this middleware's store,
+        manager and generator, journaling under ``journal_dir``.
+
+        Accepts every coordinator keyword (``n_workers``, ``pool``,
+        ``retry_policy``, ``heartbeat_timeout``, ``stop_after``, …); the
+        tracer and metrics default to the middleware's own."""
+        options.setdefault("tracer", self.tracer)
+        options.setdefault("metrics", self._metrics)
+        return ShardCoordinator(self._require_store(), self.manager,
+                                self.query_handler.generator, journal_dir,
+                                **options)
+
+    def _ingest_targets(self, queries: str | list[str]) -> list[IngestTarget]:
+        targets = []
+        for query in ([queries] if isinstance(queries, str) else queries):
+            plan = self.query_handler.planner.plan(parse_s2sql(query))
+            targets.append(IngestTarget(plan.class_name,
+                                        list(plan.required_attributes)))
+        return targets
+
+    def ingest(self, queries: str | list[str], *, journal_dir: str,
+               force: bool = False, **options: Any) -> IngestReport:
+        """Materialize queries through the durable staged ingest pipeline.
+
+        Unlike :meth:`materialize`, the work is journaled per source and
+        survives a crash: rerunning with the same ``journal_dir`` resumes
+        exactly the unfinished jobs.  See docs/ingest.md."""
+        coordinator = self.ingest_coordinator(journal_dir, **options)
+        try:
+            return coordinator.run(self._ingest_targets(queries),
+                                   force=force)
+        finally:
+            coordinator.close()
+
+    def ingest_status(self, journal_dir: str) -> dict:
+        """Journal-level summary of the ingest state under
+        ``journal_dir`` (job counts, unfinished jobs, dead letters)."""
+        coordinator = self.ingest_coordinator(journal_dir, fsync=False)
+        try:
+            return coordinator.status()
+        finally:
+            coordinator.close()
+
+    def ingest_dead_letter(self, journal_dir: str) -> list[dict]:
+        """The dead-letter ledger entries (quarantined jobs + errors)."""
+        coordinator = self.ingest_coordinator(journal_dir, fsync=False)
+        try:
+            return coordinator.dead_letters()
+        finally:
+            coordinator.close()
+
+    def ingest_requeue(self, journal_dir: str,
+                       job_ids: list[str] | None = None) -> list[IngestJob]:
+        """Release dead-letter jobs back to pending with a fresh retry
+        budget; the next :meth:`ingest` run picks them up."""
+        coordinator = self.ingest_coordinator(journal_dir)
+        try:
+            return coordinator.requeue(job_ids)
+        finally:
+            coordinator.close()
 
     # -- observability ------------------------------------------------------
 

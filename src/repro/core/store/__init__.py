@@ -6,7 +6,7 @@ incrementally by re-extracting only the sources whose content
 fingerprints changed.  See docs/store.md.
 """
 
-from .delta import DeltaRefresher, RefreshResult
+from .delta import DeltaPlan, DeltaRefresher, RefreshResult
 from .refresh import RefreshPolicy, StoreRefresher
 from .snapshot import fingerprint_source, load_store, save_store
 from .store import (STORE, Materialization, SemanticStore, SourceSlice,
@@ -14,6 +14,7 @@ from .store import (STORE, Materialization, SemanticStore, SourceSlice,
 
 __all__ = [
     "STORE",
+    "DeltaPlan",
     "DeltaRefresher",
     "Materialization",
     "RefreshPolicy",

@@ -75,6 +75,23 @@ class RefreshResult:
                 f"{len(self.removed)} removed")
 
 
+@dataclass
+class DeltaPlan:
+    """A read-only change diff for one materialization.
+
+    What :meth:`DeltaRefresher.plan_changes` hands the ingest planner:
+    which sources need an EXTRACT job and which can be skipped, decided
+    entirely from cheap probes (:func:`fingerprint_source` rides
+    ``content_fingerprint()`` → ``SimulatedWeb.peek``, so unchanged web
+    sources are ruled out without a single counted fetch)."""
+
+    changed: list[str] = field(default_factory=list)
+    unchanged: list[str] = field(default_factory=list)
+    kept_stale: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    fingerprints: dict[str, str | None] = field(default_factory=dict)
+
+
 class DeltaRefresher:
     """Refreshes a :class:`SemanticStore` through the live pipeline."""
 
@@ -135,6 +152,35 @@ class DeltaRefresher:
                    if self.tracer is not None else None))
         self._observe(result)
         return result
+
+    def plan_changes(self, mat: Materialization, *,
+                     force: bool = False) -> DeltaPlan:
+        """Cheap-probe diff of one materialization, with no side effects.
+
+        The same verdict logic :meth:`refresh_one` applies inline, but
+        read-only: nothing is tombstoned, marked stale or extracted.
+        The ingest pipeline plans its EXTRACT jobs from this, so an
+        unchanged web source never even enqueues work."""
+        plan = DeltaPlan()
+        schema = self.manager.obtain_extraction_schema(mat.required)
+        current_sources = set(schema.by_source)
+        plan.removed = sorted(set(mat.slices) - current_sources)
+        open_sources = (set(self.manager.breakers.open_sources())
+                        if self.manager.breakers is not None else set())
+        for source_id in sorted(current_sources):
+            slice_ = mat.slices.get(source_id)
+            if source_id in open_sources and slice_ is not None:
+                plan.kept_stale.append(source_id)
+                continue
+            fingerprint = self._fingerprint(source_id)
+            plan.fingerprints[source_id] = fingerprint
+            if (not force and slice_ is not None and not slice_.stale
+                    and fingerprint is not None
+                    and fingerprint == slice_.fingerprint):
+                plan.unchanged.append(source_id)
+                continue
+            plan.changed.append(source_id)
+        return plan
 
     # -- the delta algorithm -------------------------------------------
 

@@ -22,6 +22,7 @@ store state:
 from __future__ import annotations
 
 import json
+import logging
 import os
 
 from ...errors import S2SError
@@ -34,6 +35,8 @@ from ...rdf.turtle import parse_turtle, serialize_turtle
 from ...sources.base import DataSource
 from ..instances.assembly import AssembledEntity
 from ..instances.errors import ErrorEntry
+
+logger = logging.getLogger("repro.core.store")
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -137,14 +140,36 @@ def load_store(store, directory: str) -> int:
     Replaces the store's current contents; returns the number of
     materializations loaded.  Entity values are rebuilt from the
     snapshot graph's literals, entity structure (satellites, links,
-    record indexes) from the manifest."""
+    record indexes) from the manifest.
+
+    A manifest that exists but does not parse (torn write from a crashed
+    saver) is quarantined under ``manifest.json.corrupt`` and the load
+    degrades to a cold start (returns 0) instead of raising — recovery
+    paths must survive damaged persistence.  A *missing* manifest is
+    still an error: the caller pointed at the wrong directory."""
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     try:
         with open(manifest_path, encoding="utf-8") as handle:
             manifest = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except OSError as exc:
         raise S2SError(f"cannot load store manifest {manifest_path}: "
                        f"{exc}") from exc
+    except json.JSONDecodeError as exc:
+        corrupt_path = manifest_path + ".corrupt"
+        if os.path.exists(corrupt_path):
+            os.unlink(corrupt_path)
+        os.rename(manifest_path, corrupt_path)
+        logger.warning(
+            "corrupt store manifest %s (%s): quarantined to %s, "
+            "starting cold", manifest_path, exc,
+            os.path.basename(corrupt_path))
+        if store.metrics is not None:
+            store.metrics.counter(
+                "ingest_journal_corrupt_total",
+                "Corrupt persistence files quarantined during recovery"
+            ).inc(kind="manifest")
+        store.reset()
+        return 0
     if manifest.get("version") != MANIFEST_VERSION:
         raise S2SError(f"unsupported store manifest version "
                        f"{manifest.get('version')!r}")

@@ -154,6 +154,31 @@ class SemanticStore:
         with self._lock:
             return self._materializations.get(self.key_for(plan))
 
+    def materialization(self, key: StoreKey) -> Materialization | None:
+        """The materialization stored under ``key``, or None."""
+        with self._lock:
+            return self._materializations.get(key)
+
+    def ensure(self, class_name: str,
+               required: list[AttributePath]) -> Materialization:
+        """Get-or-create the materialization for one attribute set.
+
+        A newly created materialization starts *expired*: the ingest
+        pipeline fills it slice by slice, and a half-ingested answer
+        must not be served as fresh — :meth:`touch` lifts the expiry
+        once a run completes."""
+        key: StoreKey = (class_name,
+                         frozenset(str(path) for path in required))
+        with self._lock:
+            mat = self._materializations.get(key)
+            if mat is None:
+                mat = Materialization(
+                    class_name, key[1], list(required),
+                    materialized_at=self.clock.monotonic(),
+                    generation=self.generation, expired=True)
+                self._materializations[key] = mat
+            return mat
+
     def materializations(self) -> list[Materialization]:
         """All current materializations (stable order by key)."""
         with self._lock:

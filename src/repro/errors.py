@@ -146,6 +146,20 @@ class TransientSourceError(S2SError):
     fail fast."""
 
 
+class PoisonPayloadError(S2SError):
+    """A payload that deterministically breaks its processor.
+
+    Non-retryable by construction: re-running the job would fail the
+    same way every time, so the ingest pipeline quarantines the job to
+    the dead-letter ledger instead of burning its retry budget."""
+
+    def __init__(self, message: str, *, source_id: str | None = None) -> None:
+        if source_id is not None:
+            message = f"{message} (source={source_id})"
+        super().__init__(message)
+        self.source_id = source_id
+
+
 class DeadlineExceededError(S2SError):
     """An extraction ran out of its wall-clock time budget.
 

@@ -38,13 +38,14 @@ sequence fails identically whichever engine drives it.
 from __future__ import annotations
 
 import asyncio
+import os
 import random
 import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..clock import Clock, SystemClock
-from ..errors import TransientSourceError
+from ..errors import PoisonPayloadError, TransientSourceError
 from .base import ConnectionInfo, DataSource
 
 
@@ -62,6 +63,114 @@ class OutageWindow:
 
     def covers(self, offset: float) -> bool:
         return self.start <= offset < self.end
+
+
+class WorkerCrashed(BaseException):
+    """Simulated sudden worker death (thread workers).
+
+    Derives from :class:`BaseException` so no ``except Exception``
+    handler between the fault site and the worker loop can absorb it —
+    the thread dies without reporting, exactly like a killed process.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted ingest-worker fault.
+
+    ``action`` is ``"kill"`` (sudden death mid-stage: thread workers
+    raise :class:`WorkerCrashed`, subprocess workers ``os._exit``),
+    ``"hang"`` (block until the supervisor cancels the worker) or
+    ``"poison"`` (raise :class:`~repro.errors.PoisonPayloadError`, the
+    non-retryable path into the dead-letter ledger).  ``source_id`` and
+    ``stage`` narrow where the fault fires; ``None`` matches anything.
+    """
+
+    action: str
+    source_id: str | None = None
+    stage: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "hang", "poison"):
+            raise ValueError("action must be 'kill', 'hang' or 'poison'")
+
+    def matches(self, source_id: str, stage: str) -> bool:
+        return ((self.source_id is None or self.source_id == source_id)
+                and (self.stage is None or self.stage == stage))
+
+
+class KillableWorker:
+    """Scripted fault injection at ingest stage boundaries.
+
+    The ingest workers call :meth:`check` before running each stage of
+    each job; the first scheduled :class:`WorkerFault` matching that
+    ``(source_id, stage)`` is consumed and acted on.  Faults are
+    consumed at most once, so "kill the worker the first time it
+    STAGEs source X" is one fault, and the restarted worker sails
+    through the re-run — the deterministic chaos-test shape.
+
+    Picklable for the subprocess worker boundary (the lock is dropped
+    and re-created); note that a subprocess child gets a *copy* of the
+    fault plan at spawn time, so consumption in a child is per-child.
+    """
+
+    def __init__(self, faults: Iterable[WorkerFault] = ()) -> None:
+        self.faults = list(faults)
+        self.fired: list[WorkerFault] = []
+        self._lock = threading.Lock()
+
+    def schedule(self, fault: WorkerFault) -> None:
+        with self._lock:
+            self.faults.append(fault)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _consume(self, source_id: str, stage: str) -> WorkerFault | None:
+        with self._lock:
+            for index, fault in enumerate(self.faults):
+                if fault.matches(source_id, stage):
+                    del self.faults[index]
+                    self.fired.append(fault)
+                    return fault
+        return None
+
+    def check(self, source_id: str, stage: str, *,
+              cancel: "threading.Event | None" = None,
+              in_subprocess: bool = False) -> None:
+        """Fire the first matching fault, if any.
+
+        ``cancel`` is the worker's cancellation event — a hang blocks on
+        it (with a real-time safety valve) so a supervised hang is
+        interruptible.  ``in_subprocess`` selects ``os._exit`` as the
+        kill mechanism (a raise would be caught by the child's loop and
+        reported, which a real SIGKILL would not be)."""
+        fault = self._consume(source_id, stage)
+        if fault is None:
+            return
+        if fault.action == "poison":
+            raise PoisonPayloadError(
+                f"scripted poison payload at stage {stage}",
+                source_id=source_id)
+        if fault.action == "kill":
+            if in_subprocess:
+                os._exit(17)
+            raise WorkerCrashed(
+                f"scripted worker death at stage {stage} of {source_id!r}")
+        # hang: stay silent until the supervisor gives up on us.
+        if cancel is not None:
+            cancel.wait(timeout=30.0)
+        else:
+            import time
+            time.sleep(30.0)
+        raise WorkerCrashed(
+            f"scripted hang at stage {stage} of {source_id!r} released")
 
 
 class FlakySource(DataSource):
@@ -92,6 +201,18 @@ class FlakySource(DataSource):
         self._lock = threading.Lock()
         self.attempts = 0
         self.failures = 0
+
+    def __getstate__(self) -> dict:
+        """Picklable across the subprocess worker boundary: the lock is
+        dropped here and re-created on the other side.  Fault *state*
+        (plan position, RNG stream, counters) travels with the copy."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def source_type(self) -> str:  # type: ignore[override]

@@ -45,6 +45,19 @@ class SimulatedWeb:
         self.total_fetches = 0
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Picklable for subprocess ingest workers (lock re-created on
+        the other side).  The child gets a snapshot copy of the web:
+        its fetch counters diverge from the parent's, which is why the
+        coordinator commits store writes, not the workers."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @staticmethod
     def _normalize(url: str) -> str:
         if "://" not in url:

@@ -30,6 +30,12 @@ class WebDataSource(DataSource):
             web.fetch, extra_builtins={"SourceURL": lambda: self.url})
         self._compiled: dict[str, object] = {}
 
+    def __reduce__(self):
+        """Rebuild from constructor args when pickled (subprocess
+        workers): the interpreter's builtin closures and the compiled
+        program cache don't pickle and are cheap to re-create."""
+        return (self.__class__, (self.source_id, self.web, self.url))
+
     def connect(self) -> None:
         """Verify the page is reachable before extraction."""
         if not self.web.has(self.url):

@@ -174,3 +174,51 @@ class TestSuggest:
         assert code == 0
         assert "thing.product.brand <-" in out
         assert "score" in out
+
+
+class TestIngest:
+    def scenario_args(self):
+        return ["--sources", "3", "--products", "6"]
+
+    def test_run_and_status(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal")
+        code, out, _err = run_cli(capsys, "ingest", "run",
+                                  "--journal", journal,
+                                  *self.scenario_args())
+        assert code == 0
+        assert "3 done" in out and "completed" in out
+        code, out, _err = run_cli(capsys, "ingest", "status",
+                                  "--journal", journal,
+                                  *self.scenario_args())
+        assert code == 0
+        assert "3 done" in out
+        assert "dead letters: 0" in out
+
+    def test_crash_resumes_from_the_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal")
+        store = str(tmp_path / "store")
+        code, out, _err = run_cli(capsys, "ingest", "run",
+                                  "--journal", journal, "--dir", store,
+                                  "--stop-after", "1",
+                                  *self.scenario_args())
+        assert code == 1  # the aborted run reports failure
+        assert "aborted" in out and "1 done" in out
+        code, out, err = run_cli(capsys, "ingest", "run",
+                                 "--journal", journal, "--dir", store,
+                                 *self.scenario_args())
+        assert code == 0
+        assert "completed" in out
+        assert "1 skipped" in out
+        assert "loaded 1 materialization(s)" in err
+
+    def test_dead_letter_and_requeue_empty(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal")
+        code, out, _err = run_cli(capsys, "ingest", "dead-letter",
+                                  "--journal", journal)
+        assert code == 0
+        assert "empty" in out
+        code, out, _err = run_cli(capsys, "ingest", "requeue",
+                                  "--journal", journal,
+                                  *self.scenario_args())
+        assert code == 0
+        assert "nothing to requeue" in out
