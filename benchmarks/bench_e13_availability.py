@@ -21,7 +21,8 @@ import pytest
 
 from repro.bench import ResultTable
 from repro.clock import FakeClock
-from repro.core.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.sources.flaky import FlakySource
 from repro.workloads import B2BScenario
 

@@ -24,7 +24,7 @@ import os
 import time
 
 from repro.bench import ResultTable
-from repro.core.resilience import ConcurrencyConfig
+from repro.config import ConcurrencyConfig
 from repro.sources.flaky import FlakySource
 from repro.workloads import B2BScenario
 

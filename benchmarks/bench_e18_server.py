@@ -1,0 +1,155 @@
+"""E18 — serving S2S over the wire: protocol overhead and admission.
+
+Three questions about the frame-protocol server:
+
+* **overhead** — what does a socket round-trip add over calling the
+  middleware in-process?  Measured per query, in-process vs remote,
+  same tenant, warm store off so every query runs the live path.
+* **concurrency** — do N clients sharing one server see wall-clock
+  overlap?  N connections each run M queries; the server executes up
+  to ``max_inflight`` at once, so total time should sit well under the
+  serial sum.
+* **admission** — under offered load beyond ``max_inflight +
+  max_queue``, is pushback bounded and explicit?  Counts RETRY_AFTER
+  rejections and proves the queue never exceeds its configured seat
+  count.
+
+``E18_ITERATIONS=1`` puts the benchmark in CI smoke mode; the default
+measures more round-trips per cell.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.bench import ResultTable
+from repro.server import (S2SClient, S2SServer, ServerBusyError,
+                          ServerConfig, ServerThread)
+from repro.workloads import B2BScenario
+
+ITERATIONS = int(os.environ.get("E18_ITERATIONS", "20"))
+N_CLIENTS = 4
+QUERY = "SELECT Product"
+
+
+def build_server(**config_kwargs):
+    middleware = B2BScenario(n_sources=3, n_products=12,
+                             seed=7).build_middleware()
+    thread = ServerThread(S2SServer(
+        {"bench": middleware}, config=ServerConfig(**config_kwargs)))
+    host, port = thread.start()
+    return thread, middleware, host, port
+
+
+def timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def test_e18_wire_overhead_report():
+    thread, middleware, host, port = build_server()
+    try:
+        client = S2SClient(host, port, tenant="bench")
+        middleware.query(QUERY)  # warm rule compilation
+        client.query(QUERY)  # warm the connection
+        local_seconds = min(
+            timed(lambda: middleware.query(QUERY))
+            for _ in range(ITERATIONS))
+        remote_seconds = min(
+            timed(lambda: client.query(QUERY)) for _ in range(ITERATIONS))
+        client.close()
+    finally:
+        thread.stop()
+    table = ResultTable(
+        f"E18: wire overhead per query (best of {ITERATIONS})",
+        ["path", "seconds", "overhead_ms"])
+    table.add_row("in-process", local_seconds, 0.0)
+    table.add_row("remote", remote_seconds,
+                  (remote_seconds - local_seconds) * 1e3)
+    table.print()
+    # the protocol is framing + JSON over loopback: it must not
+    # multiply query latency by an order of magnitude
+    assert remote_seconds < local_seconds * 10 + 0.05
+
+
+def test_e18_concurrent_clients_overlap():
+    rounds = max(2, ITERATIONS // 4)
+    thread, middleware, host, port = build_server(max_inflight=N_CLIENTS)
+    try:
+        middleware.query(QUERY)
+        per_client: dict[int, float] = {}
+
+        def run(client_id: int) -> None:
+            client = S2SClient(host, port, tenant="bench")
+            started = time.perf_counter()
+            for _ in range(rounds):
+                client.query(QUERY)
+            per_client[client_id] = time.perf_counter() - started
+            client.close()
+
+        workers = [threading.Thread(target=run, args=(n,))
+                   for n in range(N_CLIENTS)]
+        total = timed(lambda: ([w.start() for w in workers],
+                               [w.join() for w in workers]))
+    finally:
+        thread.stop()
+    serial_sum = sum(per_client.values())
+    table = ResultTable(
+        f"E18: {N_CLIENTS} clients x {rounds} queries, "
+        f"max_inflight={N_CLIENTS}",
+        ["measure", "seconds"])
+    table.add_row("wall_clock", total)
+    table.add_row("serial_sum", serial_sum)
+    table.add_row("overlap_factor", serial_sum / total)
+    table.print()
+    assert len(per_client) == N_CLIENTS
+
+
+def test_e18_admission_is_bounded():
+    """Offered load of 8 against 1 slot + 1 seat: 6 explicit pushbacks."""
+    offered = 8
+    thread, middleware, host, port = build_server(
+        max_inflight=1, max_queue=1, retry_after_seconds=0.05)
+    server = thread.server
+    try:
+        middleware.query(QUERY)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        peak_queue = [0]
+
+        def run() -> None:
+            client = S2SClient(host, port, tenant="bench")
+            try:
+                client.query(QUERY)
+                outcome = "served"
+            except ServerBusyError:
+                outcome = "pushed_back"
+            finally:
+                client.close()
+            with lock:
+                outcomes.append(outcome)
+                peak_queue[0] = max(peak_queue[0], server.queue_depth)
+
+        workers = [threading.Thread(target=run) for _ in range(offered)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+    finally:
+        thread.stop()
+    served = outcomes.count("served")
+    pushed = outcomes.count("pushed_back")
+    table = ResultTable(
+        f"E18: admission under {offered} simultaneous clients "
+        "(1 slot + 1 queue seat)",
+        ["measure", "count"])
+    table.add_row("served", served)
+    table.add_row("pushed_back", pushed)
+    table.add_row("peak_queue_depth", peak_queue[0])
+    table.print()
+    assert served + pushed == offered
+    assert served >= 1
+    assert peak_queue[0] <= 1  # bounded admission: the queue never grew

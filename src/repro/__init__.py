@@ -9,6 +9,8 @@ returns the integrated answer as OWL ontology instances.
 Public entry points:
 
 * :class:`repro.core.S2SMiddleware` — the middleware facade;
+* :mod:`repro.config` — every configuration knob object in one place;
+* :mod:`repro.server` — the multi-tenant query server and its clients;
 * :mod:`repro.ontology` — build/import the shared ontology schema;
 * :mod:`repro.sources` — data-source substrates and connectors;
 * :mod:`repro.workloads` — synthetic B2B scenario generators;
@@ -18,16 +20,19 @@ Public entry points:
 from .core.mapping.rules import ExtractionRule
 from .core.middleware import (S2SMiddleware, regex_rule, sql_rule, webl_rule,
                               xpath_rule)
-from .core.resilience import ConcurrencyConfig, ResilienceConfig
+from .config import (ConcurrencyConfig, RefreshPolicy, ResilienceConfig,
+                     ServerConfig)
 from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "S2SMiddleware",
     "ExtractionRule",
     "ConcurrencyConfig",
+    "RefreshPolicy",
     "ResilienceConfig",
+    "ServerConfig",
     "MetricsRegistry",
     "Trace",
     "Tracer",

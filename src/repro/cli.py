@@ -63,7 +63,7 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
 def _build(args: argparse.Namespace, *, store: bool = False):
     from dataclasses import replace as _replace
 
-    from .core.resilience import ConcurrencyConfig, ResilienceConfig
+    from .config import ConcurrencyConfig, ResilienceConfig
     from .obs import MetricsRegistry, Tracer
 
     scenario = B2BScenario(n_sources=args.sources, n_products=args.products,
@@ -324,6 +324,121 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 1 if report.aborted else 0
 
 
+def _parse_tenant_specs(spec: str) -> list[tuple[str, str | None]]:
+    """``acme:s3cret,globex`` → [("acme", "s3cret"), ("globex", None)]."""
+    tenants = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, token = part.partition(":")
+        tenants.append((name, token or None))
+    if not tenants:
+        raise S2SError("--tenants must name at least one tenant")
+    return tenants
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve`` — expose demo worlds over the wire protocol.
+
+    Each tenant gets its *own* scenario (seeded ``--seed + index``) and
+    its own middleware: namespaces are isolated end to end.  Port 0
+    binds an ephemeral port; the bound address is printed (and written
+    to ``--port-file`` when given) so scripts can connect."""
+    import time as _time
+
+    from .config import ServerConfig
+    from .server import S2SServer, ServerThread, Tenant, TenantRegistry
+
+    registry = TenantRegistry()
+    for index, (name, token) in enumerate(_parse_tenant_specs(args.tenants)):
+        scenario = B2BScenario(n_sources=args.sources,
+                               n_products=args.products,
+                               conflicts=_CONFLICT_LEVELS[args.conflicts],
+                               seed=args.seed + index)
+        middleware = scenario.build_middleware(store=args.store)
+        registry.add(Tenant(name, middleware, token=token, owned=True))
+    config = ServerConfig(host=args.host, port=args.port,
+                          max_inflight=args.max_inflight,
+                          max_queue=args.max_queue)
+    thread = ServerThread(S2SServer(registry, config=config))
+    host, port = thread.start()
+    print(f"listening on {host}:{port} "
+          f"({len(registry)} tenant(s): {', '.join(registry.names())})",
+          flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(str(port))
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        thread.stop()
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """``client`` — query a running server with the symmetric client."""
+    import json as _json
+
+    from .server import S2SClient
+
+    modes = [bool(args.s2sql), bool(args.batch_file), bool(args.sparql),
+             bool(args.explain), args.status, args.show_metrics]
+    if sum(modes) != 1:
+        print("error: provide exactly one of an S2SQL query, "
+              "--batch-file, --sparql, --explain, --status or --metrics",
+              file=sys.stderr)
+        return 2
+    merge_key = args.merge_key.split(",") if args.merge_key else None
+    with S2SClient(args.host, args.port, tenant=args.tenant,
+                   token=args.token) as client:
+        if args.status:
+            print(_json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.show_metrics:
+            sys.stdout.write(client.metrics()["text"])
+            return 0
+        if args.explain:
+            sys.stdout.write(client.explain(args.explain,
+                                            merge_key=merge_key))
+            return 0
+        if args.sparql:
+            answer = client.sparql(args.sparql)
+            if isinstance(answer, bool):
+                print("true" if answer else "false")
+            else:
+                print("\t".join(answer.variables))
+                for row in answer.simple_rows():
+                    print("\t".join(str(value) for value in row))
+            return 0
+        if args.batch_file:
+            queries = _read_batch_file(args.batch_file)
+            if not queries:
+                print(f"error: no queries in {args.batch_file}",
+                      file=sys.stderr)
+                return 2
+            for query, result in zip(queries,
+                                     client.query_many(
+                                         queries, merge_key=merge_key)):
+                print(f"=== {query} ({len(result)} entities) ===")
+                sys.stdout.write(result.render_text())
+            return 0
+        result = client.query(args.s2sql, merge_key=merge_key)
+        sys.stdout.write(result.render_text())
+        print(f"{len(result)} entities "
+              f"(server {result.server_seconds * 1e3:.1f} ms, "
+              f"round-trip {result.elapsed_seconds * 1e3:.1f} ms)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_ontology(args: argparse.Namespace) -> int:
     ontology = watch_domain_ontology()
     sys.stdout.write(serialize_ontology(
@@ -453,6 +568,61 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_requeue.add_argument("--journal", required=True)
     _add_scenario_arguments(ingest_requeue)
     ingest_requeue.set_defaults(handler=_cmd_ingest)
+
+    serve = commands.add_parser(
+        "serve", help="serve demo worlds over the wire protocol")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 0)")
+    serve.add_argument("--tenants", default="default",
+                       help="comma-separated tenant specs, each "
+                            "name[:token] — every tenant gets its own "
+                            "isolated world (default: one tenant "
+                            "'default', no token)")
+    serve.add_argument("--store", action="store_true",
+                       help="give each tenant a materialized semantic "
+                            "store (enables SPARQL frames)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent executions before requests "
+                            "queue (default 8)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="queued requests before RETRY_AFTER "
+                            "pushback (default 32)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain and exit "
+                            "(default: until interrupted)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port to this file once "
+                            "listening (for scripts)")
+    _add_scenario_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="query a running server over the wire protocol")
+    client.add_argument("s2sql", nargs="?", default=None,
+                        help="S2SQL query to run remotely")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--tenant", default="default")
+    client.add_argument("--token", default=None)
+    client.add_argument("--batch-file", default=None,
+                        help="file with one S2SQL query per line, "
+                             "executed as one QUERY_MANY frame")
+    client.add_argument("--sparql", default=None, metavar="SPARQL",
+                        help="run a SPARQL query against the tenant's "
+                             "store")
+    client.add_argument("--explain", default=None, metavar="S2SQL",
+                        help="render the server-side execution plan")
+    client.add_argument("--status", action="store_true",
+                        help="print the server + tenant status snapshot")
+    client.add_argument("--metrics", dest="show_metrics",
+                        action="store_true",
+                        help="print the server's metrics rendering")
+    client.add_argument("--merge-key", default="",
+                        help="comma-separated attributes to dedup on")
+    client.set_defaults(handler=_cmd_client)
 
     ontology = commands.add_parser("ontology",
                                    help="print the demo ontology as OWL")

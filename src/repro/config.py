@@ -1,0 +1,42 @@
+"""The consolidated configuration surface.
+
+Every knob object the middleware family accepts, importable from one
+place::
+
+    from repro.config import (ConcurrencyConfig, RefreshPolicy,
+                              ResilienceConfig, ServerConfig)
+
+* :class:`ResilienceConfig` — retries, breakers, deadlines, failover
+  and the injectable clock (``S2SMiddleware(resilience=...)``).
+* :class:`ConcurrencyConfig` — the extraction fan-out engine
+  (``serial`` | ``thread`` | ``asyncio``) and its worker bound; carried
+  on :class:`ResilienceConfig`, or passed as
+  ``S2SMiddleware(concurrency=...)``.
+* :class:`RefreshPolicy` — semantic-store freshness: TTL, stale-while-
+  refresh grace, fingerprint polling (``S2SMiddleware(store=...)``).
+* :class:`ServerConfig` — the query server's listen address, admission
+  control bounds, deadlines and frame ceiling
+  (``S2SServer(config=...)``).
+
+These classes still *live* next to the subsystems they configure (that
+is where their behaviour is documented and tested); this module is the
+stable import path.  The historical spellings —
+``repro.core.resilience.ResilienceConfig``,
+``repro.core.store.RefreshPolicy`` and friends — keep working but emit
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from .core.resilience.config import (DEFAULT_WORKER_CAP, ConcurrencyConfig,
+                                     ResilienceConfig)
+from .core.store.refresh import RefreshPolicy
+from .server.config import ServerConfig
+
+__all__ = [
+    "DEFAULT_WORKER_CAP",
+    "ConcurrencyConfig",
+    "RefreshPolicy",
+    "ResilienceConfig",
+    "ServerConfig",
+]

@@ -59,8 +59,9 @@ from ..mapping.attributes import MappingEntry
 from ..mapping.datasources import DataSourceRepository
 from ..mapping.repository import AttributeRepository
 from ..resilience import (UNSET, CircuitBreakerRegistry, Deadline,
-                          ResilienceConfig, RetryBudget, SourceHealth,
-                          SourceHealthRegistry, legacy_kwargs_to_config)
+                          RetryBudget, SourceHealth, SourceHealthRegistry,
+                          legacy_kwargs_to_config)
+from ..resilience.config import ResilienceConfig
 from .cache import FragmentCache
 from .extractors import ExtractorRegistry
 from .records import RawFragment, SourceRecordSet

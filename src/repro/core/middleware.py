@@ -28,6 +28,7 @@ dedicated :class:`~repro.obs.MetricsRegistry` is injected).
 from __future__ import annotations
 
 import warnings
+import weakref
 from dataclasses import replace
 from typing import Any
 
@@ -42,9 +43,9 @@ from .extractor.cache import FragmentCache
 from .extractor.extractors import Extractor, ExtractorRegistry
 from .extractor.manager import ExtractionOutcome, ExtractorManager
 from .ingest import IngestJob, IngestReport, IngestTarget, ShardCoordinator
-from .resilience import (UNSET, ConcurrencyConfig, ResilienceConfig,
-                         SourceHealth, coerce_concurrency,
-                         legacy_kwargs_to_config)
+from .resilience.config import (UNSET, ConcurrencyConfig, ResilienceConfig,
+                                coerce_concurrency, legacy_kwargs_to_config)
+from .resilience.health import SourceHealth
 from .instances.outputs import OUTPUT_FORMATS
 from .mapping.attributes import MappingEntry
 from .mapping.datasources import DataSourceRepository
@@ -55,8 +56,9 @@ from .mapping.rules import ExtractionRule, TransformRegistry
 from .query.executor import QueryHandler, QueryResult
 from .query.parser import parse_s2sql
 from .query.scheduler import QueryScheduler
-from .store import (DeltaRefresher, RefreshPolicy, RefreshResult,
-                    SemanticStore, StoreRefresher)
+from .store import (DeltaRefresher, RefreshResult, SemanticStore,
+                    StoreRefresher)
+from .store.refresh import RefreshPolicy
 
 
 def _deprecated_rule(language: str, code: str, *, name: str = "",
@@ -127,6 +129,11 @@ class S2SMiddleware:
             self.resilience = replace(self.resilience,
                                       concurrency=concurrency_config)
         self.store = self._build_store(store)
+        #: Background workers handed out by ``store_refresher()`` /
+        #: ``ingest_coordinator()``; ``close()`` sweeps whichever are
+        #: still alive (weak refs — collected ones need no sweeping).
+        self._owned_closables: "weakref.WeakSet" = weakref.WeakSet()
+        self._closed = False
         self._rebuild()
 
     def _build_store(self, store) -> SemanticStore | None:
@@ -341,10 +348,12 @@ class S2SMiddleware:
         ``interval_seconds`` on the resilience clock.  Use as a context
         manager so the worker thread is shut down on exit."""
         self._require_store()
-        return StoreRefresher(self.refresh_store,
-                              interval_seconds=interval_seconds,
-                              clock=self.resilience.clock,
-                              poll_seconds=poll_seconds)
+        refresher = StoreRefresher(self.refresh_store,
+                                   interval_seconds=interval_seconds,
+                                   clock=self.resilience.clock,
+                                   poll_seconds=poll_seconds)
+        self._owned_closables.add(refresher)
+        return refresher
 
     # -- durable ingest -----------------------------------------------------
 
@@ -358,9 +367,11 @@ class S2SMiddleware:
         tracer and metrics default to the middleware's own."""
         options.setdefault("tracer", self.tracer)
         options.setdefault("metrics", self._metrics)
-        return ShardCoordinator(self._require_store(), self.manager,
-                                self.query_handler.generator, journal_dir,
-                                **options)
+        coordinator = ShardCoordinator(self._require_store(), self.manager,
+                                       self.query_handler.generator,
+                                       journal_dir, **options)
+        self._owned_closables.add(coordinator)
+        return coordinator
 
     def _ingest_targets(self, queries: str | list[str]) -> list[IngestTarget]:
         targets = []
@@ -482,6 +493,42 @@ class S2SMiddleware:
         self.attribute_repository = attributes
         self.source_repository = sources
         self._rebuild()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every background resource this middleware owns.
+
+        One idempotent call stops the asyncio engine's daemon event
+        loop (when running with ``concurrency="asyncio"``), any
+        :meth:`store_refresher` worker threads still alive, and any
+        :meth:`ingest_coordinator` journals still open.  The middleware
+        stays usable for mapping inspection afterwards, but querying
+        through a closed asyncio engine will fail — ``close()`` is for
+        teardown, not a pause.  Also usable as a context manager::
+
+            with B2BScenario().build_middleware() as s2s:
+                s2s.query("SELECT Product")
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for closable in list(self._owned_closables):
+            try:
+                closable.close()
+            except Exception as exc:  # teardown must not mask teardown
+                warnings.warn(f"error closing {type(closable).__name__} "
+                              f"during middleware shutdown: {exc}",
+                              RuntimeWarning, stacklevel=2)
+        manager = getattr(self, "manager", None)
+        if manager is not None:
+            manager.close()
+
+    def __enter__(self) -> "S2SMiddleware":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (f"S2SMiddleware(ontology={self.ontology.name!r}, "

@@ -1,0 +1,437 @@
+"""Clients for the S2S query server.
+
+Two clients share the frame codec and one request/response brain:
+
+* :class:`AsyncS2SClient` — asyncio streams, for callers already on an
+  event loop (and for the server's own tests).
+* :class:`S2SClient` — a plain blocking socket, for scripts, the CLI
+  and benchmark worker threads.  No hidden event loop.
+
+Both mirror the middleware's querying surface —
+``query`` / ``query_many`` / ``sparql`` / ``explain`` — plus
+``prepare()`` returning a :class:`PreparedStatement` (the PARSE/BIND/
+EXECUTE flow: the server keeps the parsed AST, so repeated executions
+skip the parser and planner round trip).  Answers come back as
+:class:`~repro.server.codec.RemoteQueryResult`, whose reading surface
+matches the in-process ``QueryResult``; code that consumes answers does
+not care which side of the socket produced them.
+
+Backpressure is surfaced, not hidden: a RETRY_AFTER frame raises
+:class:`~repro.server.protocol.ServerBusyError` carrying the server's
+retry hint, and an ERROR frame raises
+:class:`~repro.server.protocol.RemoteServerError` with the server's
+error code.  Retrying is the caller's policy decision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+from dataclasses import dataclass, field
+
+from ..errors import S2SError
+from . import protocol
+from .codec import RemoteQueryResult, result_from_wire
+from .protocol import (MAX_FRAME_BYTES, RemoteServerError, ServerBusyError,
+                       TornFrameError, read_frame, read_frame_sync,
+                       write_frame, write_frame_sync)
+
+
+@dataclass
+class RemoteSparqlResult:
+    """SPARQL SELECT rows as decoded from the wire.
+
+    ``rows`` holds one term dict (``type``/``text``/``datatype?``) per
+    variable; :meth:`simple_rows` flattens to the text values."""
+
+    variables: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def simple_rows(self) -> list[tuple]:
+        """Rows as tuples of the terms' text values."""
+        return [tuple(term.get("text") for term in row) for row in self.rows]
+
+
+class _RequestBrain:
+    """Frame construction + response interpretation, shared by both
+    clients.  Subclasses supply only the transport (``_request``)."""
+
+    def __init__(self, tenant: str, token: str | None,
+                 max_frame_bytes: int) -> None:
+        self.tenant = tenant
+        self.token = token
+        self.max_frame_bytes = max_frame_bytes
+        self.server_info: dict = {}
+        self._ids = itertools.count(1)
+
+    def _hello_frame(self) -> dict:
+        frame = {"kind": protocol.HELLO,
+                 "protocol": protocol.PROTOCOL_VERSION,
+                 "tenant": self.tenant}
+        if self.token is not None:
+            frame["token"] = self.token
+        return frame
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    @staticmethod
+    def _check_welcome(reply: dict | None) -> dict:
+        if reply is None:
+            raise TornFrameError("server closed the connection during the "
+                                 "handshake")
+        if reply.get("kind") == protocol.ERROR:
+            raise RemoteServerError(reply.get("code", protocol.CODE_INTERNAL),
+                                    reply.get("error", "handshake refused"))
+        if reply.get("kind") != protocol.WELCOME:
+            raise S2SError(f"expected WELCOME, got {reply.get('kind')!r}")
+        return reply
+
+    @staticmethod
+    def _interpret(reply: dict | None, expected: str) -> dict:
+        """Raise on ERROR / RETRY_AFTER / EOF; return the reply frame."""
+        if reply is None:
+            raise TornFrameError("server closed the connection mid-request")
+        kind = reply.get("kind")
+        if kind == protocol.RETRY_AFTER:
+            raise ServerBusyError(float(reply.get("retry_after", 0.0)),
+                                  queue_depth=reply.get("queue_depth"))
+        if kind == protocol.ERROR:
+            raise RemoteServerError(reply.get("code", protocol.CODE_INTERNAL),
+                                    reply.get("error", "unknown error"))
+        if kind != expected:
+            raise S2SError(f"expected {expected}, got {kind!r}")
+        return reply
+
+    @staticmethod
+    def _query_frame(kind: str, *, merge_key=None, timeout=None,
+                     **fields) -> dict:
+        frame = {"kind": kind, **fields}
+        if merge_key is not None:
+            frame["merge_key"] = list(merge_key)
+        if timeout is not None:
+            frame["timeout"] = float(timeout)
+        return frame
+
+    @staticmethod
+    def _decode_result(reply: dict, started: float) -> RemoteQueryResult:
+        result = result_from_wire(reply.get("result", {}))
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    @staticmethod
+    def _decode_sparql(reply: dict):
+        if "ask" in reply:
+            return bool(reply["ask"])
+        return RemoteSparqlResult(list(reply.get("variables", [])),
+                                  [list(row) for row in
+                                   reply.get("rows", [])])
+
+
+@dataclass
+class PreparedStatement:
+    """A named server-side statement plus its bound portal.
+
+    Created by ``client.prepare()``; ``execute()`` runs the bound
+    portal, re-binding first only when ``merge_key`` changes.  The
+    parsed AST lives on the server — executions skip parse + plan."""
+
+    client: object
+    name: str
+    query_class: str
+    attributes: int
+    _merge_key: list[str] | None = None
+
+    def execute(self, *, merge_key: list[str] | None = None,
+                timeout: float | None = None):
+        """Run the statement (sync and async clients each return their
+        native flavour: a result, or a coroutine producing one)."""
+        return self.client._execute_prepared(self, merge_key=merge_key,
+                                             timeout=timeout)
+
+
+class AsyncS2SClient(_RequestBrain):
+    """The asyncio client; connect with ``async with`` or ``connect()``.
+
+    One outstanding request per client (the server answers a
+    connection's frames in order); open several clients for
+    concurrency."""
+
+    def __init__(self, host: str, port: int, *, tenant: str = "default",
+                 token: str | None = None,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        super().__init__(tenant, token, max_frame_bytes)
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncS2SClient":
+        """Open the connection and complete the HELLO handshake."""
+        if self._writer is not None:
+            return self
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        await write_frame(self._writer, self._hello_frame(),
+                          max_bytes=self.max_frame_bytes)
+        self.server_info = self._check_welcome(
+            await read_frame(self._reader, max_bytes=self.max_frame_bytes))
+        return self
+
+    async def aclose(self) -> None:
+        """Say GOODBYE (best effort) and close the transport."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is None:
+            return
+        try:
+            await write_frame(writer, {"kind": protocol.GOODBYE},
+                              max_bytes=self.max_frame_bytes)
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncS2SClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def _request(self, frame: dict, expected: str) -> dict:
+        if self._writer is None:
+            await self.connect()
+        frame.setdefault("id", self._next_id())
+        await write_frame(self._writer, frame,
+                          max_bytes=self.max_frame_bytes)
+        return self._interpret(
+            await read_frame(self._reader, max_bytes=self.max_frame_bytes),
+            expected)
+
+    async def query(self, s2sql: str, *,
+                    merge_key: list[str] | None = None,
+                    timeout: float | None = None) -> RemoteQueryResult:
+        """One S2SQL query over the wire; mirrors ``middleware.query``."""
+        started = time.perf_counter()
+        reply = await self._request(
+            self._query_frame(protocol.QUERY, s2sql=s2sql,
+                              merge_key=merge_key, timeout=timeout),
+            protocol.RESULT)
+        return self._decode_result(reply, started)
+
+    async def query_many(self, queries: list[str], *,
+                         merge_key: list[str] | None = None,
+                         timeout: float | None = None
+                         ) -> list[RemoteQueryResult]:
+        """A batch sharing one scan per source, like ``query_many``."""
+        started = time.perf_counter()
+        reply = await self._request(
+            self._query_frame(protocol.QUERY_MANY, queries=list(queries),
+                              merge_key=merge_key, timeout=timeout),
+            protocol.RESULTS)
+        results = [result_from_wire(wire)
+                   for wire in reply.get("results", [])]
+        elapsed = time.perf_counter() - started
+        for result in results:
+            result.elapsed_seconds = elapsed
+        return results
+
+    async def prepare(self, name: str, s2sql: str) -> PreparedStatement:
+        """PARSE + BIND a named statement; returns its handle."""
+        reply = await self._request(
+            {"kind": protocol.PARSE, "name": name, "s2sql": s2sql},
+            protocol.PARSED)
+        await self._request({"kind": protocol.BIND, "name": name},
+                            protocol.BOUND)
+        return PreparedStatement(self, name, reply.get("query_class", ""),
+                                 int(reply.get("attributes", 0)))
+
+    async def _execute_prepared(self, statement: PreparedStatement, *,
+                                merge_key: list[str] | None,
+                                timeout: float | None) -> RemoteQueryResult:
+        if merge_key != statement._merge_key:
+            await self._request(
+                self._query_frame(protocol.BIND, name=statement.name,
+                                  merge_key=merge_key),
+                protocol.BOUND)
+            statement._merge_key = merge_key
+        started = time.perf_counter()
+        reply = await self._request(
+            self._query_frame(protocol.EXECUTE, portal=statement.name,
+                              timeout=timeout),
+            protocol.RESULT)
+        return self._decode_result(reply, started)
+
+    async def sparql(self, text: str):
+        """SPARQL over the tenant's store: bool for ASK, rows for
+        SELECT."""
+        reply = await self._request({"kind": protocol.SPARQL,
+                                     "sparql": text},
+                                    protocol.SPARQL_RESULT)
+        return self._decode_sparql(reply)
+
+    async def explain(self, s2sql: str, *,
+                      merge_key: list[str] | None = None) -> str:
+        """The server-rendered span tree for one traced execution."""
+        reply = await self._request(
+            self._query_frame(protocol.EXPLAIN, s2sql=s2sql,
+                              merge_key=merge_key),
+            protocol.EXPLAINED)
+        return reply.get("rendered", "")
+
+    async def status(self) -> dict:
+        """Server + tenant status snapshot."""
+        reply = await self._request({"kind": protocol.STATUS},
+                                    protocol.STATUS_OK)
+        return {key: value for key, value in reply.items()
+                if key not in ("kind", "id")}
+
+    async def metrics(self) -> dict:
+        """Server + tenant metrics export."""
+        reply = await self._request({"kind": protocol.METRICS},
+                                    protocol.METRICS_OK)
+        return {key: value for key, value in reply.items()
+                if key not in ("kind", "id")}
+
+
+class S2SClient(_RequestBrain):
+    """The blocking client over a plain socket.
+
+    Symmetric with :class:`AsyncS2SClient` method for method; use from
+    scripts, REPLs and benchmark worker threads.  ``timeout`` is the
+    socket timeout for connect and reads (``None`` blocks forever)."""
+
+    def __init__(self, host: str, port: int, *, tenant: str = "default",
+                 token: str | None = None, timeout: float | None = 30.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        super().__init__(tenant, token, max_frame_bytes)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+
+    def connect(self) -> "S2SClient":
+        """Open the connection and complete the HELLO handshake."""
+        if self._sock is not None:
+            return self
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        write_frame_sync(self._sock, self._hello_frame(),
+                         max_bytes=self.max_frame_bytes)
+        self.server_info = self._check_welcome(
+            read_frame_sync(self._sock, max_bytes=self.max_frame_bytes))
+        return self
+
+    def close(self) -> None:
+        """Say GOODBYE (best effort) and close the socket."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            write_frame_sync(sock, {"kind": protocol.GOODBYE},
+                             max_bytes=self.max_frame_bytes)
+        except (ConnectionError, OSError):
+            pass
+        sock.close()
+
+    def __enter__(self) -> "S2SClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, frame: dict, expected: str) -> dict:
+        if self._sock is None:
+            self.connect()
+        frame.setdefault("id", self._next_id())
+        write_frame_sync(self._sock, frame, max_bytes=self.max_frame_bytes)
+        return self._interpret(
+            read_frame_sync(self._sock, max_bytes=self.max_frame_bytes),
+            expected)
+
+    def query(self, s2sql: str, *, merge_key: list[str] | None = None,
+              timeout: float | None = None) -> RemoteQueryResult:
+        """One S2SQL query over the wire; mirrors ``middleware.query``."""
+        started = time.perf_counter()
+        reply = self._request(
+            self._query_frame(protocol.QUERY, s2sql=s2sql,
+                              merge_key=merge_key, timeout=timeout),
+            protocol.RESULT)
+        return self._decode_result(reply, started)
+
+    def query_many(self, queries: list[str], *,
+                   merge_key: list[str] | None = None,
+                   timeout: float | None = None) -> list[RemoteQueryResult]:
+        """A batch sharing one scan per source, like ``query_many``."""
+        started = time.perf_counter()
+        reply = self._request(
+            self._query_frame(protocol.QUERY_MANY, queries=list(queries),
+                              merge_key=merge_key, timeout=timeout),
+            protocol.RESULTS)
+        results = [result_from_wire(wire)
+                   for wire in reply.get("results", [])]
+        elapsed = time.perf_counter() - started
+        for result in results:
+            result.elapsed_seconds = elapsed
+        return results
+
+    def prepare(self, name: str, s2sql: str) -> PreparedStatement:
+        """PARSE + BIND a named statement; returns its handle."""
+        reply = self._request(
+            {"kind": protocol.PARSE, "name": name, "s2sql": s2sql},
+            protocol.PARSED)
+        self._request({"kind": protocol.BIND, "name": name}, protocol.BOUND)
+        return PreparedStatement(self, name, reply.get("query_class", ""),
+                                 int(reply.get("attributes", 0)))
+
+    def _execute_prepared(self, statement: PreparedStatement, *,
+                          merge_key: list[str] | None,
+                          timeout: float | None) -> RemoteQueryResult:
+        if merge_key != statement._merge_key:
+            self._request(
+                self._query_frame(protocol.BIND, name=statement.name,
+                                  merge_key=merge_key),
+                protocol.BOUND)
+            statement._merge_key = merge_key
+        started = time.perf_counter()
+        reply = self._request(
+            self._query_frame(protocol.EXECUTE, portal=statement.name,
+                              timeout=timeout),
+            protocol.RESULT)
+        return self._decode_result(reply, started)
+
+    def sparql(self, text: str):
+        """SPARQL over the tenant's store: bool for ASK, rows for
+        SELECT."""
+        reply = self._request({"kind": protocol.SPARQL, "sparql": text},
+                              protocol.SPARQL_RESULT)
+        return self._decode_sparql(reply)
+
+    def explain(self, s2sql: str, *,
+                merge_key: list[str] | None = None) -> str:
+        """The server-rendered span tree for one traced execution."""
+        reply = self._request(
+            self._query_frame(protocol.EXPLAIN, s2sql=s2sql,
+                              merge_key=merge_key),
+            protocol.EXPLAINED)
+        return reply.get("rendered", "")
+
+    def status(self) -> dict:
+        """Server + tenant status snapshot."""
+        reply = self._request({"kind": protocol.STATUS}, protocol.STATUS_OK)
+        return {key: value for key, value in reply.items()
+                if key not in ("kind", "id")}
+
+    def metrics(self) -> dict:
+        """Server + tenant metrics export."""
+        reply = self._request({"kind": protocol.METRICS},
+                              protocol.METRICS_OK)
+        return {key: value for key, value in reply.items()
+                if key not in ("kind", "id")}

@@ -1,0 +1,246 @@
+"""The S2S wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding one object.  The object always
+carries a ``kind`` (the frame type) and, for request/response pairs, an
+``id`` the server echoes back so clients can correlate pipelined
+requests.  JSON over a binary length prefix keeps the framing trivial to
+implement in any language while making message boundaries explicit —
+the same trade the Postgres extended protocol makes with its typed,
+length-prefixed messages (parse/bind/execute maps directly onto the
+PARSE/BIND/EXECUTE frames here).
+
+Client → server frames::
+
+    HELLO    {tenant, token?, protocol}      open + authenticate a session
+    QUERY    {id, s2sql, merge_key?}         one-shot S2SQL query
+    QUERY_MANY {id, queries, merge_key?}     batched queries, one shared scan
+    PARSE    {id, name, s2sql}               prepare a named statement
+    BIND     {id, name, portal?, merge_key?} bind a portal over a statement
+    EXECUTE  {id, portal}                    run a bound portal
+    SPARQL   {id, sparql}                    SPARQL over the tenant's store
+    EXPLAIN  {id, s2sql, merge_key?}         traced execution, rendered tree
+    STATUS   {id}                            tenant + server status snapshot
+    METRICS  {id}                            tenant + server metrics export
+    GOODBYE  {}                              orderly connection close
+
+Server → client frames::
+
+    WELCOME      {protocol, server, tenant}
+    RESULT       {id, result}                 wire-encoded QueryResult
+    RESULTS      {id, results}                one wire result per query
+    PARSED       {id, name, query_class, attributes}
+    BOUND        {id, portal}
+    SPARQL_RESULT{id, ask?|variables+rows}
+    EXPLAINED    {id, rendered}
+    STATUS_OK    {id, ...snapshot}
+    METRICS_OK   {id, metrics}
+    RETRY_AFTER  {id, retry_after, queue_depth}   admission control pushback
+    ERROR        {id?, code, error}
+    GOODBYE      {}
+
+Framing errors are typed so the server can distinguish a client that
+went away mid-frame (:class:`TornFrameError`), one that sent a frame
+over the negotiated size limit (:class:`OversizedFrameError` — the
+declared length is rejected *before* the payload is read, so a hostile
+length cannot balloon memory) and one that sent bytes that are not a
+JSON object (:class:`GarbledFrameError`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+from ..errors import S2SError
+
+#: Protocol revision; HELLO carries it and the server refuses mismatches.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame size ceiling (header-declared length, in bytes).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# -- frame kinds ----------------------------------------------------------
+
+HELLO = "HELLO"
+WELCOME = "WELCOME"
+QUERY = "QUERY"
+QUERY_MANY = "QUERY_MANY"
+PARSE = "PARSE"
+BIND = "BIND"
+EXECUTE = "EXECUTE"
+SPARQL = "SPARQL"
+EXPLAIN = "EXPLAIN"
+STATUS = "STATUS"
+METRICS = "METRICS"
+GOODBYE = "GOODBYE"
+RESULT = "RESULT"
+RESULTS = "RESULTS"
+PARSED = "PARSED"
+BOUND = "BOUND"
+SPARQL_RESULT = "SPARQL_RESULT"
+EXPLAINED = "EXPLAINED"
+STATUS_OK = "STATUS_OK"
+METRICS_OK = "METRICS_OK"
+RETRY_AFTER = "RETRY_AFTER"
+ERROR = "ERROR"
+
+#: Error codes carried on ERROR frames.
+CODE_AUTH = "AUTH"
+CODE_BAD_FRAME = "BAD_FRAME"
+CODE_BAD_REQUEST = "BAD_REQUEST"
+CODE_DEADLINE = "DEADLINE_EXCEEDED"
+CODE_INTERNAL = "INTERNAL"
+CODE_QUERY = "QUERY_ERROR"
+CODE_SHUTTING_DOWN = "SHUTTING_DOWN"
+CODE_UNKNOWN_KIND = "UNKNOWN_KIND"
+
+
+class ProtocolError(S2SError):
+    """A violation of the frame protocol (framing, not semantics)."""
+
+
+class TornFrameError(ProtocolError):
+    """The peer disappeared mid-frame (EOF inside header or body)."""
+
+
+class OversizedFrameError(ProtocolError):
+    """A frame header declared a length over the configured ceiling."""
+
+
+class GarbledFrameError(ProtocolError):
+    """A frame body that is not a JSON object with a ``kind``."""
+
+
+class RemoteServerError(S2SError):
+    """The server answered a request with an ERROR frame.
+
+    ``code`` is the machine-readable error class (``AUTH``,
+    ``QUERY_ERROR``, ``DEADLINE_EXCEEDED``, ...); the message is the
+    server's human-readable description."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServerBusyError(S2SError):
+    """The server refused admission with a RETRY_AFTER frame.
+
+    Backpressure, not failure: the request was never executed and the
+    caller should retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float, *,
+                 queue_depth: int | None = None) -> None:
+        message = f"server busy; retry in {retry_after:.3f}s"
+        if queue_depth is not None:
+            message += f" (queue depth {queue_depth})"
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+
+
+# -- encoding -------------------------------------------------------------
+
+def encode_frame(payload: dict, *,
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Header + JSON body for one frame; raises when over the ceiling."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > max_bytes:
+        raise OversizedFrameError(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """The frame payload, validated to be a JSON object with a kind."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GarbledFrameError(f"frame body is not valid JSON: {exc}") \
+            from exc
+    if not isinstance(payload, dict):
+        raise GarbledFrameError(
+            f"frame body must be a JSON object, not {type(payload).__name__}")
+    if not isinstance(payload.get("kind"), str):
+        raise GarbledFrameError("frame object is missing its 'kind'")
+    return payload
+
+
+# -- asyncio stream I/O ---------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """One frame from the stream; ``None`` on clean EOF at a boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # orderly close between frames
+        raise TornFrameError(
+            f"connection closed {len(exc.partial)} bytes into a frame "
+            f"header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise OversizedFrameError(
+            f"declared frame length {length} exceeds the {max_bytes}-byte "
+            f"limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TornFrameError(
+            f"connection closed {len(exc.partial)}/{length} bytes into a "
+            f"frame body") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict, *,
+                      max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Encode and flush one frame."""
+    writer.write(encode_frame(payload, max_bytes=max_bytes))
+    await writer.drain()
+
+
+# -- blocking socket I/O (the sync client) --------------------------------
+
+def read_frame_sync(sock: socket.socket, *,
+                    max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Blocking twin of :func:`read_frame` over a plain socket."""
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise OversizedFrameError(
+            f"declared frame length {length} exceeds the {max_bytes}-byte "
+            f"limit")
+    body = _recv_exactly(sock, length)
+    return decode_body(body)
+
+
+def write_frame_sync(sock: socket.socket, payload: dict, *,
+                     max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Blocking twin of :func:`write_frame`."""
+    sock.sendall(encode_frame(payload, max_bytes=max_bytes))
+
+
+def _recv_exactly(sock: socket.socket, length: int, *,
+                  allow_eof: bool = False) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == length:
+                return None  # orderly close between frames
+            received = length - remaining
+            raise TornFrameError(
+                f"connection closed {received}/{length} bytes into a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""

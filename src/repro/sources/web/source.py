@@ -11,6 +11,8 @@ file can serve many registered pages (the paper's ``watch.webl`` +
 
 from __future__ import annotations
 
+import asyncio
+
 from ...errors import ExtractionError, WeblError
 from ...webl.interpreter import WeblInterpreter
 from ..base import ConnectionInfo, DataSource, stable_digest
@@ -62,6 +64,41 @@ class WebDataSource(DataSource):
         except WeblError as exc:
             raise ExtractionError(
                 f"WebL rule failed: {exc}", source_id=self.source_id) from exc
+        return self._records(result)
+
+    async def aexecute_rule(self, rule: str) -> list[str]:
+        """Awaitable twin of :meth:`execute_rule` for the asyncio engine.
+
+        WebL programs are synchronous — ``GetURL`` calls happen mid-run,
+        so the fetches cannot be awaited individually.  Instead the
+        program runs on the loop against :meth:`SimulatedWeb.fetch_nowait`
+        (counters move, no sleeping) and the simulated latency owed for
+        the fetches is awaited *once* afterwards: same fetch accounting,
+        same total elapsed time, but the event loop interleaves other
+        sources during the wait instead of blocking a borrowed thread."""
+        if not self.connected:
+            self.connect()
+        fetches = 0
+
+        def fetch(url: str) -> str:
+            nonlocal fetches
+            fetches += 1
+            return self.web.fetch_nowait(url)
+
+        interpreter = WeblInterpreter(
+            fetch, extra_builtins={"SourceURL": lambda: self.url})
+        try:
+            program = self._compile(rule)
+            result = interpreter.run(program)
+        except WeblError as exc:
+            raise ExtractionError(
+                f"WebL rule failed: {exc}", source_id=self.source_id) from exc
+        owed = fetches * self.web.latency_seconds
+        if owed > 0:
+            await asyncio.sleep(owed)
+        return self._records(result)
+
+    def _records(self, result) -> list[str]:
         if result is None:
             return []
         if isinstance(result, list):

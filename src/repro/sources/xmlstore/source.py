@@ -72,6 +72,15 @@ class XmlDataSource(DataSource):
             values = compiled.values(document)
         return [value.strip() for value in values]
 
+    async def aexecute_rule(self, rule: str) -> list[str]:
+        """Awaitable twin of :meth:`execute_rule` for the asyncio engine.
+
+        XPath/XQuery over the in-memory document store is pure compute
+        with no transport to wait on, so it runs synchronously on the
+        loop — cheaper than borrowing a worker thread for microseconds
+        of tree walking."""
+        return self.execute_rule(rule)
+
     def content_fingerprint(self) -> str | None:
         """Hash of every stored document's serialized XML."""
         parts: list[str] = []

@@ -21,7 +21,7 @@ from repro.core.extractor.cache import FragmentCache
 from repro.core.extractor.records import RawFragment
 from repro.core.mapping.attributes import MappingEntry
 from repro.core.mapping.rules import ExtractionRule
-from repro.core.resilience import ConcurrencyConfig
+from repro.config import ConcurrencyConfig
 from repro.errors import ExtractionError, TransientSourceError
 from repro.ids import AttributePath
 from repro.obs import MetricsRegistry

@@ -17,8 +17,8 @@ from repro.core.query import QueryBatch, QueryScheduler
 from repro.core.query.parser import parse_s2sql
 from repro.core.query.planner import QueryPlanner
 from repro.core.query.scheduler import _Item
-from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                   RetryPolicy)
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.errors import QueryError
 from repro.obs import MetricsRegistry, Tracer
 from repro.ontology.builders import watch_domain_ontology

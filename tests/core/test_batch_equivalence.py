@@ -26,8 +26,8 @@ import random
 import pytest
 
 from repro.clock import FakeClock
-from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                   RetryPolicy)
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.obs import MetricsRegistry
 from repro.sources.flaky import FlakySource
 from repro.workloads import B2BScenario

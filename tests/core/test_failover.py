@@ -7,7 +7,8 @@ import pytest
 
 from repro import S2SMiddleware, ExtractionRule
 from repro.clock import FakeClock
-from repro.core.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.errors import MappingError
 from repro.ontology.builders import watch_domain_ontology
 from repro.sources.flaky import FlakySource

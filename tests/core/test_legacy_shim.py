@@ -12,8 +12,8 @@ import pytest
 
 from repro import (ExtractionRule, S2SMiddleware, regex_rule, sql_rule,
                    webl_rule, xpath_rule)
-from repro.core.resilience import (ResilienceConfig, RetryPolicy,
-                                   legacy_kwargs_to_config)
+from repro.config import ResilienceConfig
+from repro.core.resilience import RetryPolicy, legacy_kwargs_to_config
 from repro.errors import S2SError
 from repro.ontology.builders import watch_domain_ontology
 from repro.workloads import B2BScenario

@@ -1,0 +1,58 @@
+"""Middleware lifecycle: close() releases what the middleware owns."""
+
+from __future__ import annotations
+
+from repro.workloads import B2BScenario
+
+
+def build(**kwargs):
+    return B2BScenario(n_sources=2, n_products=4, seed=3).build_middleware(
+        **kwargs)
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        middleware = build()
+        middleware.close()
+        middleware.close()  # second call is a no-op, not an error
+        assert middleware._closed
+
+    def test_context_manager_closes(self):
+        with build() as middleware:
+            assert len(middleware.query("SELECT Product")) == 4
+        assert middleware._closed
+
+    def test_close_stops_owned_refresher(self):
+        middleware = build(store=True)
+        refresher = middleware.store_refresher(interval_seconds=60.0)
+        middleware.close()
+        assert refresher._closed
+
+    def test_close_stops_owned_ingest_coordinator(self, tmp_path):
+        middleware = build(store=True)
+        coordinator = middleware.ingest_coordinator(str(tmp_path / "journal"))
+        coordinator.journal.append({"type": "probe"})  # opens the handle
+        middleware.close()
+        # the journal is what the coordinator owns; closed means closed
+        assert coordinator.journal._handle is None
+
+    def test_close_shuts_down_asyncio_engine(self):
+        middleware = build(concurrency="asyncio")
+        assert len(middleware.query("SELECT Product")) == 4
+        middleware.close()
+        assert middleware._closed
+
+    def test_mapping_inspection_survives_close(self):
+        middleware = build()
+        middleware.close()
+        assert middleware.mapping_coverage() > 0
+
+    def test_released_refresher_does_not_block_close(self):
+        # a refresher the caller already closed (and dropped) must not
+        # break middleware teardown
+        middleware = build(store=True)
+        refresher = middleware.store_refresher()
+        refresher.close()
+        del refresher
+        middleware.close()
+        assert middleware._closed

@@ -15,8 +15,8 @@ from repro.clock import FakeClock
 from repro.core.query.executor import QueryResult
 from repro.core.query.parser import parse_s2sql
 from repro.core.query.planner import QueryPlanner
-from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                   RetryPolicy)
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.obs import (NULL_SPAN, MetricsRegistry, Tracer, metrics_to_json,
                        trace_to_json)
 from repro.obs.trace import NullSpan

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.extractor.cache import FragmentCache
-from repro.core.resilience import ConcurrencyConfig
+from repro.config import ConcurrencyConfig
 from repro.core.mapping.attributes import MappingEntry
 from repro.core.mapping.rules import ExtractionRule
 from repro.ids import AttributePath

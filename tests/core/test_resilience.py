@@ -10,9 +10,9 @@ import pytest
 
 from repro import S2SMiddleware, ExtractionRule
 from repro.clock import FakeClock, SystemClock
-from repro.core.resilience import (BreakerPolicy, CircuitBreaker,
-                                   ConcurrencyConfig, Deadline,
-                                   ResilienceConfig, RetryBudget, RetryPolicy)
+from repro.config import ConcurrencyConfig, ResilienceConfig
+from repro.core.resilience import (BreakerPolicy, CircuitBreaker, Deadline,
+                                   RetryBudget, RetryPolicy)
 from repro.errors import (DeadlineExceededError, ExtractionError,
                           TransientSourceError)
 from repro.ontology.builders import watch_domain_ontology

@@ -13,11 +13,11 @@ from repro import ExtractionRule, S2SMiddleware
 from repro.clock import FakeClock
 from repro.core.extractor.manager import ExtractionProblem
 from repro.core.query.parser import parse_s2sql
-from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                   RetryPolicy)
+from repro.config import RefreshPolicy, ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.core.instances.assembly import AssembledEntity
 from repro.core.instances.errors import ErrorEntry
-from repro.core.store import (RefreshPolicy, SemanticStore, StoreRefresher)
+from repro.core.store import SemanticStore, StoreRefresher
 from repro.core.store.store import Materialization, SourceSlice
 from repro.errors import S2SError
 from repro.ids import AttributePath

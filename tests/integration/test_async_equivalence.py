@@ -29,8 +29,8 @@ import pytest
 
 from repro.clock import FakeClock
 from repro.core.extractor import AsyncExtractorManager
-from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                   RetryPolicy)
+from repro.config import ResilienceConfig
+from repro.core.resilience import BreakerPolicy, RetryPolicy
 from repro.obs import MetricsRegistry
 from repro.sources.flaky import FlakySource
 from repro.workloads import B2BScenario

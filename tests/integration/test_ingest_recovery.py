@@ -269,8 +269,8 @@ class TestCorruptPersistence:
 
 class TestBreakerIntegration:
     def test_open_breaker_keeps_serving_the_stale_slice(self, tmp_path):
-        from repro.core.resilience import (BreakerPolicy, ResilienceConfig,
-                                           RetryPolicy)
+        from repro.config import ResilienceConfig
+        from repro.core.resilience import BreakerPolicy, RetryPolicy
         config = ResilienceConfig(
             retry=RetryPolicy(max_attempts=2, base_delay=0.01,
                               jitter="none"),

@@ -22,7 +22,8 @@ import pytest
 
 from repro import ExtractionRule, S2SMiddleware
 from repro.clock import FakeClock
-from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.config import ResilienceConfig
+from repro.core.resilience import RetryPolicy
 from repro.errors import TransientSourceError
 from repro.obs import MetricsRegistry
 from repro.ontology.builders import watch_domain_ontology

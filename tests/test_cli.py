@@ -222,3 +222,100 @@ class TestIngest:
                                   *self.scenario_args())
         assert code == 0
         assert "nothing to requeue" in out
+
+
+class TestServe:
+    def test_serve_binds_and_exits_after_duration(self, capsys, tmp_path):
+        port_file = str(tmp_path / "port")
+        code, out, err = run_cli(capsys, "serve", "--duration", "0",
+                                 "--port-file", port_file,
+                                 "--tenants", "acme:tok,globex",
+                                 "--sources", "2", "--products", "4")
+        assert code == 0
+        assert "listening on 127.0.0.1:" in out
+        assert "acme" in out and "globex" in out
+        assert "server stopped" in err
+        with open(port_file, encoding="utf-8") as handle:
+            assert int(handle.read()) > 0
+
+    def test_serve_rejects_empty_tenants(self, capsys):
+        code, _out, err = run_cli(capsys, "serve", "--duration", "0",
+                                  "--tenants", ",")
+        assert code == 1
+        assert "at least one tenant" in err
+
+
+class TestClient:
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.server import S2SServer, ServerThread, Tenant, \
+            TenantRegistry
+        from repro.workloads import B2BScenario
+        registry = TenantRegistry()
+        registry.add(Tenant(
+            "acme",
+            B2BScenario(n_sources=2, n_products=5,
+                        seed=7).build_middleware(store=True),
+            token="tok", owned=True))
+        thread = ServerThread(S2SServer(registry))
+        host, port = thread.start()
+        yield {"host": host, "port": str(port)}
+        thread.stop()
+
+    def client_args(self, server, *extra):
+        return ("client", "--port", server["port"], "--tenant", "acme",
+                "--token", "tok", *extra)
+
+    def test_query(self, capsys, server):
+        code, out, err = run_cli(capsys,
+                                 *self.client_args(server, "SELECT Product"))
+        assert code == 0
+        assert out.count("watch ") == 5
+        assert "5 entities" in err and "round-trip" in err
+
+    def test_batch_file(self, capsys, server, tmp_path):
+        batch = tmp_path / "queries.s2sql"
+        batch.write_text("SELECT Product\nSELECT Provider\n")
+        code, out, _err = run_cli(
+            capsys, *self.client_args(server, "--batch-file", str(batch)))
+        assert code == 0
+        assert "=== SELECT Product (5 entities) ===" in out
+        assert "=== SELECT Provider" in out
+
+    def test_status_and_metrics(self, capsys, server):
+        code, out, _err = run_cli(capsys,
+                                  *self.client_args(server, "--status"))
+        assert code == 0
+        assert '"tenant": "acme"' in out
+        code, out, _err = run_cli(capsys,
+                                  *self.client_args(server, "--metrics"))
+        assert code == 0
+        assert "server_requests_total" in out
+
+    def test_explain(self, capsys, server):
+        code, out, _err = run_cli(
+            capsys, *self.client_args(server, "--explain", "SELECT Product"))
+        assert code == 0
+        assert "query" in out
+
+    def test_sparql(self, capsys, server):
+        run_cli(capsys, *self.client_args(server, "SELECT Product"))
+        code, out, _err = run_cli(capsys, *self.client_args(
+            server, "--sparql",
+            "SELECT ?s WHERE { ?s "
+            "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?c }"))
+        assert code == 0
+        assert out.startswith("?s") or out.startswith("s")
+
+    def test_exactly_one_mode_required(self, capsys, server):
+        code, _out, err = run_cli(
+            capsys, *self.client_args(server, "SELECT Product", "--status"))
+        assert code == 2
+        assert "exactly one" in err
+
+    def test_bad_token_reports_error(self, capsys, server):
+        code, _out, err = run_cli(capsys, "client", "--port",
+                                  server["port"], "--tenant", "acme",
+                                  "--token", "wrong", "SELECT Product")
+        assert code == 1
+        assert "error:" in err
