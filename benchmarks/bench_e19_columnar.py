@@ -1,0 +1,118 @@
+"""E19 — vectorized columnar SQL execution: row vs columnar engine.
+
+Every extraction rule in the wrapper architecture bottoms out in the
+relational engine, so the SELECT executor's speed compounds through
+every layer above it.  This benchmark times wide-table scans
+(filter + project over a 10-column table) at 10k–100k rows under both
+engines and asserts the acceptance floor: the columnar engine must be
+**>= 5x** faster than the row-at-a-time oracle on the wide-scan
+filter+project shape.
+
+Both engines read the same :class:`Table`; the row engine scans the
+cached row-major view (materialized once, outside the timed region), so
+the comparison measures execution strategy, not storage conversion.
+
+``E19_ITERATIONS=1`` puts the benchmark in CI smoke mode (smaller
+tables, one run per cell); the default takes the best of 3 runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.bench import ResultTable
+from repro.sources.relational import Database
+
+ITERATIONS = int(os.environ.get("E19_ITERATIONS", "3"))
+SMOKE = ITERATIONS <= 1
+ROW_COUNTS = [2_000, 5_000] if SMOKE else [10_000, 30_000, 100_000]
+FLOOR_ROWS = ROW_COUNTS[-1]
+N_TEXT_POOL = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+#: the wide-scan shape the acceptance floor is asserted on
+WIDE_SCAN = ("SELECT c1, c3, c5 FROM wide "
+             "WHERE c0 > 500 AND c2 LIKE 'a%'")
+
+QUERIES = {
+    "filter_project": WIDE_SCAN,
+    "aggregate": ("SELECT c2, COUNT(*) AS n, SUM(c0) AS total "
+                  "FROM wide GROUP BY c2 ORDER BY n DESC"),
+    "order_by": "SELECT c0, c2 FROM wide WHERE c4 = TRUE "
+                "ORDER BY c0 DESC LIMIT 50",
+}
+
+
+def build_table(n_rows: int) -> Database:
+    """A 10-column table mixing all four types, deterministic content."""
+    database = Database("bench")
+    database.execute(
+        "CREATE TABLE wide (c0 INTEGER, c1 REAL, c2 TEXT, c3 INTEGER, "
+        "c4 BOOLEAN, c5 TEXT, c6 REAL, c7 INTEGER, c8 TEXT, c9 BOOLEAN)")
+    table = database.require_table("wide")
+    rng = random.Random(7)
+    for _ in range(n_rows):
+        table.insert({
+            "c0": rng.randrange(1000),
+            "c1": rng.random() * 100.0,
+            "c2": rng.choice(N_TEXT_POOL),
+            "c3": rng.randrange(50),
+            "c4": rng.random() < 0.5,
+            "c5": rng.choice(N_TEXT_POOL),
+            "c6": rng.random(),
+            "c7": rng.randrange(10),
+            "c8": rng.choice(N_TEXT_POOL),
+            "c9": rng.random() < 0.1,
+        })
+    table.rows  # materialize the row-major view outside the timed region
+    return database
+
+
+def best_of(runs: int, operation) -> float:
+    return min(_timed(operation) for _ in range(runs))
+
+
+def _timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def test_e19_columnar_report():
+    table = ResultTable(
+        f"E19: row vs columnar SELECT execution (10 columns, "
+        f"best of {ITERATIONS})",
+        ["query", "rows", "row_s", "columnar_s", "speedup"])
+    for n_rows in ROW_COUNTS:
+        database = build_table(n_rows)
+        for label, sql in QUERIES.items():
+            expected = database.execute(sql, engine="row")
+            actual = database.execute(sql, engine="columnar")
+            assert (expected.columns, expected.rows) == (
+                actual.columns, actual.rows), label
+            row_seconds = best_of(
+                ITERATIONS, lambda: database.execute(sql, engine="row"))
+            columnar_seconds = best_of(
+                ITERATIONS, lambda: database.execute(sql, engine="columnar"))
+            table.add_row(label, n_rows, row_seconds, columnar_seconds,
+                          row_seconds / columnar_seconds)
+    table.print()
+
+
+def test_e19_speedup_floor():
+    """Acceptance criterion: >= 5x on the wide-scan filter+project."""
+    database = build_table(FLOOR_ROWS)
+    database.execute(WIDE_SCAN, engine="row")  # warm caches
+    database.execute(WIDE_SCAN, engine="columnar")
+    row_seconds = best_of(
+        max(ITERATIONS, 3),
+        lambda: database.execute(WIDE_SCAN, engine="row"))
+    columnar_seconds = best_of(
+        max(ITERATIONS, 3),
+        lambda: database.execute(WIDE_SCAN, engine="columnar"))
+    speedup = row_seconds / columnar_seconds
+    assert speedup >= 5.0, (
+        f"columnar speedup {speedup:.2f}x below the 5x floor "
+        f"({FLOOR_ROWS} rows: row={row_seconds:.4f}s "
+        f"columnar={columnar_seconds:.4f}s)")

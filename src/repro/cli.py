@@ -51,6 +51,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                              "thread pool, or the asyncio engine")
     parser.add_argument("--parallel", action="store_true",
                         help="deprecated alias of --concurrency thread")
+    parser.add_argument("--sql-engine", choices=("row", "columnar"),
+                        default="columnar",
+                        help="SELECT executor for database sources: "
+                             "vectorized columnar (default) or the "
+                             "row-at-a-time oracle")
 
 
 def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
@@ -68,7 +73,8 @@ def _build(args: argparse.Namespace, *, store: bool = False):
 
     scenario = B2BScenario(n_sources=args.sources, n_products=args.products,
                            conflicts=_CONFLICT_LEVELS[args.conflicts],
-                           seed=args.seed)
+                           seed=args.seed,
+                           sql_engine=getattr(args, "sql_engine", "columnar"))
     mode = args.concurrency
     if mode is None:
         # --parallel predates --concurrency; honor it quietly here (the

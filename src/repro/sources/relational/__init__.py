@@ -7,10 +7,17 @@ engine to run them for real — catalog, typed tables, hash indexes, and a
 SQL dialect covering DDL (CREATE/DROP/ALTER TABLE), DML (INSERT, UPDATE,
 DELETE) and queries (SELECT with projections, WHERE, INNER/LEFT JOIN,
 GROUP BY with aggregates, ORDER BY, DISTINCT, LIMIT).
+
+Storage is columnar (typed per-column buffers plus validity bitmaps)
+and SELECTs default to the vectorized batch executor in
+``sql/columnar.py``; the row-at-a-time executor remains available as
+``engine="row"`` and serves as the differential-testing oracle.  See
+``docs/relational.md``.
 """
 
-from .database import Database
-from .table import Column, Table
+from .database import ENGINES, Database
+from .table import Column, ColumnData, Table
 from .source import RelationalDataSource
 
-__all__ = ["Database", "Table", "Column", "RelationalDataSource"]
+__all__ = ["Database", "Table", "Column", "ColumnData", "ENGINES",
+           "RelationalDataSource"]

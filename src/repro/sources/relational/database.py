@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
-from ...errors import SqlExecutionError
+from ...errors import SqlError, SqlExecutionError
+from .sql.ast import Aggregate, Select
+from .sql.columnar import PlanReport, execute_columnar, render_condition
 from .sql.executor import ResultSet, execute
 from .sql.parser import parse_sql
 from .table import Column, Table
+
+#: Valid values for the SELECT execution engine knob.
+ENGINES = ("row", "columnar")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise SqlError(f"unknown SQL engine {engine!r} "
+                       f"(choose from {list(ENGINES)})")
+    return engine
 
 
 class Database:
@@ -15,10 +27,18 @@ class Database:
     hold a :class:`Database`, and the middleware's database extractor runs
     mapping-entry SQL against it through
     :class:`~repro.sources.relational.source.RelationalDataSource`.
+
+    ``engine`` selects how SELECTs execute: ``"columnar"`` (default)
+    runs the vectorized executor over column-major storage, ``"row"``
+    the row-at-a-time oracle.  DML/DDL always take the row path — they
+    mutate the table, there is nothing to vectorize.
     """
 
-    def __init__(self, name: str = "default") -> None:
+    def __init__(self, name: str = "default", *,
+                 engine: str = "columnar") -> None:
         self.name = name
+        self.engine = _check_engine(engine)
+        self.last_plan: PlanReport | None = None
         self._tables: dict[str, Table] = {}
 
     # -- catalog ----------------------------------------------------------
@@ -55,9 +75,39 @@ class Database:
 
     # -- SQL ----------------------------------------------------------------
 
-    def execute(self, sql: str) -> ResultSet:
-        """Parse and run one SQL statement."""
-        return execute(self, parse_sql(sql))
+    def execute(self, sql: str, *, engine: str | None = None) -> ResultSet:
+        """Parse and run one SQL statement.
+
+        ``engine`` overrides the database's configured engine for this
+        statement.  Columnar SELECTs record their executed plan on
+        :attr:`last_plan`; every other path clears it.
+        """
+        return self.execute_statement(parse_sql(sql), engine=engine)
+
+    def execute_statement(self, statement, *,
+                          engine: str | None = None) -> ResultSet:
+        """Run an already parsed statement (see :meth:`execute`)."""
+        chosen = self.engine if engine is None else _check_engine(engine)
+        if chosen == "columnar" and isinstance(statement, Select):
+            result, self.last_plan = execute_columnar(self, statement)
+            return result
+        self.last_plan = None
+        return execute(self, statement)
+
+    def explain(self, sql: str, *, engine: str | None = None) -> str:
+        """Render the operator plan for one statement without keeping
+        its result: columnar SELECTs run and report batch counts and
+        selectivity; row SELECTs render their static row-at-a-time
+        shape; non-SELECTs report there is no plan."""
+        statement = parse_sql(sql)
+        chosen = self.engine if engine is None else _check_engine(engine)
+        if not isinstance(statement, Select):
+            return (f"engine={chosen} statement="
+                    f"{type(statement).__name__} (no plan: not a SELECT)")
+        if chosen == "columnar":
+            _result, report = execute_columnar(self, statement)
+            return report.render()
+        return _render_row_plan(self, statement)
 
     def executescript(self, script: str) -> list[ResultSet]:
         """Run several semicolon-separated statements."""
@@ -68,6 +118,25 @@ class Database:
 
     def __repr__(self) -> str:
         return f"Database({self.name!r}, tables={self.table_names()})"
+
+
+def _render_row_plan(database: Database, select: Select) -> str:
+    """Static plan shape for the row-at-a-time oracle (no batch stats —
+    it has no batches)."""
+    table = database.require_table(select.table.name)
+    lines = [f"engine=row table={table.name} rows={len(table)}",
+             f"scan {table.name} (row-at-a-time)"]
+    for join in select.joins:
+        lines.append(f"join {join.table.name} ({join.kind})")
+    if select.where is not None:
+        lines.append(f"filter {render_condition(select.where)}")
+    if select.group_by or any(
+            isinstance(item.expression, Aggregate) for item in select.items):
+        lines.append("aggregate")
+    if select.order_by:
+        lines.append("order_by")
+    lines.append("project")
+    return "\n".join(lines)
 
 
 def _split_statements(script: str) -> list[str]:

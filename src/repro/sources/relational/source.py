@@ -10,28 +10,44 @@ unreachable remote system (used by failure-injection tests).
 from __future__ import annotations
 
 from ...errors import ExtractionError, S2SError
+from ...obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
 from ..base import ConnectionInfo, DataSource, stable_digest
 from .database import Database
 
 
 class RelationalDataSource(DataSource):
-    """A registered database behind SQL extraction rules."""
+    """A registered database behind SQL extraction rules.
+
+    ``engine`` overrides the database's SELECT engine for rules run
+    through this source (``None`` inherits the database's knob).  Each
+    columnar execution feeds the ``sql_batches_total`` /
+    ``sql_rows_scanned_total`` counters and leaves a plan digest that
+    the extraction manager attaches to the rule's span (see
+    :meth:`consume_execution_detail`).
+    """
 
     source_type = "database"
 
     def __init__(self, source_id: str, database: Database, *,
                  location: str = "localhost", login: str = "s2s",
                  password: str = "s2s", driver: str = "repro-mem",
-                 expected_password: str | None = None) -> None:
+                 expected_password: str | None = None,
+                 engine: str | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         super().__init__(source_id)
         self.database = database
         self.location = location
         self.login = login
         self.password = password
         self.driver = driver
+        self.engine = engine
+        # None means DEFAULT_REGISTRY, resolved at use time: the shard
+        # ingest workers pickle sources, and a registry holds a lock.
+        self.metrics = metrics
         self._expected_password = (expected_password if expected_password
                                    is not None else password)
         self._compiled: dict[str, object] = {}
+        self._last_detail: dict[str, object] | None = None
 
     def connect(self) -> None:
         """Authenticate against the expected credentials."""
@@ -54,14 +70,46 @@ class RelationalDataSource(DataSource):
             from .sql.parser import parse_sql
             statement = parse_sql(rule)
             self._compiled[rule] = statement
-        from .sql.executor import execute
-        result = execute(self.database, statement)
+        result = self.database.execute_statement(statement,
+                                                 engine=self.engine)
+        self._record_plan(self.database.last_plan)
         if len(result.columns) != 1:
             raise ExtractionError(
                 f"SQL extraction rule must select exactly one column, got "
                 f"{result.columns}", source_id=self.source_id)
         return ["" if value is None else str(value)
                 for value in result.scalars()]
+
+    def explain_sql(self, sql: str) -> str:
+        """Operator-plan rendering for one statement under this
+        source's engine (see :meth:`Database.explain`)."""
+        return self.database.explain(sql, engine=self.engine)
+
+    def _record_plan(self, plan) -> None:
+        if plan is None:
+            self._last_detail = None
+            return
+        metrics = DEFAULT_REGISTRY if self.metrics is None else self.metrics
+        metrics.counter(
+            "sql_batches_total",
+            "scan batches processed by the columnar SQL engine").inc(
+                plan.batches, source=self.source_id)
+        metrics.counter(
+            "sql_rows_scanned_total",
+            "rows scanned by the columnar SQL engine").inc(
+                plan.rows_scanned, source=self.source_id)
+        self._last_detail = {
+            "sql_plan": plan.summary(),
+            "sql_rows_scanned": plan.rows_scanned,
+            "sql_batches": plan.batches,
+        }
+
+    def consume_execution_detail(self) -> dict[str, object] | None:
+        """One-shot plan digest of the most recent rule execution (the
+        extraction manager annotates the attempt span with it)."""
+        detail = self._last_detail
+        self._last_detail = None
+        return detail
 
     def content_fingerprint(self) -> str | None:
         """Hash of the whole catalog: table schemas plus row data."""

@@ -1,0 +1,530 @@
+"""Vectorized columnar SELECT execution.
+
+Operators work on batches of row positions instead of one row at a
+time: the scan yields contiguous position batches (``BATCH_SIZE`` rows),
+the filter evaluates the WHERE tree into a boolean mask per batch and
+collapses it to a selection vector, and projection materializes output
+tuples late — gathering only the selected positions of the referenced
+columns.  Aggregation buckets positions by group key and folds each
+group's gathered values with the same accumulators as the row engine.
+
+The row executor in :mod:`.executor` is the semantics oracle: for every
+query the columnar result must be row-for-row identical (the
+differential suite in ``tests/sources/test_sql_differential.py`` checks
+this property).  Three deliberate consequences:
+
+* joins are not vectorized — a SELECT with joins falls back to the row
+  engine (recorded in the plan report);
+* a batch whose eager predicate evaluation raises ``TypeError`` re-runs
+  row-at-a-time, reproducing the row engine's short-circuit behaviour
+  and its exact ``cannot compare`` error;
+* column-resolution errors surface only when rows actually flow, just
+  as the row engine's lazy per-row lookups do.
+
+Each execution returns the :class:`ResultSet` plus a
+:class:`PlanReport` carrying the operator chain with batch counts and
+selectivity — rendered by ``explain_sql`` and surfaced as span
+annotations / metrics by the relational source.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from ....errors import SqlExecutionError
+from .ast import (Aggregate, BooleanOp, ColumnRef, Comparison, InList,
+                  IsNull, LiteralValue, Not, Select, Star)
+from .executor import (ResultSet, _Env, _eval_condition, _like_to_regex,
+                       _sort_key, execute)
+
+#: Rows per scan batch; one mask evaluation covers one batch.
+BATCH_SIZE = 4096
+
+_COMPARE = {"=": operator.eq, "!=": operator.ne, "<": operator.lt,
+            ">": operator.gt, "<=": operator.le, ">=": operator.ge}
+
+
+@dataclass
+class OperatorStats:
+    """One operator in an executed plan."""
+
+    name: str
+    detail: str = ""
+    rows_in: int | None = None
+    rows_out: int | None = None
+
+    def render(self) -> str:
+        parts = [self.name]
+        if self.detail:
+            parts.append(self.detail)
+        stats = []
+        if self.rows_in is not None:
+            stats.append(f"in={self.rows_in}")
+        if self.rows_out is not None:
+            stats.append(f"out={self.rows_out}")
+        if self.rows_in is not None and self.rows_out is not None:
+            ratio = self.rows_out / self.rows_in if self.rows_in else 0.0
+            stats.append(f"selectivity={ratio:.3f}")
+        if stats:
+            parts.append(f"[{', '.join(stats)}]")
+        return " ".join(parts)
+
+
+@dataclass
+class PlanReport:
+    """The executed operator chain plus scan-level counters."""
+
+    engine: str
+    table: str
+    rows_total: int
+    rows_scanned: int
+    batches: int
+    batch_size: int = BATCH_SIZE
+    operators: list[OperatorStats] = field(default_factory=list)
+    fallback: str | None = None
+
+    def summary(self) -> str:
+        """Compact operator chain, e.g. ``scan>filter>project``."""
+        if self.fallback:
+            return f"fallback({self.fallback})"
+        return ">".join(op.name for op in self.operators)
+
+    def render(self) -> str:
+        """Multi-line plan: one header line, one line per operator."""
+        header = (f"engine={self.engine} table={self.table} "
+                  f"rows={self.rows_total} batch_size={self.batch_size} "
+                  f"batches={self.batches}")
+        if self.fallback:
+            return f"{header}\nfallback: {self.fallback}"
+        return "\n".join([header] + [op.render() for op in self.operators])
+
+
+def render_condition(condition) -> str:
+    """SQL-ish text for a condition tree (used in plan rendering)."""
+    if isinstance(condition, BooleanOp):
+        return (f"({render_condition(condition.left)} {condition.operator} "
+                f"{render_condition(condition.right)})")
+    if isinstance(condition, Not):
+        return f"(NOT {render_condition(condition.operand)})"
+    if isinstance(condition, IsNull):
+        middle = "IS NOT NULL" if condition.negated else "IS NULL"
+        return f"({_render_scalar(condition.operand)} {middle})"
+    if isinstance(condition, InList):
+        options = ", ".join(_render_scalar(o) for o in condition.options)
+        middle = "NOT IN" if condition.negated else "IN"
+        return f"({_render_scalar(condition.operand)} {middle} ({options}))"
+    if isinstance(condition, Comparison):
+        return (f"({_render_scalar(condition.left)} {condition.operator} "
+                f"{_render_scalar(condition.right)})")
+    return repr(condition)
+
+
+def _render_scalar(scalar) -> str:
+    if isinstance(scalar, ColumnRef):
+        return f"{scalar.table}.{scalar.name}" if scalar.table else scalar.name
+    value = scalar.value
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Column resolution (matching the row engine's lazy lookup errors)
+# ---------------------------------------------------------------------------
+
+def _resolve_column(table, binding: str, ref: ColumnRef) -> int:
+    if ref.table is not None:
+        if ref.table.lower() != binding:
+            raise SqlExecutionError(f"unknown table alias {ref.table!r}")
+        return table.column_index(ref.name)
+    if not table.has_column(ref.name):
+        raise SqlExecutionError(f"unknown column {ref.name!r}")
+    return table.column_index(ref.name)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicate evaluation
+# ---------------------------------------------------------------------------
+
+def _scalar_batch(scalar, table, binding: str, positions, count: int) -> list:
+    if isinstance(scalar, LiteralValue):
+        return [scalar.value] * count
+    if isinstance(scalar, ColumnRef):
+        position = _resolve_column(table, binding, scalar)
+        return table.column_data(position).gather(positions)
+    raise SqlExecutionError(f"unsupported scalar {scalar!r}")
+
+
+def _compare_batch(condition: Comparison, table, binding: str, positions,
+                   count: int) -> list[bool]:
+    left, right = condition.left, condition.right
+    if condition.operator == "LIKE":
+        if isinstance(right, LiteralValue):
+            if right.value is None:
+                return [False] * count
+            regex = _like_to_regex(str(right.value))
+            values = _scalar_batch(left, table, binding, positions, count)
+            return [v is not None and regex.match(str(v)) is not None
+                    for v in values]
+        left_values = _scalar_batch(left, table, binding, positions, count)
+        right_values = _scalar_batch(right, table, binding, positions, count)
+        return [lv is not None and rv is not None
+                and _like_to_regex(str(rv)).match(str(lv)) is not None
+                for lv, rv in zip(left_values, right_values)]
+    compare = _COMPARE[condition.operator]
+    if isinstance(right, LiteralValue):
+        if right.value is None:
+            return [False] * count
+        constant = right.value
+        values = _scalar_batch(left, table, binding, positions, count)
+        return [v is not None and compare(v, constant) for v in values]
+    if isinstance(left, LiteralValue):
+        if left.value is None:
+            return [False] * count
+        constant = left.value
+        values = _scalar_batch(right, table, binding, positions, count)
+        return [v is not None and compare(constant, v) for v in values]
+    left_values = _scalar_batch(left, table, binding, positions, count)
+    right_values = _scalar_batch(right, table, binding, positions, count)
+    return [lv is not None and rv is not None and compare(lv, rv)
+            for lv, rv in zip(left_values, right_values)]
+
+
+def _eval_batch(condition, table, binding: str, positions,
+                count: int) -> list[bool]:
+    """Boolean mask for ``condition`` over one batch of positions."""
+    if isinstance(condition, BooleanOp):
+        left = _eval_batch(condition.left, table, binding, positions, count)
+        right = _eval_batch(condition.right, table, binding, positions, count)
+        if condition.operator == "AND":
+            return [a and b for a, b in zip(left, right)]
+        return [a or b for a, b in zip(left, right)]
+    if isinstance(condition, Not):
+        return [not m for m in _eval_batch(condition.operand, table, binding,
+                                           positions, count)]
+    if isinstance(condition, IsNull):
+        values = _scalar_batch(condition.operand, table, binding, positions,
+                               count)
+        if condition.negated:
+            return [v is not None for v in values]
+        return [v is None for v in values]
+    if isinstance(condition, InList):
+        values = _scalar_batch(condition.operand, table, binding, positions,
+                               count)
+        if all(isinstance(option, LiteralValue)
+               for option in condition.options):
+            options = [option.value for option in condition.options]
+            if condition.negated:
+                return [v not in options for v in values]
+            return [v in options for v in values]
+        option_columns = [_scalar_batch(option, table, binding, positions,
+                                        count)
+                          for option in condition.options]
+        return [(value in [column[i] for column in option_columns])
+                != condition.negated
+                for i, value in enumerate(values)]
+    if isinstance(condition, Comparison):
+        return _compare_batch(condition, table, binding, positions, count)
+    raise SqlExecutionError(f"unsupported condition {condition!r}")
+
+
+def _vector_filter(table, binding: str, condition, candidates) -> list[int]:
+    selection: list[int] = []
+    total = len(candidates)
+    for start in range(0, total, BATCH_SIZE):
+        batch = candidates[start:start + BATCH_SIZE]
+        mask = _eval_batch(condition, table, binding, batch, len(batch))
+        selection.extend(position for position, keep in zip(batch, mask)
+                         if keep)
+    return selection
+
+
+def _row_filter(table, binding: str, condition, candidates) -> list[int]:
+    """Row-at-a-time fallback reproducing the row engine's short-circuit
+    evaluation (and its exact ``cannot compare`` error, if any)."""
+    rows = table.rows
+    return [position for position in candidates
+            if _eval_condition(condition,
+                               _Env({binding: (table, rows[position])}))]
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def execute_columnar(database, select: Select) -> tuple[ResultSet, PlanReport]:
+    """Run one SELECT through the vectorized engine.
+
+    Returns the result plus the executed plan.  SELECTs with joins fall
+    back to the row engine (joins are not vectorized) with the fallback
+    recorded in the report.
+    """
+    table = database.require_table(select.table.name)
+    if select.joins:
+        result = execute(database, select)
+        report = PlanReport(engine="columnar", table=table.name,
+                            rows_total=len(table),
+                            rows_scanned=len(table), batches=0,
+                            fallback="join query -> row engine")
+        return result, report
+    binding = select.table.binding.lower()
+
+    seed = _indexed_seed_positions(table, binding, select.where)
+    candidates = range(len(table)) if seed is None else seed
+    scanned = len(candidates)
+    batches = (scanned + BATCH_SIZE - 1) // BATCH_SIZE
+    report = PlanReport(engine="columnar", table=table.name,
+                        rows_total=len(table), rows_scanned=scanned,
+                        batches=batches)
+    scan_detail = table.name if seed is None else f"{table.name} (index seed)"
+    report.operators.append(OperatorStats(
+        "scan", f"{scan_detail} batches={batches}", rows_out=scanned))
+
+    if select.where is None:
+        selection = list(candidates)
+    else:
+        try:
+            selection = _vector_filter(table, binding, select.where,
+                                       candidates)
+        except TypeError:
+            selection = _row_filter(table, binding, select.where, candidates)
+        report.operators.append(OperatorStats(
+            "filter", render_condition(select.where),
+            rows_in=scanned, rows_out=len(selection)))
+
+    if select.group_by or _has_aggregates(select):
+        result = _grouped(select, table, binding, selection, report)
+    else:
+        result = _projected(select, table, binding, selection, report)
+    return result, report
+
+
+def _has_aggregates(select: Select) -> bool:
+    return any(isinstance(item.expression, Aggregate)
+               for item in select.items)
+
+
+def _indexed_seed_positions(table, binding: str, where) -> list[int] | None:
+    """Positions from a hash index for a top-level `col = literal`
+    conjunct (the positional twin of the row engine's ``_indexed_seed``)."""
+    def find_equality(condition):
+        if isinstance(condition, Comparison) and condition.operator == "=":
+            left, right = condition.left, condition.right
+            if isinstance(left, ColumnRef) and isinstance(right, LiteralValue):
+                ref, literal = left, right
+            elif isinstance(right, ColumnRef) and isinstance(left,
+                                                             LiteralValue):
+                ref, literal = right, left
+            else:
+                return None
+            if ref.table is not None and ref.table.lower() != binding:
+                return None
+            if table.has_column(ref.name) and table.has_index(ref.name):
+                return ref.name, literal.value
+            return None
+        if isinstance(condition, BooleanOp) and condition.operator == "AND":
+            return (find_equality(condition.left)
+                    or find_equality(condition.right))
+        return None
+
+    if where is None:
+        return None
+    hit = find_equality(where)
+    if hit is None:
+        return None
+    column, value = hit
+    return table.indexed_positions(column, value)
+
+
+# ---------------------------------------------------------------------------
+# Plain projection path
+# ---------------------------------------------------------------------------
+
+def _projected(select: Select, table, binding: str, selection: list[int],
+               report: PlanReport) -> ResultSet:
+    columns: list[str] = []
+    specs: list[int] = []  # output column -> table column position
+    for item in select.items:
+        expr = item.expression
+        if isinstance(expr, Star):
+            if selection:
+                for position, name in enumerate(table.column_names()):
+                    columns.append(name)
+                    specs.append(position)
+            else:
+                # Row-engine quirk preserved: star over an empty result
+                # has no rows to introspect and labels itself "*".
+                columns.append("*")
+        elif isinstance(expr, ColumnRef):
+            columns.append(item.alias or expr.name)
+            if selection:
+                specs.append(_resolve_column(table, binding, expr))
+        else:
+            raise SqlExecutionError("aggregate in non-grouped projection path")
+
+    if selection:
+        gathered: dict[int, list] = {}
+        for position in specs:
+            if position not in gathered:
+                gathered[position] = table.column_data(position).gather(
+                    selection)
+        projected = [tuple(values) for values
+                     in zip(*(gathered[position] for position in specs))]
+    else:
+        projected = []
+
+    if select.distinct:
+        seen: set = set()
+        kept_selection: list[int] = []
+        kept_projected: list[tuple] = []
+        for position, values in zip(selection, projected):
+            if values in seen:
+                continue
+            seen.add(values)
+            kept_selection.append(position)
+            kept_projected.append(values)
+        report.operators.append(OperatorStats(
+            "distinct", rows_in=len(projected),
+            rows_out=len(kept_projected)))
+        selection, projected = kept_selection, kept_projected
+
+    if select.order_by and selection:
+        pairs = list(zip(selection, projected))
+        for item in reversed(select.order_by):
+            data = table.column_data(
+                _resolve_column(table, binding, item.column))
+            pairs.sort(key=lambda pair: _sort_key(data.get(pair[0])),
+                       reverse=item.descending)
+        projected = [values for _position, values in pairs]
+    if select.order_by:
+        report.operators.append(OperatorStats(
+            "order_by", ", ".join(
+                f"{_render_scalar(item.column)} "
+                f"{'DESC' if item.descending else 'ASC'}"
+                for item in select.order_by),
+            rows_out=len(projected)))
+
+    if select.limit is not None:
+        projected = projected[: select.limit]
+        report.operators.append(OperatorStats(
+            "limit", str(select.limit), rows_out=len(projected)))
+    report.operators.append(OperatorStats(
+        "project", f"[{', '.join(columns)}]", rows_out=len(projected)))
+    return ResultSet(columns, projected)
+
+
+# ---------------------------------------------------------------------------
+# Hash-group aggregation path
+# ---------------------------------------------------------------------------
+
+def _grouped(select: Select, table, binding: str, selection: list[int],
+             report: PlanReport) -> ResultSet:
+    group_refs = list(select.group_by)
+    groups: dict[tuple, list[int]] = {}
+    if selection:
+        key_columns = [table.column_data(
+            _resolve_column(table, binding, ref)).gather(selection)
+            for ref in group_refs]
+        for offset, position in enumerate(selection):
+            key = tuple(column[offset] for column in key_columns)
+            groups.setdefault(key, []).append(position)
+    if not group_refs and not groups:
+        groups[()] = []  # aggregates over an empty input still yield one row
+
+    columns: list[str] = []
+    for item in select.items:
+        expr = item.expression
+        if isinstance(expr, Aggregate):
+            default = (f"{expr.function.lower()}"
+                       f"({expr.argument.name if expr.argument else '*'})")
+            columns.append(item.alias or expr.alias or default)
+        elif isinstance(expr, ColumnRef):
+            if not any(expr.name == ref.name for ref in group_refs):
+                raise SqlExecutionError(
+                    f"column {expr.name!r} must appear in GROUP BY")
+            columns.append(item.alias or expr.name)
+        else:
+            raise SqlExecutionError("SELECT * is invalid with GROUP BY")
+
+    result_rows: list[tuple] = []
+    for key, members in groups.items():
+        out: list = []
+        for item in select.items:
+            expr = item.expression
+            if isinstance(expr, ColumnRef):
+                position = next(i for i, ref in enumerate(group_refs)
+                                if ref.name == expr.name)
+                out.append(key[position])
+            else:
+                out.append(_aggregate_fold(expr, table, binding, members))
+        row = tuple(out)
+        if select.having is not None:
+            # HAVING on grouped columns only, evaluated like the row
+            # engine: against the group's first member.
+            if not members:
+                continue
+            env = _Env({binding: (table, table.row_at(members[0]))})
+            if not _eval_condition(select.having, env):
+                continue
+        result_rows.append(row)
+    report.operators.append(OperatorStats(
+        "aggregate",
+        f"[{', '.join(columns)}]"
+        + (f" group_by=[{', '.join(_render_scalar(ref) for ref in group_refs)}]"
+           if group_refs else ""),
+        rows_in=len(selection), rows_out=len(result_rows)))
+
+    if select.order_by:
+        for item in reversed(select.order_by):
+            try:
+                position = columns.index(item.column.name)
+            except ValueError as exc:
+                raise SqlExecutionError(
+                    f"ORDER BY column {item.column.name!r} "
+                    f"not in result") from exc
+            result_rows.sort(key=lambda r: _sort_key(r[position]),
+                             reverse=item.descending)
+        report.operators.append(OperatorStats(
+            "order_by", ", ".join(
+                f"{_render_scalar(item.column)} "
+                f"{'DESC' if item.descending else 'ASC'}"
+                for item in select.order_by),
+            rows_out=len(result_rows)))
+    if select.limit is not None:
+        result_rows = result_rows[: select.limit]
+        report.operators.append(OperatorStats(
+            "limit", str(select.limit), rows_out=len(result_rows)))
+    return ResultSet(columns, result_rows)
+
+
+def _aggregate_fold(aggregate: Aggregate, table, binding: str,
+                    members: list[int]):
+    if aggregate.argument is None:
+        values = [1] * len(members)
+    elif members:
+        gathered = table.column_data(
+            _resolve_column(table, binding, aggregate.argument)).gather(
+                members)
+        values = [value for value in gathered if value is not None]
+    else:
+        values = []
+    if aggregate.function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.function == "SUM":
+        return sum(values)
+    if aggregate.function == "AVG":
+        return sum(values) / len(values)
+    if aggregate.function == "MIN":
+        return min(values)
+    if aggregate.function == "MAX":
+        return max(values)
+    raise SqlExecutionError(f"unsupported aggregate {aggregate.function!r}")

@@ -234,7 +234,18 @@ def _execute_select(database, select: Select) -> ResultSet:
                  for bindings in rows]
 
     if select.distinct:
-        projected = list(dict.fromkeys(projected))
+        # Dedup keeps the first occurrence of each projected tuple AND
+        # its source bindings, so a later ORDER BY still sorts every
+        # surviving tuple by its own underlying row.
+        seen: set = set()
+        kept_rows, kept_projected = [], []
+        for bindings, values in zip(rows, projected):
+            if values in seen:
+                continue
+            seen.add(values)
+            kept_rows.append(bindings)
+            kept_projected.append(values)
+        rows, projected = kept_rows, kept_projected
 
     if select.order_by:
         env_rows = list(zip(rows, projected))

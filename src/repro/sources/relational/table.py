@@ -1,7 +1,17 @@
-"""Tables: typed columns, row storage, hash indexes."""
+"""Tables: typed columns, columnar storage, hash indexes.
+
+Storage is column-major: each column holds a dense typed buffer
+(``array('q')`` for INTEGER, ``array('d')`` for REAL, a ``bytearray``
+for BOOLEAN, a plain list for TEXT) plus a validity bitmap marking
+NULLs.  The vectorized executor in ``sql/columnar.py`` reads columns
+directly; the row-at-a-time executor (and content fingerprinting) read
+the :attr:`Table.rows` property, a lazily materialized row-major view
+cached until the next mutation.
+"""
 
 from __future__ import annotations
 
+import array
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -23,8 +33,126 @@ class Column:
         return cls(name, canonical_type(declared_type), not_null)
 
 
+class ColumnData:
+    """Column-major value storage: typed buffer + validity bitmap.
+
+    INTEGER columns promote transparently from ``array('q')`` to a plain
+    object list when a value exceeds 64 bits (Python ints are unbounded;
+    the dense buffer is only an optimization).
+    """
+
+    __slots__ = ("type", "_buffer", "_valid", "_nulls")
+
+    def __init__(self, type_name: str, values=()) -> None:
+        self.type = type_name
+        if type_name == "INTEGER":
+            self._buffer: object = array.array("q")
+        elif type_name == "REAL":
+            self._buffer = array.array("d")
+        elif type_name == "BOOLEAN":
+            self._buffer = bytearray()
+        else:  # TEXT
+            self._buffer = []
+        self._valid = bytearray()
+        self._nulls = 0
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return len(self._valid)
+
+    def append(self, value) -> None:
+        """Append one (already coerced) value; None marks a NULL slot."""
+        if value is None:
+            self._nulls += 1
+            self._valid.append(0)
+            if isinstance(self._buffer, list):
+                self._buffer.append(None)
+            else:
+                self._buffer.append(0)  # placeholder under a 0 validity bit
+            return
+        self._valid.append(1)
+        if isinstance(self._buffer, list):
+            self._buffer.append(value)
+        elif self.type == "BOOLEAN":
+            self._buffer.append(1 if value else 0)
+        else:
+            try:
+                self._buffer.append(value)
+            except OverflowError:
+                self._promote()
+                self._buffer.append(value)
+
+    def set(self, position: int, value) -> None:
+        """Overwrite one slot (already coerced); None marks NULL."""
+        was_valid = self._valid[position]
+        if value is None:
+            if was_valid:
+                self._nulls += 1
+            self._valid[position] = 0
+            if isinstance(self._buffer, list):
+                self._buffer[position] = None
+            else:
+                self._buffer[position] = 0
+            return
+        if not was_valid:
+            self._nulls -= 1
+        self._valid[position] = 1
+        if isinstance(self._buffer, list):
+            self._buffer[position] = value
+        elif self.type == "BOOLEAN":
+            self._buffer[position] = 1 if value else 0
+        else:
+            try:
+                self._buffer[position] = value
+            except OverflowError:
+                self._promote()
+                self._buffer[position] = value
+
+    def get(self, position: int):
+        """The Python value at ``position`` (None for NULL slots)."""
+        if not self._valid[position]:
+            return None
+        if self.type == "BOOLEAN":
+            return self._buffer[position] == 1
+        return self._buffer[position]
+
+    def gather(self, positions) -> list:
+        """Values at ``positions`` as Python objects (None for NULLs).
+
+        A ``range`` (the contiguous full-scan batch shape) takes slice
+        fast paths over the dense buffer; arbitrary position lists pay
+        one indexed read per element.
+        """
+        buffer, valid = self._buffer, self._valid
+        if isinstance(positions, range):
+            lo, hi = positions.start, positions.stop
+            chunk = buffer[lo:hi]
+            if self.type == "BOOLEAN":
+                values = [v == 1 for v in chunk]
+            elif isinstance(buffer, list):
+                values = chunk
+            else:
+                values = chunk.tolist()
+            if self._nulls:
+                return [v if ok else None
+                        for v, ok in zip(values, valid[lo:hi])]
+            return values
+        if self.type == "BOOLEAN":
+            return [(buffer[i] == 1) if valid[i] else None
+                    for i in positions]
+        if self._nulls:
+            return [buffer[i] if valid[i] else None for i in positions]
+        return [buffer[i] for i in positions]
+
+    def _promote(self) -> None:
+        # 64-bit overflow: fall back to object storage for this column.
+        self._buffer = [v if ok else None
+                        for v, ok in zip(self._buffer, self._valid)]
+
+
 class Table:
-    """An in-memory table with optional single-column hash indexes."""
+    """An in-memory columnar table with optional single-column hash indexes."""
 
     def __init__(self, name: str, columns: list[Column]) -> None:
         if not columns:
@@ -35,8 +163,12 @@ class Table:
         self.name = name
         self.columns = list(columns)
         self._index_of = {c.name.lower(): i for i, c in enumerate(columns)}
-        self.rows: list[list] = []
+        self._data: list[ColumnData] = [ColumnData(c.type) for c in columns]
+        self._length = 0
         self._indexes: dict[str, dict[object, list[int]]] = {}
+        self._version = 0
+        self._rows_cache: list[list] | None = None
+        self._rows_version = -1
 
     # -- schema ----------------------------------------------------------
 
@@ -56,6 +188,10 @@ class Table:
     def column_names(self) -> list[str]:
         """Column names in declaration order."""
         return [c.name for c in self.columns]
+
+    def column_data(self, position: int) -> ColumnData:
+        """Raw columnar storage for the column at ``position``."""
+        return self._data[position]
 
     def rename_column(self, old: str, new: str) -> None:
         """ALTER TABLE ... RENAME COLUMN — the schema-drift primitive used
@@ -77,10 +213,31 @@ class Table:
                 f"column {column.name!r} already exists in {self.name!r}")
         self.columns.append(column)
         self._index_of[column.name.lower()] = len(self.columns) - 1
-        for row in self.rows:
-            row.append(None)
+        self._data.append(ColumnData(column.type, [None] * self._length))
+        self._version += 1
 
     # -- data ------------------------------------------------------------
+
+    @property
+    def rows(self) -> list[list]:
+        """Row-major view (list of lists), cached until the next mutation.
+
+        Read-only: mutate through :meth:`insert` / :meth:`update_where` /
+        :meth:`delete_where`, never through this list.
+        """
+        if self._rows_cache is None or self._rows_version != self._version:
+            if self._length:
+                span = range(self._length)
+                columns = [data.gather(span) for data in self._data]
+                self._rows_cache = [list(values) for values in zip(*columns)]
+            else:
+                self._rows_cache = []
+            self._rows_version = self._version
+        return self._rows_cache
+
+    def row_at(self, position: int) -> list:
+        """One materialized row."""
+        return [data.get(position) for data in self._data]
 
     def insert(self, values: dict[str, object]) -> None:
         """Insert one row from a column→value map, with coercion."""
@@ -93,28 +250,38 @@ class Table:
                 raise SqlExecutionError(
                     f"NULL in NOT NULL column {column.name!r} of "
                     f"{self.name!r}")
-        position = len(self.rows)
-        self.rows.append(row)
+        position = self._length
+        for index, value in enumerate(row):
+            self._data[index].append(value)
+        self._length += 1
+        self._version += 1
         for column_key, index_map in self._indexes.items():
             index_map[row[self._index_of[column_key]]].append(position)
 
     def delete_where(self, predicate) -> int:
         """Delete rows matching ``predicate(row) -> bool``; rebuilds indexes."""
-        kept = [row for row in self.rows if not predicate(row)]
-        removed = len(self.rows) - len(kept)
-        self.rows = kept
+        keep = [position for position, row in enumerate(self.rows)
+                if not predicate(row)]
+        removed = self._length - len(keep)
+        self._data = [ColumnData(column.type, data.gather(keep))
+                      for column, data in zip(self.columns, self._data)]
+        self._length = len(keep)
+        self._version += 1
         self._rebuild_indexes()
         return removed
 
     def update_where(self, predicate, assignments: dict[int, object]) -> int:
         """Set column-index -> value on matching rows."""
         updated = 0
-        for row in self.rows:
+        for position, row in enumerate(self.rows):
             if predicate(row):
                 for index, value in assignments.items():
-                    row[index] = coerce_value(value, self.columns[index].type)
+                    self._data[index].set(
+                        position, coerce_value(value,
+                                               self.columns[index].type))
                 updated += 1
         if updated:
+            self._version += 1
             self._rebuild_indexes()
         return updated
 
@@ -128,16 +295,26 @@ class Table:
             return
         index_map: dict[object, list[int]] = defaultdict(list)
         position = self._index_of[key]
-        for row_number, row in enumerate(self.rows):
-            index_map[row[position]].append(row_number)
+        for row_number, value in enumerate(
+                self._data[position].gather(range(self._length))):
+            index_map[value].append(row_number)
         self._indexes[key] = index_map
 
-    def indexed_lookup(self, column: str, value) -> list[list] | None:
-        """Rows where column == value via index, or None if unindexed."""
+    def indexed_positions(self, column: str, value) -> list[int] | None:
+        """Ascending row positions where column == value, or None if
+        unindexed."""
         index_map = self._indexes.get(column.lower())
         if index_map is None:
             return None
-        return [self.rows[i] for i in index_map.get(value, [])]
+        return index_map.get(value, [])
+
+    def indexed_lookup(self, column: str, value) -> list[list] | None:
+        """Rows where column == value via index, or None if unindexed."""
+        positions = self.indexed_positions(column, value)
+        if positions is None:
+            return None
+        rows = self.rows
+        return [rows[i] for i in positions]
 
     def has_index(self, column: str) -> bool:
         """Whether ``column`` is hash-indexed."""
@@ -147,12 +324,13 @@ class Table:
         for column_key in list(self._indexes):
             index_map: dict[object, list[int]] = defaultdict(list)
             position = self._index_of[column_key]
-            for row_number, row in enumerate(self.rows):
-                index_map[row[position]].append(row_number)
+            for row_number, value in enumerate(
+                    self._data[position].gather(range(self._length))):
+                index_map[value].append(row_number)
             self._indexes[column_key] = index_map
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, columns={len(self.columns)}, rows={len(self.rows)})"
+        return f"Table({self.name!r}, columns={len(self.columns)}, rows={self._length})"

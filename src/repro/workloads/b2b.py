@@ -69,9 +69,11 @@ class B2BScenario:
     def __init__(self, *, n_sources: int = 4, n_products: int = 40,
                  source_mix: tuple[str, ...] = SOURCE_TYPES,
                  conflicts: ConflictProfile | None = None,
-                 seed: int = 7, web_latency: float = 0.0) -> None:
+                 seed: int = 7, web_latency: float = 0.0,
+                 sql_engine: str = "columnar") -> None:
         if n_sources <= 0:
             raise ValueError("n_sources must be positive")
+        self.sql_engine = sql_engine
         for source_type in source_mix:
             if source_type not in SOURCE_TYPES:
                 raise ValueError(f"unknown source type {source_type!r}")
@@ -101,7 +103,8 @@ class B2BScenario:
                 for product in org.products]
         fields = org.native_fields
         if org.source_type == "database":
-            org.database = Database(f"db_{org.index}")
+            org.database = Database(f"db_{org.index}",
+                                    engine=self.sql_engine)
             columns = ", ".join(
                 [f"{fields['brand']} TEXT", f"{fields['model']} TEXT",
                  f"{fields['case']} TEXT", f"{fields['movement']} TEXT",

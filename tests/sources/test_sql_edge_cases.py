@@ -1,14 +1,24 @@
-"""Deeper SQL engine edge cases."""
+"""Deeper SQL engine edge cases, run against BOTH execution engines.
+
+The ``db`` fixture is parameterized on the engine knob, so every test
+in this module asserts identical behaviour for the row-at-a-time
+oracle and the vectorized columnar engine.
+"""
 
 import pytest
 
-from repro.errors import SqlExecutionError, SqlSyntaxError
+from repro.errors import SqlError, SqlExecutionError, SqlSyntaxError
 from repro.sources.relational import Database
 
 
+@pytest.fixture(params=["row", "columnar"])
+def engine(request):
+    return request.param
+
+
 @pytest.fixture
-def db():
-    database = Database("edge")
+def db(engine):
+    database = Database("edge", engine=engine)
     database.executescript("""
     CREATE TABLE t (id INTEGER, name TEXT, price REAL, flag BOOLEAN);
     INSERT INTO t (id, name, price, flag) VALUES
@@ -153,3 +163,120 @@ class TestDdlEdge:
         db.execute('CREATE TABLE "select" (a INTEGER)')
         db.execute('INSERT INTO "select" (a) VALUES (1)')
         assert db.execute('SELECT a FROM "select"').scalars() == [1]
+
+
+class TestNullSemantics:
+    """SQL's three-valued logic collapses to False at every comparison."""
+
+    def test_null_comparisons_never_match(self, db):
+        for operator in ("=", "!=", "<", ">", "<=", ">="):
+            result = db.execute(f"SELECT id FROM t WHERE price {operator} NULL")
+            assert result.scalars() == [], operator
+
+    def test_null_column_comparison_excludes_null_rows(self, db):
+        # id 4 has NULL price: never matches, not even on !=.
+        assert sorted(db.execute(
+            "SELECT id FROM t WHERE price != 10.0").scalars()) == [2, 3]
+
+    def test_is_null_and_is_not_null_partition_rows(self, db):
+        null_ids = db.execute("SELECT id FROM t WHERE price IS NULL").scalars()
+        rest = db.execute("SELECT id FROM t WHERE price IS NOT NULL").scalars()
+        assert sorted(null_ids + rest) == [1, 2, 3, 4]
+
+    def test_null_in_list_matches_via_python_membership(self, db):
+        # Dialect quirk (both engines): IN uses Python membership, so a
+        # NULL operand matches an explicit NULL option.
+        result = db.execute("SELECT id FROM t WHERE price IN (10.0, NULL)")
+        assert sorted(result.scalars()) == [1, 4]
+
+    def test_not_of_null_comparison_matches_null_rows(self, db):
+        # NOT (NULL > 5) is NOT False = True in this dialect.
+        result = db.execute("SELECT id FROM t WHERE NOT price > 5.0")
+        assert 4 in result.scalars()
+
+
+class TestTypeCoercionComparisons:
+    def test_integer_and_real_compare_numerically(self, db):
+        db.execute("INSERT INTO t (id, price) VALUES (5, 20.0)")
+        assert sorted(db.execute(
+            "SELECT id FROM t WHERE price = 20").scalars()) == [2, 5]
+
+    def test_integer_column_against_float_literal(self, db):
+        assert sorted(db.execute(
+            "SELECT id FROM t WHERE id < 2.5").scalars()) == [1, 2]
+
+    def test_boolean_column_against_integers(self, db):
+        # BOOLEAN values are Python bools: True == 1 numerically.
+        assert sorted(db.execute(
+            "SELECT id FROM t WHERE flag = 1").scalars()) == [1, 3]
+
+    def test_text_number_comparison_raises_identically(self, db, engine):
+        with pytest.raises(SqlExecutionError, match="cannot compare"):
+            db.execute("SELECT id FROM t WHERE name > 3")
+
+    def test_short_circuit_hides_incomparable_rows(self, db):
+        # The AND's left side excludes the rows whose name/number
+        # comparison would raise; both engines must agree (the columnar
+        # engine re-runs the batch row-at-a-time to reproduce this).
+        result = db.execute(
+            "SELECT id FROM t WHERE id IN (4) AND name > 'z'")
+        assert result.scalars() == []
+
+    def test_boolean_results_keep_bool_type(self, db):
+        values = db.execute(
+            "SELECT flag FROM t WHERE flag IS NOT NULL").scalars()
+        assert all(isinstance(value, bool) for value in values)
+
+
+class TestZeroRowZeroColumn:
+    def test_zero_column_table_rejected(self, engine):
+        database = Database("zero", engine=engine)
+        with pytest.raises(SqlSyntaxError):
+            database.execute("CREATE TABLE nothing ()")
+
+    def test_zero_column_table_rejected_programmatically(self, engine):
+        database = Database("zero", engine=engine)
+        from repro.sources.relational import Table
+        with pytest.raises(SqlError):
+            Table("nothing", [])
+
+    def test_zero_row_table_shapes(self, engine):
+        database = Database("zero", engine=engine)
+        database.execute("CREATE TABLE e (x INTEGER, y TEXT)")
+        assert database.execute("SELECT x FROM e").rows == []
+        assert database.execute("SELECT COUNT(*) FROM e").rows == [(0,)]
+        assert database.execute("SELECT SUM(x) FROM e").rows == [(None,)]
+        assert database.execute("SELECT x FROM e GROUP BY x").rows == []
+
+    def test_zero_row_star_projects_placeholder_label(self, engine):
+        # Row-engine quirk kept by the columnar engine: star over an
+        # empty result has no rows to introspect and labels itself "*".
+        database = Database("zero", engine=engine)
+        database.execute("CREATE TABLE e (x INTEGER)")
+        result = database.execute("SELECT * FROM e")
+        assert (result.columns, result.rows) == (["*"], [])
+
+    def test_zero_row_order_and_distinct(self, engine):
+        database = Database("zero", engine=engine)
+        database.execute("CREATE TABLE e (x INTEGER, y TEXT)")
+        result = database.execute(
+            "SELECT DISTINCT y FROM e ORDER BY x DESC LIMIT 3")
+        assert (result.columns, result.rows) == (["y"], [])
+
+
+class TestEngineOverridePrecedence:
+    def test_statement_override_beats_database_default(self):
+        database = Database("prec", engine="row")
+        database.execute("CREATE TABLE p (x INTEGER)")
+        database.execute("INSERT INTO p (x) VALUES (1)")
+        database.execute("SELECT x FROM p", engine="columnar")
+        assert database.last_plan is not None
+        database.execute("SELECT x FROM p")
+        assert database.last_plan is None  # row default leaves no plan
+
+    def test_distinct_order_by_pairing_fixed_in_both_engines(self, db):
+        # Regression guard: dedup used to truncate the binding list and
+        # sort surviving tuples by the wrong underlying rows.
+        db.execute("INSERT INTO t (id, name, price) VALUES (6, 'a_b', 1.0)")
+        result = db.execute("SELECT DISTINCT name FROM t ORDER BY price DESC")
+        assert result.rows == [("AB",), ("a%b",), ("a_b",), (None,)]
