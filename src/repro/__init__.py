@@ -24,7 +24,7 @@ from .config import (ConcurrencyConfig, RefreshPolicy, ResilienceConfig,
                      ServerConfig)
 from .obs import MetricsRegistry, Trace, Tracer
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "S2SMiddleware",

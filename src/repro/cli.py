@@ -45,10 +45,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7,
                         help="world seed (default 7)")
     parser.add_argument("--concurrency",
-                        choices=("serial", "thread", "asyncio"),
+                        choices=("serial", "thread", "asyncio", "sharded"),
                         default=None,
                         help="extraction engine: serial (default), a "
-                             "thread pool, or the asyncio engine")
+                             "thread pool, the asyncio engine, or the "
+                             "sharded worker fleet")
     parser.add_argument("--parallel", action="store_true",
                         help="deprecated alias of --concurrency thread")
     parser.add_argument("--sql-engine", choices=("row", "columnar"),
@@ -80,8 +81,19 @@ def _build(args: argparse.Namespace, *, store: bool = False):
         # --parallel predates --concurrency; honor it quietly here (the
         # library-level kwargs are where the DeprecationWarning lives).
         mode = "thread" if args.parallel else "serial"
+    query_workers = getattr(args, "query_workers", None)
+    query_pool = getattr(args, "query_pool", None)
+    if query_workers is not None or query_pool is not None:
+        # --workers / --pool imply the sharded fleet engine.
+        mode = "sharded"
+    if mode == "sharded":
+        concurrency = ConcurrencyConfig.sharded(
+            query_workers if query_workers is not None else 2,
+            pool=query_pool or "thread")
+    else:
+        concurrency = ConcurrencyConfig(mode=mode)
     resilience = _replace(ResilienceConfig.conservative(),
-                          concurrency=ConcurrencyConfig(mode=mode))
+                          concurrency=concurrency)
     tracer = Tracer() if getattr(args, "trace", False) else None
     middleware = scenario.build_middleware(resilience=resilience,
                                            tracer=tracer,
@@ -356,13 +368,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .config import ServerConfig
     from .server import S2SServer, ServerThread, Tenant, TenantRegistry
 
+    middleware_kwargs = {}
+    if args.query_workers is not None:
+        # One sharded fleet per tenant: worlds stay isolated end to end.
+        from .config import ConcurrencyConfig
+        middleware_kwargs["concurrency"] = ConcurrencyConfig.sharded(
+            args.query_workers, pool=args.query_pool)
     registry = TenantRegistry()
     for index, (name, token) in enumerate(_parse_tenant_specs(args.tenants)):
         scenario = B2BScenario(n_sources=args.sources,
                                n_products=args.products,
                                conflicts=_CONFLICT_LEVELS[args.conflicts],
                                seed=args.seed + index)
-        middleware = scenario.build_middleware(store=args.store)
+        middleware = scenario.build_middleware(store=args.store,
+                                               **middleware_kwargs)
         registry.add(Tenant(name, middleware, token=token, owned=True))
     config = ServerConfig(host=args.host, port=args.port,
                           max_inflight=args.max_inflight,
@@ -478,6 +497,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--merge-key", default="",
                        help="comma-separated attributes to dedup on, "
                             "e.g. brand,model")
+    query.add_argument("--workers", dest="query_workers", type=int,
+                       default=None, metavar="N",
+                       help="shard the query across N fleet workers "
+                            "(implies --concurrency sharded)")
+    query.add_argument("--pool", dest="query_pool",
+                       choices=("thread", "spawn"), default=None,
+                       help="fleet worker flavour: daemon threads "
+                            "(default) or spawned subprocesses "
+                            "(implies --concurrency sharded)")
     _add_scenario_arguments(query)
     _add_observability_arguments(query)
     query.set_defaults(handler=_cmd_query)
@@ -602,6 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None,
                        help="write the bound port to this file once "
                             "listening (for scripts)")
+    serve.add_argument("--query-workers", type=int, default=None,
+                       metavar="N",
+                       help="give every tenant a sharded query fleet of "
+                            "N workers (default: in-process execution)")
+    serve.add_argument("--query-pool", choices=("thread", "spawn"),
+                       default="thread",
+                       help="fleet worker flavour with --query-workers "
+                            "(default thread)")
     _add_scenario_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 

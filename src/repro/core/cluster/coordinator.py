@@ -1,0 +1,377 @@
+"""The query shard coordinator: per-query fan-out over a worker fleet.
+
+One consumer query becomes one *sub-plan per shard*: the extraction
+schema is filtered down to each shard's sources (replica mappings ride
+along with their primary) and dispatched to that shard's worker, which
+runs a plain in-process :class:`~repro.core.extractor.manager.\
+ExtractorManager` extraction over its slice and sends the partial
+:class:`~repro.core.extractor.manager.ExtractionOutcome` back on the
+event queue.  The coordinator supervises the fleet while draining —
+worker death mid-query is detected by liveness checks and heartbeat
+age on the injectable clock (:class:`~repro.core.cluster.supervision.\
+WorkerSupervisor`, the same policy the ingest pipeline uses), the dead
+worker is restarted with jittered backoff and its sub-plan
+re-dispatched, so a killed worker never loses a query.  A shard that
+exhausts its restart budget degrades its sources into reported
+problems instead of failing the answer.
+
+Thread-pool workers share the coordinator manager's live collaborators
+(breakers, fragment cache, source repositories, clock), so sharded
+answers are entity-for-entity identical to in-process execution.
+Spawn-subprocess workers hold *pickled replicas* of the repositories,
+taken when the fleet starts; the coordinator watches the source
+repository's mutation version and rebuilds the fleet when it changes.
+See ``docs/cluster.md`` for the full failure model.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ...clock import Clock
+from ...errors import S2SError
+from ...obs import NULL_SPAN, MetricsRegistry
+from ...sources.flaky import WorkerCrashed
+from ..extractor.extractors import ExtractorRegistry
+from ..extractor.manager import ExtractorManager
+from ..extractor.schema import ExtractionSchema
+from ..mapping.rules import TransformRegistry
+from ..resilience import Deadline
+from ..resilience.config import ResilienceConfig
+from .pool import SubprocessWorkerPool, ThreadWorkerPool, WorkerPool
+from .sharding import partition_sources
+from .supervision import WorkerSupervisor
+
+#: Pool kinds the sharded engine accepts.
+QUERY_POOL_KINDS = ("thread", "spawn")
+
+
+@dataclass
+class QueryWorkerContext:
+    """Everything a query worker needs, picklable as a unit.
+
+    Thread workers share the coordinator manager's live collaborators
+    (``extractors``, ``cache``, ``breakers``); those do not cross the
+    spawn boundary — subprocess children rebuild a default extractor
+    registry and their own (per-child) breakers from the resilience
+    config, which is the same trade a distributed deployment makes.
+    """
+
+    attributes: Any  # AttributeRepository
+    sources: Any  # DataSourceRepository
+    resilience: ResilienceConfig
+    strict: bool = False
+    extractors: ExtractorRegistry | None = None
+    cache: Any = None  # FragmentCache | None, thread-shared only
+    breakers: Any = None  # CircuitBreakerRegistry | None, thread-shared only
+    killable: Any = None  # KillableWorker | None
+    manager: ExtractorManager | None = field(default=None, repr=False)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["extractors"] = None  # transform lambdas don't pickle
+        state["cache"] = None
+        state["breakers"] = None
+        state["manager"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def manager_for_worker(self) -> ExtractorManager:
+        """The (lazily built) in-process manager a worker extracts with.
+
+        Thread workers adopt the coordinator manager's breaker registry
+        and fragment cache so breaker state and cached fragments behave
+        exactly as in-process execution; a spawned child builds its own.
+        Metrics stay off — the coordinator records per-query metrics
+        once, on the merged outcome."""
+        if self.manager is None:
+            manager = ExtractorManager(
+                self.attributes, self.sources,
+                self.extractors or ExtractorRegistry(TransformRegistry()),
+                strict=self.strict, cache=self.cache,
+                resilience=self.resilience, metrics=None)
+            if self.breakers is not None:
+                manager.breakers = self.breakers
+            self.manager = manager
+        return self.manager
+
+
+@dataclass
+class QueryWorkItem:
+    """One dispatched sub-plan: a shard's slice of one query's schema."""
+
+    request_id: str
+    shard: int
+    source_ids: list[str]
+    schema: ExtractionSchema
+    deadline_seconds: float | None = None
+
+
+def subschema_for(schema: ExtractionSchema,
+                  source_ids: list[str]) -> ExtractionSchema:
+    """The shard-local slice of one extraction schema.
+
+    Replica mappings whose *primary* lives on this shard ride along, so
+    per-entry failover works even when the replica's own source is
+    sharded elsewhere (every worker holds the full source repository).
+    ``missing`` stays empty — unmapped attributes are a whole-plan fact
+    the coordinator stamps on the merged outcome."""
+    wanted = set(source_ids)
+    return ExtractionSchema(
+        requested=list(schema.requested),
+        by_source={sid: list(schema.by_source[sid]) for sid in source_ids},
+        replicas={key: list(entries)
+                  for key, entries in schema.replicas.items()
+                  if key[1] in wanted})
+
+
+def run_query_item(shard: int, item: QueryWorkItem, ctx: QueryWorkerContext,
+                   emit, *, cancel: Any = None,
+                   in_subprocess: bool = False) -> None:
+    """Run one sub-plan, emitting progress events.
+
+    ``emit`` receives plain dicts.  :class:`WorkerCrashed` propagates —
+    the caller's loop dies with it, which is the point."""
+    emit({"kind": "beat", "shard": shard, "request_id": item.request_id})
+    if ctx.killable is not None:
+        probe = item.source_ids[0] if item.source_ids else ""
+        ctx.killable.check(probe, "QUERY", cancel=cancel,
+                           in_subprocess=in_subprocess)
+    manager = ctx.manager_for_worker()
+    deadline = (None if item.deadline_seconds is None
+                else Deadline(item.deadline_seconds,
+                              ctx.resilience.clock))
+    try:
+        outcome = manager.extract([], schema=item.schema, deadline=deadline)
+    except S2SError as exc:
+        # Strict-mode extraction raises instead of recording problems;
+        # surface the failure so the coordinator can re-raise it.
+        emit({"kind": "failed", "shard": shard,
+              "request_id": item.request_id, "error": str(exc)})
+        return
+    emit({"kind": "done", "shard": shard, "request_id": item.request_id,
+          "payload": outcome})
+
+
+def query_worker_loop(shard: int, inbox, results,
+                      ctx: QueryWorkerContext, *, cancel: Any = None,
+                      in_subprocess: bool = False) -> None:
+    """The query worker main loop: drain the inbox until the None
+    sentinel.  Shared verbatim by thread and subprocess workers."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        try:
+            run_query_item(shard, item, ctx, results.put, cancel=cancel,
+                           in_subprocess=in_subprocess)
+        except WorkerCrashed:
+            # Simulated sudden death: exit the loop without reporting
+            # anything — no failure event, no further heartbeats.  The
+            # supervisor must notice on its own.
+            return
+
+
+@dataclass
+class ShardRunResult:
+    """What one fleet execution produced, before merging."""
+
+    partials: dict[int, Any] = field(default_factory=dict)
+    failures: dict[int, str] = field(default_factory=dict)
+    timed_out: set[int] = field(default_factory=set)
+    items: dict[int, QueryWorkItem] = field(default_factory=dict)
+    redispatches: int = 0
+
+
+class QueryShardCoordinator:
+    """Owns one tenant's query fleet: lifecycle, dispatch, supervision.
+
+    One coordinator serializes its queries — a query's fan-out owns the
+    whole fleet until its shards drain (concurrent callers queue on the
+    coordinator lock; admission control upstream bounds how many).  The
+    fleet itself is persistent across queries: workers start on first
+    use and survive until :meth:`shutdown` (or a source-repository
+    mutation forces a rebuild so spawned children never serve a stale
+    replica of the mapping)."""
+
+    def __init__(self, *, n_workers: int = 2, pool: str = "thread",
+                 clock: Clock,
+                 context_factory: Callable[[], QueryWorkerContext],
+                 heartbeat_timeout: float = 30.0,
+                 poll_seconds: float = 0.05,
+                 real_poll_seconds: float = 0.02,
+                 max_worker_restarts: int = 3,
+                 restart_policy=None,
+                 metrics: MetricsRegistry | None = None,
+                 source_version: Callable[[], int] | None = None) -> None:
+        if pool not in QUERY_POOL_KINDS:
+            raise ValueError(
+                f"pool must be one of {QUERY_POOL_KINDS}, not {pool!r}")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.pool_kind = pool
+        self.clock = clock
+        self.context_factory = context_factory
+        self.poll_seconds = poll_seconds
+        self.real_poll_seconds = real_poll_seconds
+        self.max_worker_restarts = max_worker_restarts
+        self.metrics = metrics
+        self.source_version = source_version
+        #: Scripted fault injection consulted when the fleet starts
+        #: (chaos tests set this before the first query).
+        self.killable: Any = None
+        self.supervisor = WorkerSupervisor(
+            clock, heartbeat_timeout=heartbeat_timeout,
+            restart_policy=restart_policy,
+            max_restarts=max_worker_restarts, metrics=metrics)
+        self._pool: WorkerPool | None = None
+        self._version: int | None = None
+        self._request_seq = 0
+        self._lock = threading.Lock()
+
+    # -- fleet lifecycle ---------------------------------------------------
+
+    def _build_pool(self) -> WorkerPool:
+        ctx = self.context_factory()
+        ctx.killable = self.killable
+        if self.pool_kind == "spawn":
+            return SubprocessWorkerPool(ctx, self.n_workers,
+                                        loop=query_worker_loop,
+                                        name="query-worker")
+        return ThreadWorkerPool(ctx, self.n_workers,
+                                loop=query_worker_loop,
+                                name="query-worker")
+
+    def ensure_started(self) -> None:
+        """Start the fleet, or rebuild it after a source mutation.
+
+        Spawned children work on repository replicas pickled at fleet
+        start; when the live source repository has mutated since (its
+        version moved), the stale fleet is torn down and respawned so
+        children never answer from a replica the caller already
+        replaced."""
+        version = (self.source_version()
+                   if self.source_version is not None else None)
+        if self._pool is not None and version != self._version:
+            self._teardown()
+        if self._pool is None:
+            pool = self._build_pool()
+            pool.start()
+            self._pool = pool
+            self._version = version
+            self.supervisor.reset(range(self.n_workers))
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Stop the fleet; the next query transparently restarts it."""
+        with self._lock:
+            self._teardown()
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    # -- one query's fan-out ----------------------------------------------
+
+    def execute(self, schema: ExtractionSchema, *, deadline: Deadline,
+                span=NULL_SPAN) -> ShardRunResult:
+        """Dispatch one query's sub-plans and drain them, supervised.
+
+        Returns the per-shard partial outcomes plus the shards that
+        failed (restart budget exhausted, or a strict-mode error) or
+        timed out; merging is the caller's job
+        (:func:`merge_partials`)."""
+        with self._lock:
+            self.ensure_started()
+            # The restart budget is per query: a worker lost to an
+            # earlier query's chaos must not pre-spend this one's.
+            self.supervisor.reset(range(self.n_workers))
+            self._request_seq += 1
+            request_id = f"q{self._request_seq}"
+            return self._run(request_id, schema, deadline, span)
+
+    def _run(self, request_id: str, schema: ExtractionSchema,
+             deadline: Deadline, span) -> ShardRunResult:
+        result = ShardRunResult()
+        pool = self._pool
+        assert pool is not None
+        shard_map = partition_sources(schema.source_ids(), self.n_workers)
+        spans: dict[int, Any] = {}
+        for shard, source_ids in sorted(shard_map.items()):
+            item = QueryWorkItem(
+                request_id, shard, source_ids,
+                subschema_for(schema, source_ids),
+                None if deadline.unbounded else deadline.remaining())
+            result.items[shard] = item
+            spans[shard] = span.child("shard.dispatch", shard=shard,
+                                      sources=len(source_ids))
+            self._dispatch(pool, item)
+        pending = set(result.items)
+        while pending:
+            if deadline.expired:
+                for shard in pending:
+                    spans[shard].annotate(outcome="deadline")
+                    spans[shard].finish()
+                result.timed_out = set(pending)
+                return result
+            events = pool.events(self.real_poll_seconds)
+            if not events:
+                # Idle beat: advance the (possibly fake) clock so
+                # heartbeat ages and restart backoffs make progress.
+                self.clock.sleep(self.poll_seconds)
+            for event in events:
+                shard = event.get("shard")
+                if shard is not None:
+                    self.supervisor.beat(shard)
+                if (event.get("request_id") != request_id
+                        or shard not in pending):
+                    continue  # stale event from an abandoned attempt
+                kind = event.get("kind")
+                if kind == "done":
+                    result.partials[shard] = event["payload"]
+                    pending.discard(shard)
+                    spans[shard].annotate(outcome="done")
+                    spans[shard].finish()
+                elif kind == "failed":
+                    result.failures[shard] = event.get(
+                        "error", "unknown worker failure")
+                    pending.discard(shard)
+                    spans[shard].fail(result.failures[shard])
+                    spans[shard].finish()
+            if not pending:
+                break
+            verdict = self.supervisor.supervise(pool, busy=set(pending),
+                                                relevant=set(pending))
+            for shard in verdict.restarted:
+                if shard in pending:
+                    # The restarted worker has a fresh (empty) inbox:
+                    # re-dispatch the released sub-plan to it.
+                    self._dispatch(pool, result.items[shard])
+                    result.redispatches += 1
+                    spans[shard].annotate(redispatched=True)
+            if verdict.aborted is not None and verdict.aborted in pending:
+                shard = verdict.aborted
+                result.failures[shard] = (
+                    f"worker shard {shard} exceeded its restart budget "
+                    f"({self.max_worker_restarts})")
+                pending.discard(shard)
+                spans[shard].fail(result.failures[shard])
+                spans[shard].finish()
+        return result
+
+    def _dispatch(self, pool: WorkerPool, item: QueryWorkItem) -> None:
+        pool.submit(item.shard, item)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "shard_dispatches_total",
+                "query sub-plans dispatched to shard workers").inc(
+                    shard=item.shard)

@@ -1,0 +1,34 @@
+"""Stable shard routing shared by the ingest and query fleets.
+
+One source always lands on the same shard for a given pool width, so
+per-source work is never concurrently in flight on two workers — the
+invariant both the durable ingest pipeline and the sharded query
+engine build on.  Moved here from :mod:`repro.core.ingest.jobs` when
+the query fleet landed; the old import path still works.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def shard_of(source_id: str, n_shards: int) -> int:
+    """Stable shard routing: one source always lands on the same shard
+    (for a given pool width), so per-source work is never concurrently
+    in flight on two workers."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    return zlib.crc32(source_id.encode("utf-8")) % n_shards
+
+
+def partition_sources(source_ids: list[str],
+                      n_shards: int) -> dict[int, list[str]]:
+    """Group sources by shard, preserving the caller's source order.
+
+    Only shards that received at least one source appear in the result,
+    so a query touching two sources on a six-worker fleet dispatches two
+    sub-plans, not six."""
+    shards: dict[int, list[str]] = {}
+    for source_id in source_ids:
+        shards.setdefault(shard_of(source_id, n_shards), []).append(source_id)
+    return shards

@@ -39,6 +39,7 @@ from typing import Any
 
 from ...clock import Clock, SystemClock
 from ...obs import NULL_SPAN, MetricsRegistry, Tracer
+from ..cluster.supervision import WorkerSupervisor, default_restart_policy
 from ..extractor.manager import ExtractorManager
 from ..instances.generator import InstanceGenerator
 from ..resilience import RetryPolicy
@@ -128,10 +129,8 @@ class ShardCoordinator:
         self.max_worker_restarts = max_worker_restarts
         self.killable = killable
         self.stop_after = stop_after
-        self.restart_policy = restart_policy or RetryPolicy(
-            max_attempts=max_worker_restarts + 1, base_delay=0.05,
-            max_delay=1.0, seed=11)
-        self._restart_rng = self.restart_policy.make_rng()
+        self.restart_policy = restart_policy or default_restart_policy(
+            max_worker_restarts)
         self.journal = IngestJournal(journal_dir, fsync=fsync,
                                      metrics=metrics)
         self.dead_letter = DeadLetterLedger(journal_dir, fsync=fsync,
@@ -289,10 +288,11 @@ class ShardCoordinator:
 
     def _drain(self, pool: WorkerPool, report: IngestReport, root) -> None:
         assigned: dict[int, str] = {}  # shard -> in-flight job_id
-        heartbeats: dict[int, float] = {
-            shard: self.clock.monotonic() for shard in range(self.n_workers)}
-        restarts: dict[int, int] = {}
-        restart_at: dict[int, float] = {}
+        supervisor = WorkerSupervisor(
+            self.clock, heartbeat_timeout=self.heartbeat_timeout,
+            restart_policy=self.restart_policy,
+            max_restarts=self.max_worker_restarts, metrics=self.metrics)
+        supervisor.reset(range(self.n_workers))
         while not self.queue.drained:
             if (self.stop_after is not None
                     and report.completed >= self.stop_after):
@@ -306,9 +306,8 @@ class ShardCoordinator:
                 # Idle beat: advance the (possibly fake) clock so
                 # heartbeat ages and retry backoffs make progress.
                 self.clock.sleep(self.poll_seconds)
-            now = self.clock.monotonic()
             for event in events:
-                heartbeats[event["shard"]] = now
+                supervisor.beat(event["shard"])
                 self._handle_event(event, assigned, report, root)
                 if (self.stop_after is not None
                         and report.completed >= self.stop_after):
@@ -317,11 +316,11 @@ class ShardCoordinator:
                     # seam deterministic for tests and E17.
                     report.aborted = True
                     return
-            if self._supervise(pool, assigned, heartbeats, restarts,
-                               restart_at, report):
+            if self._supervise(pool, supervisor, assigned, report):
                 report.aborted = True
                 return
-            self._dispatch(pool, assigned, restart_at, report, root)
+            self._dispatch(pool, assigned, supervisor.restart_at, report,
+                           root)
 
     # -- event handling ----------------------------------------------------
 
@@ -396,58 +395,43 @@ class ShardCoordinator:
 
     # -- supervision -------------------------------------------------------
 
-    def _supervise(self, pool: WorkerPool, assigned: dict[int, str],
-                   heartbeats: dict[int, float], restarts: dict[int, int],
-                   restart_at: dict[int, float],
+    def _supervise(self, pool: WorkerPool, supervisor: WorkerSupervisor,
+                   assigned: dict[int, str],
                    report: IngestReport) -> bool:
         """Detect dead workers, release their jobs, schedule restarts.
 
-        Returns True when a shard exceeded its restart budget and the
-        run must abort."""
-        now = self.clock.monotonic()
+        The detection/backoff policy lives in the shared
+        :class:`~repro.core.cluster.supervision.WorkerSupervisor` (the
+        query fleet runs the same one); this method maps its verdict
+        onto ingest semantics — releasing in-flight jobs back to the
+        queue, and aborting the run when a shard exceeded its restart
+        budget.  Returns True on abort."""
         # Only shards with work in flight or routed to them matter: a
         # dead-but-idle worker must not burn the restart budget (and
         # certainly must not abort the run) while other shards drain.
         relevant = set(assigned)
         relevant.update(shard_of(job.source_id, self.n_workers)
                         for job in self.queue.pending)
-        for shard in range(self.n_workers):
-            if shard not in relevant and shard not in restart_at:
+        verdict = supervisor.supervise(pool, busy=set(assigned),
+                                       relevant=relevant)
+        dead_shards = list(verdict.deaths)
+        if verdict.aborted is not None:
+            dead_shards.append(verdict.aborted)
+        for shard in dead_shards:
+            if shard not in assigned:
                 continue
-            if shard in restart_at:
-                if now >= restart_at[shard]:
-                    pool.restart(shard)
-                    del restart_at[shard]
-                    heartbeats[shard] = self.clock.monotonic()
-                continue
-            busy = shard in assigned
-            dead = not pool.alive(shard)
-            silent = (busy and now - heartbeats.get(shard, now)
-                      > self.heartbeat_timeout)
-            if not dead and not silent:
-                continue
-            count = restarts.get(shard, 0) + 1
-            restarts[shard] = count
-            if busy:
-                job = self.queue.get(assigned.pop(shard))
-                if job is not None and not job.finished:
-                    self.queue.release(job)
-                    report.released += 1
-                    self._job_spans.get(job.job_id, NULL_SPAN).annotate(
-                        released=True)
-            if count > self.max_worker_restarts:
-                report.errors.append(
-                    f"worker shard {shard} exceeded its restart budget "
-                    f"({self.max_worker_restarts})")
-                return True
-            delay = self.restart_policy.delay_for(count, self._restart_rng)
-            restart_at[shard] = now + delay
-            report.worker_restarts += 1
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "worker_restarts_total",
-                    "ingest workers restarted after death or silence"
-                ).inc(shard=shard)
+            job = self.queue.get(assigned.pop(shard))
+            if job is not None and not job.finished:
+                self.queue.release(job)
+                report.released += 1
+                self._job_spans.get(job.job_id, NULL_SPAN).annotate(
+                    released=True)
+        report.worker_restarts += len(verdict.deaths)
+        if verdict.aborted is not None:
+            report.errors.append(
+                f"worker shard {verdict.aborted} exceeded its restart "
+                f"budget ({self.max_worker_restarts})")
+            return True
         return False
 
     # -- dispatch ----------------------------------------------------------

@@ -16,10 +16,12 @@ mapping and can match journaled history against a fresh plan.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field, replace
 
 from ...sources.base import stable_digest
+from ..cluster.sharding import shard_of  # noqa: F401  (re-export: the
+# canonical home moved to core/cluster when the query fleet landed, but
+# `from repro.core.ingest.jobs import shard_of` keeps working.)
 
 #: The staged waterfall, in execution order.
 EXTRACT = "EXTRACT"
@@ -50,13 +52,6 @@ def job_id_for(class_name: str, attribute_ids: frozenset[str],
     return f"{class_name}:{key_digest(class_name, attribute_ids)}:{source_id}"
 
 
-def shard_of(source_id: str, n_shards: int) -> int:
-    """Stable shard routing: one source always lands on the same shard
-    (for a given pool width), so per-source work is never concurrently
-    in flight on two workers."""
-    if n_shards <= 0:
-        raise ValueError("n_shards must be positive")
-    return zlib.crc32(source_id.encode("utf-8")) % n_shards
 
 
 def next_stage(stage: str) -> str | None:

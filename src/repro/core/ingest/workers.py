@@ -33,15 +33,15 @@ needing bespoke transforms should use thread workers.
 
 from __future__ import annotations
 
-import pickle
-import queue as queue_module
-import threading
 from dataclasses import dataclass, field
-from typing import Any, Protocol
+from typing import Any
 
 from ...errors import (CircuitOpenError, PoisonPayloadError, S2SError,
                        TransientSourceError)
 from ...sources.flaky import KillableWorker, WorkerCrashed
+from ..cluster.pool import (KILL_EXIT_CODE, WorkerPool)  # noqa: F401
+from ..cluster.pool import SubprocessWorkerPool as _GenericSubprocessPool
+from ..cluster.pool import ThreadWorkerPool as _GenericThreadPool
 from ..extractor.extractors import ExtractorRegistry
 from ..extractor.manager import ExtractionOutcome
 from ..extractor.records import SourceRecordSet
@@ -50,8 +50,10 @@ from ..mapping.rules import TransformRegistry
 from ..store.snapshot import fingerprint_source
 from .jobs import CLEAN, EXTRACT, MATERIALIZE, STAGE, STAGES, IngestJob
 
-#: Exit code a subprocess worker dies with on a scripted kill.
-KILL_EXIT_CODE = 17
+# KILL_EXIT_CODE and the WorkerPool protocol moved to
+# repro.core.cluster.pool when the query fleet landed; both remain
+# importable from here (deprecation shim — new code should import from
+# repro.core.cluster).
 
 
 @dataclass
@@ -224,174 +226,22 @@ def worker_loop(shard: int, inbox, results, ctx: WorkerContext, *,
             return
 
 
-def _subprocess_main(shard: int, inbox, results, cancel,
-                     context_bytes: bytes) -> None:
-    """Top-level subprocess entry point (spawn requires importability)."""
-    ctx: WorkerContext = pickle.loads(context_bytes)
-    worker_loop(shard, inbox, results, ctx, cancel=cancel,
-                in_subprocess=True)
-
-
-class WorkerPool(Protocol):
-    """What the coordinator requires of a pool of shard workers."""
-
-    n_workers: int
-
-    def start(self) -> None: ...
-    def submit(self, shard: int, item: WorkItem) -> None: ...
-    def events(self, timeout: float) -> list[dict]: ...
-    def alive(self, shard: int) -> bool: ...
-    def restart(self, shard: int) -> None: ...
-    def shutdown(self) -> None: ...
-
-
-class _ThreadWorker:
-    __slots__ = ("thread", "inbox", "cancel")
-
-    def __init__(self, thread: threading.Thread,
-                 inbox: "queue_module.Queue", cancel: threading.Event
-                 ) -> None:
-        self.thread = thread
-        self.inbox = inbox
-        self.cancel = cancel
-
-
-class ThreadWorkerPool:
-    """Shard workers as daemon threads sharing the process state.
-
-    The cheap default: no pickling, shared fault-injection state (a
-    scripted kill consumed by one worker is gone for all), and the
-    coordinator's FakeClock is genuinely shared with the workers."""
+class ThreadWorkerPool(_GenericThreadPool):
+    """Ingest shard workers as daemon threads (see
+    :class:`repro.core.cluster.pool.ThreadWorkerPool`): no pickling,
+    shared fault-injection state, genuinely shared clock."""
 
     def __init__(self, ctx: WorkerContext, n_workers: int = 2) -> None:
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        self.ctx = ctx
-        self.n_workers = n_workers
-        self.results: "queue_module.Queue[dict]" = queue_module.Queue()
-        self._workers: dict[int, _ThreadWorker] = {}
-
-    def _spawn(self, shard: int) -> _ThreadWorker:
-        inbox: "queue_module.Queue" = queue_module.Queue()
-        cancel = threading.Event()
-        thread = threading.Thread(
-            target=worker_loop, args=(shard, inbox, self.results, self.ctx),
-            kwargs={"cancel": cancel}, daemon=True,
-            name=f"ingest-worker-{shard}")
-        thread.start()
-        return _ThreadWorker(thread, inbox, cancel)
-
-    def start(self) -> None:
-        for shard in range(self.n_workers):
-            self._workers[shard] = self._spawn(shard)
-
-    def submit(self, shard: int, item: WorkItem) -> None:
-        self._workers[shard].inbox.put(item)
-
-    def events(self, timeout: float) -> list[dict]:
-        collected: list[dict] = []
-        try:
-            collected.append(self.results.get(timeout=timeout))
-        except queue_module.Empty:
-            return collected
-        while True:
-            try:
-                collected.append(self.results.get_nowait())
-            except queue_module.Empty:
-                return collected
-
-    def alive(self, shard: int) -> bool:
-        worker = self._workers.get(shard)
-        return worker is not None and worker.thread.is_alive()
-
-    def restart(self, shard: int) -> None:
-        old = self._workers.get(shard)
-        if old is not None:
-            old.cancel.set()  # release a hung worker, if that's the cause
-        self._workers[shard] = self._spawn(shard)
-
-    def shutdown(self) -> None:
-        for worker in self._workers.values():
-            worker.cancel.set()
-            worker.inbox.put(None)
-        for worker in self._workers.values():
-            worker.thread.join(timeout=1.0)
-        self._workers.clear()
+        super().__init__(ctx, n_workers, loop=worker_loop,
+                         name="ingest-worker")
 
 
-class SubprocessWorkerPool:
-    """Shard workers as spawned subprocesses (real process isolation).
-
-    Everything crossing the boundary is pickled: the worker context at
-    spawn, work items on dispatch, payloads on the way back — which is
-    exactly the contract a distributed deployment would need.  A
-    scripted kill here is a genuine ``os._exit``."""
+class SubprocessWorkerPool(_GenericSubprocessPool):
+    """Ingest shard workers as spawned subprocesses (see
+    :class:`repro.core.cluster.pool.SubprocessWorkerPool`): everything
+    crossing the boundary is pickled, a scripted kill is a genuine
+    ``os._exit``."""
 
     def __init__(self, ctx: WorkerContext, n_workers: int = 2) -> None:
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        import multiprocessing
-        self._mp = multiprocessing.get_context("spawn")
-        self.ctx = ctx
-        self._context_bytes = pickle.dumps(ctx)
-        self.n_workers = n_workers
-        self.results = self._mp.Queue()
-        self._workers: dict[int, Any] = {}
-        self._inboxes: dict[int, Any] = {}
-        self._cancels: dict[int, Any] = {}
-
-    def _spawn(self, shard: int) -> None:
-        inbox = self._mp.Queue()
-        cancel = self._mp.Event()
-        process = self._mp.Process(
-            target=_subprocess_main,
-            args=(shard, inbox, self.results, cancel, self._context_bytes),
-            daemon=True, name=f"ingest-worker-{shard}")
-        process.start()
-        self._workers[shard] = process
-        self._inboxes[shard] = inbox
-        self._cancels[shard] = cancel
-
-    def start(self) -> None:
-        for shard in range(self.n_workers):
-            self._spawn(shard)
-
-    def submit(self, shard: int, item: WorkItem) -> None:
-        self._inboxes[shard].put(item)
-
-    def events(self, timeout: float) -> list[dict]:
-        collected: list[dict] = []
-        try:
-            collected.append(self.results.get(timeout=timeout))
-        except queue_module.Empty:
-            return collected
-        while True:
-            try:
-                collected.append(self.results.get_nowait())
-            except queue_module.Empty:
-                return collected
-
-    def alive(self, shard: int) -> bool:
-        process = self._workers.get(shard)
-        return process is not None and process.is_alive()
-
-    def restart(self, shard: int) -> None:
-        old = self._workers.get(shard)
-        if old is not None and old.is_alive():
-            self._cancels[shard].set()
-            old.terminate()
-            old.join(timeout=2.0)
-        self._spawn(shard)
-
-    def shutdown(self) -> None:
-        for shard, process in list(self._workers.items()):
-            self._cancels[shard].set()
-            if process.is_alive():
-                self._inboxes[shard].put(None)
-        for process in self._workers.values():
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-        self._workers.clear()
-        self._inboxes.clear()
-        self._cancels.clear()
+        super().__init__(ctx, n_workers, loop=worker_loop,
+                         name="ingest-worker")

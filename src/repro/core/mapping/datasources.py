@@ -20,6 +20,16 @@ class DataSourceRepository:
 
     def __init__(self) -> None:
         self._sources: dict[str, DataSource] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every (un)registration.
+
+        The sharded query engine's spawn pools hold repository replicas
+        pickled at fleet start; they watch this version to know when
+        their replica went stale and the fleet must be rebuilt."""
+        return self._version
 
     def register(self, source: DataSource, *, replace: bool = False) -> str:
         """Register a connector under its ``source_id``; returns the ID."""
@@ -27,12 +37,14 @@ class DataSourceRepository:
             raise MappingError(
                 f"data source {source.source_id!r} already registered")
         self._sources[source.source_id] = source
+        self._version += 1
         return source.source_id
 
     def unregister(self, source_id: str) -> None:
         """Remove a source from the registry."""
         if self._sources.pop(source_id, None) is None:
             raise UnknownDataSourceError(source_id)
+        self._version += 1
 
     def get(self, source_id: str) -> DataSource:
         """Look up a source by ID, raising when unknown."""

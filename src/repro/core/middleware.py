@@ -38,6 +38,7 @@ from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from ..ontology.model import Ontology
 from ..ontology.schema import OntologySchema
 from ..sources.base import DataSource
+from .cluster.manager import ShardedExtractorManager
 from .extractor.async_manager import AsyncExtractorManager
 from .extractor.cache import FragmentCache
 from .extractor.extractors import Extractor, ExtractorRegistry
@@ -172,8 +173,9 @@ class S2SMiddleware:
             # post-reload store must never be served (every slice was
             # generated against the old mapping).
             self.store.bump_generation()
-        manager_cls = (AsyncExtractorManager
-                       if self.resilience.concurrency.mode == "asyncio"
+        mode = self.resilience.concurrency.mode
+        manager_cls = (AsyncExtractorManager if mode == "asyncio"
+                       else ShardedExtractorManager if mode == "sharded"
                        else ExtractorManager)
         self.manager = manager_cls(
             self.attribute_repository, self.source_repository,

@@ -28,7 +28,10 @@ from .retry import RetryPolicy
 UNSET: Any = object()
 
 #: Fan-out engines ConcurrencyConfig.mode accepts.
-CONCURRENCY_MODES = ("serial", "thread", "asyncio")
+CONCURRENCY_MODES = ("serial", "thread", "asyncio", "sharded")
+
+#: Worker pool kinds the sharded engine accepts.
+SHARDED_POOL_KINDS = ("thread", "spawn")
 
 #: Default thread-pool cap when ``max_workers`` is left adaptive: the
 #: pool is bounded by ``min(n_sources, DEFAULT_WORKER_CAP)``.
@@ -46,17 +49,28 @@ class ConcurrencyConfig:
       worker bound;
     * ``"asyncio"`` — the async engine: every source is a task on one
       event loop, with no worker cap at all (sync connectors are run in
-      worker threads via the auto-adapter).
+      worker threads via the auto-adapter);
+    * ``"sharded"`` — the fleet engine: sources are partitioned by
+      stable shard key across ``workers`` supervised workers (``pool``
+      selects daemon threads or spawned subprocesses) and the partial
+      outcomes are merged back into one (see docs/cluster.md).
 
     ``max_workers`` bounds the thread pool in ``"thread"`` mode:
     ``None`` means the adaptive default ``min(n_sources, 16)`` (which
     logs and counts a metric when it truncates the fan-out), ``0`` means
     explicitly unbounded (one worker per source, however many), and any
     positive value is an exact cap.  The asyncio engine ignores it.
+
+    ``workers`` and ``pool`` belong to the sharded engine only: the
+    fleet width and the worker flavour (``"thread"`` shares process
+    state and the injectable clock; ``"spawn"`` pickles everything
+    across a real process boundary).  The other engines ignore them.
     """
 
     mode: str = "serial"
     max_workers: int | None = None
+    workers: int = 2
+    pool: str = "thread"
 
     def __post_init__(self) -> None:
         if self.mode not in CONCURRENCY_MODES:
@@ -67,6 +81,12 @@ class ConcurrencyConfig:
             raise ValueError(
                 "max_workers must be None (adaptive), 0 (unbounded) or "
                 "positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.pool not in SHARDED_POOL_KINDS:
+            raise ValueError(
+                f"pool must be one of {SHARDED_POOL_KINDS}, "
+                f"not {self.pool!r}")
 
     @classmethod
     def threads(cls, max_workers: int | None = None) -> "ConcurrencyConfig":
@@ -77,6 +97,12 @@ class ConcurrencyConfig:
     def asyncio(cls) -> "ConcurrencyConfig":
         """Event-loop fan-out: unbounded, non-blocking per-source tasks."""
         return cls(mode="asyncio")
+
+    @classmethod
+    def sharded(cls, workers: int = 2, *,
+                pool: str = "thread") -> "ConcurrencyConfig":
+        """Fleet fan-out: sources sharded across supervised workers."""
+        return cls(mode="sharded", workers=workers, pool=pool)
 
     @property
     def parallel(self) -> bool:

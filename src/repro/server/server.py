@@ -566,6 +566,11 @@ class S2SServer:
         middleware = session.tenant.middleware
         store_rows = (middleware.store_status()
                       if middleware.store is not None else None)
+        concurrency = middleware.resilience.concurrency
+        engine = {"mode": concurrency.mode}
+        if concurrency.mode == "sharded":
+            engine["workers"] = concurrency.workers
+            engine["pool"] = concurrency.pool
         await self._respond(connection, {
             "kind": protocol.STATUS_OK, "id": frame.get("id"),
             "tenant": session.tenant.name,
@@ -584,6 +589,7 @@ class S2SServer:
                 "mappings": len(middleware.attribute_repository),
                 "coverage": middleware.mapping_coverage(),
                 "open_breakers": middleware.open_breakers(),
+                "engine": engine,
                 "store": store_rows,
             }})
 

@@ -7,10 +7,12 @@ by building everything up front.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..core.middleware import S2SMiddleware
+from ..sources.base import ConnectionInfo, DataSource
 from .b2b import SOURCE_TYPES, B2BScenario
 from .heterogeneity import ConflictProfile
 
@@ -77,3 +79,83 @@ def conflict_scenarios(n_sources: int = 6, n_products: int = 60, *,
         scenario = B2BScenario(n_sources=n_sources, n_products=n_products,
                                conflicts=profile, seed=seed)
         yield SweepPoint(label, scenario, scenario.build_middleware())
+
+
+class CpuBoundSource(DataSource):
+    """Decorator source: burns deterministic CPU before delegating.
+
+    Every :meth:`execute_rule` call hashes ``work_factor`` sha256
+    rounds first.  The rounds are tiny (32-byte digests), so hashlib
+    never releases the GIL and a thread fleet gains nothing — only a
+    spawn fleet parallelizes the burn across real processes.  Picklable
+    (plain data, no locks), which is what lets it cross the spawn
+    worker boundary in experiment E20.
+    """
+
+    def __init__(self, inner: DataSource, *,
+                 work_factor: int = 20_000) -> None:
+        super().__init__(inner.source_id)
+        if work_factor < 0:
+            raise ValueError("work_factor must be >= 0")
+        self.inner = inner
+        self.work_factor = work_factor
+
+    @property
+    def source_type(self) -> str:  # type: ignore[override]
+        """Forwarded from the wrapped source."""
+        return self.inner.source_type
+
+    def connect(self) -> None:
+        self.inner.connect()
+        super().connect()
+
+    def close(self) -> None:
+        self.inner.close()
+        super().close()
+
+    def connection_info(self) -> ConnectionInfo:
+        return self.inner.connection_info()
+
+    def content_fingerprint(self) -> str | None:
+        return self.inner.content_fingerprint()
+
+    def execute_rule(self, rule: str) -> list[str]:
+        digest = hashlib.sha256(rule.encode("utf-8")).digest()
+        for _ in range(self.work_factor):
+            digest = hashlib.sha256(digest).digest()
+        return self.inner.execute_rule(rule)
+
+
+def cpu_bound_world(concurrency, *, n_sources: int = 12,
+                    n_products: int = 12, work_factor: int = 20_000,
+                    seed: int = 7) -> S2SMiddleware:
+    """A world where extraction cost is dominated by per-rule CPU burn
+    (experiment E20's sharded-fleet workload)."""
+    scenario = B2BScenario(n_sources=n_sources, n_products=n_products,
+                           seed=seed)
+    s2s = scenario.build_middleware(concurrency=concurrency)
+    for org in scenario.organizations:
+        s2s.source_repository.register(
+            CpuBoundSource(s2s.source_repository.get(org.source_id),
+                           work_factor=work_factor),
+            replace=True)
+    return s2s
+
+
+def slow_source_world(concurrency, *, n_sources: int = 12,
+                      n_products: int = 12,
+                      latency_seconds: float = 0.01,
+                      seed: int = 7) -> S2SMiddleware:
+    """A world where every rule execution sleeps ``latency_seconds`` on
+    the wall clock (experiment E20's latency-bound workload)."""
+    from ..sources.flaky import FlakySource
+
+    scenario = B2BScenario(n_sources=n_sources, n_products=n_products,
+                           seed=seed)
+    s2s = scenario.build_middleware(concurrency=concurrency)
+    for org in scenario.organizations:
+        s2s.source_repository.register(
+            FlakySource(s2s.source_repository.get(org.source_id),
+                        failure_rate=0.0, latency=latency_seconds),
+            replace=True)
+    return s2s
