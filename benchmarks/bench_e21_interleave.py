@@ -1,0 +1,114 @@
+"""E21 — interleaved fleet scheduling: concurrent queries on one fleet.
+
+Four tenants share one 4-worker thread fleet; each tenant's world is a
+single slow source (~25 ms of injected wire latency per rule), so each
+query fans out into exactly one shard item.  Two ways to run the same
+four-query batch:
+
+* **serialized** — queries submitted one after another, the PR 9
+  coordinator's behaviour (one query owned the fleet at a time, so
+  concurrent callers queued even with three workers idle).  Batch
+  wall-clock is ~4x one query.
+* **interleaved** — the four queries submitted concurrently from four
+  threads.  The scheduler admits all four requests and feeds their
+  items to the four workers at once, so the batch collapses toward 1x
+  one query.
+
+The asserted acceptance floor is >= 2x (the structural ceiling is ~4x:
+four single-item requests on four workers).  Both runs are checked to
+harvest identical record counts per tenant — the speedup compares
+equal answers.  ``E21_ITERATIONS=1`` puts the benchmark in CI smoke
+mode; the default takes the best of 3 runs per mode.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.bench import ResultTable
+from repro.clock import SystemClock
+from repro.config import ConcurrencyConfig, FleetConfig
+from repro.core.cluster import QueryShardCoordinator
+from repro.obs import MetricsRegistry
+from repro.workloads.scaling import slow_source_world
+
+ITERATIONS = int(os.environ.get("E21_ITERATIONS", "3"))
+N_TENANTS = 4
+N_WORKERS = 4
+LATENCY_SECONDS = 0.025
+
+
+def best_of(runs: int, operation) -> float:
+    return min(_timed(operation) for _ in range(runs))
+
+
+def _timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def build_shared_fleet_worlds():
+    """One 4-worker fleet + four single-source tenant worlds on it."""
+    fleet_config = FleetConfig(n_workers=N_WORKERS)
+    shared = QueryShardCoordinator(clock=SystemClock(), fleet=fleet_config,
+                                   metrics=MetricsRegistry())
+    worlds = []
+    for index in range(N_TENANTS):
+        s2s = slow_source_world(
+            ConcurrencyConfig.sharded(fleet=fleet_config),
+            n_sources=1, n_products=8, latency_seconds=LATENCY_SECONDS,
+            seed=7 + index)
+        s2s.attach_fleet(shared, tenant=f"tenant{index}")
+        worlds.append(s2s)
+    return shared, worlds
+
+
+def run_serialized(worlds) -> None:
+    for s2s in worlds:
+        s2s.extract_all()
+
+
+def run_interleaved(worlds) -> None:
+    threads = [threading.Thread(target=s2s.extract_all) for s2s in worlds]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _record_counts(worlds) -> list[int]:
+    return [s2s.extract_all().total_records() for s2s in worlds]
+
+
+def test_e21_interleaved_vs_serialized():
+    """Acceptance criterion: four concurrent queries on one shared
+    4-worker fleet finish >= 2x faster interleaved than serialized."""
+    shared, worlds = build_shared_fleet_worlds()
+    try:
+        counts = _record_counts(worlds)  # warm the fleet and connections
+        serialized_seconds = best_of(ITERATIONS,
+                                     lambda: run_serialized(worlds))
+        interleaved_seconds = best_of(ITERATIONS,
+                                      lambda: run_interleaved(worlds))
+        assert _record_counts(worlds) == counts  # same answers either way
+        speedup = serialized_seconds / interleaved_seconds
+        table = ResultTable(
+            f"E21: {N_TENANTS} concurrent queries on one shared "
+            f"{N_WORKERS}-worker fleet at "
+            f"{LATENCY_SECONDS * 1000:.0f} ms/rule "
+            f"(best of {ITERATIONS})",
+            ["mode", "batch_seconds", "speedup"])
+        table.add_row("serialized", serialized_seconds, 1.0)
+        table.add_row("interleaved", interleaved_seconds, speedup)
+        table.print()
+        assert speedup >= 2.0, (
+            f"interleaving speedup {speedup:.2f}x below the 2x floor "
+            f"(serialized {serialized_seconds:.3f}s, interleaved "
+            f"{interleaved_seconds:.3f}s)")
+    finally:
+        for s2s in worlds:
+            s2s.close()
+        shared.shutdown()

@@ -356,24 +356,80 @@ def _parse_tenant_specs(spec: str) -> list[tuple[str, str | None]]:
     return tenants
 
 
+def _parse_fleet_spec(spec: str):
+    """Parse ``--fleet workers[:pool][:shared]`` → (workers, pool, shared).
+
+    ``4`` — four thread workers per tenant; ``4:spawn`` — subprocess
+    workers; ``4:shared`` / ``4:spawn:shared`` — one fleet serving every
+    tenant."""
+    workers_text, _, rest = spec.partition(":")
+    try:
+        workers = int(workers_text)
+    except ValueError:
+        raise S2SError(f"--fleet spec must start with a worker count, "
+                       f"got {spec!r}") from None
+    pool, shared = "thread", False
+    for token in filter(None, rest.split(":")):
+        if token in ("thread", "spawn"):
+            pool = token
+        elif token == "shared":
+            shared = True
+        else:
+            raise S2SError(f"unknown --fleet token {token!r} in {spec!r} "
+                           f"(expected thread, spawn or shared)")
+    return workers, pool, shared
+
+
+def _resolve_serve_fleet(args: argparse.Namespace):
+    """The serve command's fleet shape: (FleetConfig, shared) or None."""
+    legacy = (args.query_workers is not None
+              or args.query_pool is not None)
+    if args.fleet is None and not legacy:
+        return None
+    if args.fleet is not None:
+        if legacy:
+            raise S2SError("pass either --fleet or the deprecated "
+                           "--query-workers/--query-pool, not both")
+        workers, pool, shared = _parse_fleet_spec(args.fleet)
+    else:
+        print("warning: --query-workers/--query-pool are deprecated; "
+              "use --fleet workers[:pool][:shared]", file=sys.stderr)
+        workers = args.query_workers if args.query_workers is not None else 2
+        pool, shared = args.query_pool or "thread", False
+    from .config import FleetConfig
+    return FleetConfig(n_workers=workers, pool=pool,
+                       tenant_quota=args.fleet_quota), shared
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``serve`` — expose demo worlds over the wire protocol.
 
     Each tenant gets its *own* scenario (seeded ``--seed + index``) and
     its own middleware: namespaces are isolated end to end.  Port 0
     binds an ephemeral port; the bound address is printed (and written
-    to ``--port-file`` when given) so scripts can connect."""
+    to ``--port-file`` when given) so scripts can connect.  With
+    ``--fleet N[:pool][:shared]`` queries run on sharded worker fleets —
+    one per tenant, or (``:shared``) one fleet interleaving every
+    tenant's shards under per-tenant quotas."""
     import time as _time
 
     from .config import ServerConfig
     from .server import S2SServer, ServerThread, Tenant, TenantRegistry
 
+    fleet_shape = _resolve_serve_fleet(args)
     middleware_kwargs = {}
-    if args.query_workers is not None:
-        # One sharded fleet per tenant: worlds stay isolated end to end.
+    if fleet_shape is not None:
         from .config import ConcurrencyConfig
         middleware_kwargs["concurrency"] = ConcurrencyConfig.sharded(
-            args.query_workers, pool=args.query_pool)
+            fleet=fleet_shape[0])
+    shared_fleet = None
+    if fleet_shape is not None and fleet_shape[1]:
+        from .clock import SystemClock
+        from .core.cluster import QueryShardCoordinator
+        from .obs import DEFAULT_REGISTRY
+        shared_fleet = QueryShardCoordinator(clock=SystemClock(),
+                                             fleet=fleet_shape[0],
+                                             metrics=DEFAULT_REGISTRY)
     registry = TenantRegistry()
     for index, (name, token) in enumerate(_parse_tenant_specs(args.tenants)):
         scenario = B2BScenario(n_sources=args.sources,
@@ -382,14 +438,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                seed=args.seed + index)
         middleware = scenario.build_middleware(store=args.store,
                                                **middleware_kwargs)
+        if shared_fleet is not None:
+            middleware.attach_fleet(shared_fleet, tenant=name)
         registry.add(Tenant(name, middleware, token=token, owned=True))
     config = ServerConfig(host=args.host, port=args.port,
                           max_inflight=args.max_inflight,
                           max_queue=args.max_queue)
     thread = ServerThread(S2SServer(registry, config=config))
     host, port = thread.start()
+    fleet_note = ""
+    if fleet_shape is not None:
+        fleet_config, shared = fleet_shape
+        scope = "shared fleet" if shared else "fleet per tenant"
+        fleet_note = (f", {scope}: {fleet_config.n_workers} "
+                      f"{fleet_config.pool} worker(s)")
     print(f"listening on {host}:{port} "
-          f"({len(registry)} tenant(s): {', '.join(registry.names())})",
+          f"({len(registry)} tenant(s): {', '.join(registry.names())}"
+          f"{fleet_note})",
           flush=True)
     if args.port_file:
         with open(args.port_file, "w", encoding="utf-8") as handle:
@@ -404,6 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         thread.stop()
+        if shared_fleet is not None:
+            shared_fleet.shutdown()
     print("server stopped", file=sys.stderr)
     return 0
 
@@ -630,14 +697,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None,
                        help="write the bound port to this file once "
                             "listening (for scripts)")
+    serve.add_argument("--fleet", default=None, metavar="N[:POOL][:shared]",
+                       help="run queries on sharded worker fleets, e.g. "
+                            "'4', '4:spawn' or '4:thread:shared'; 'shared' "
+                            "interleaves every tenant on ONE fleet "
+                            "(default: in-process execution)")
+    serve.add_argument("--fleet-quota", type=int, default=None, metavar="N",
+                       help="per-tenant cap on in-flight shard items on a "
+                            "shared fleet; over-quota queries get "
+                            "RETRY_AFTER pushback (default: no quota)")
     serve.add_argument("--query-workers", type=int, default=None,
                        metavar="N",
-                       help="give every tenant a sharded query fleet of "
-                            "N workers (default: in-process execution)")
+                       help="deprecated alias: --fleet N")
     serve.add_argument("--query-pool", choices=("thread", "spawn"),
-                       default="thread",
-                       help="fleet worker flavour with --query-workers "
-                            "(default thread)")
+                       default=None,
+                       help="deprecated alias: the POOL part of --fleet")
     _add_scenario_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 

@@ -9,9 +9,13 @@ place::
 * :class:`ResilienceConfig` — retries, breakers, deadlines, failover
   and the injectable clock (``S2SMiddleware(resilience=...)``).
 * :class:`ConcurrencyConfig` — the extraction fan-out engine
-  (``serial`` | ``thread`` | ``asyncio``) and its worker bound; carried
-  on :class:`ResilienceConfig`, or passed as
+  (``serial`` | ``thread`` | ``asyncio`` | ``sharded``) and its worker
+  bound; carried on :class:`ResilienceConfig`, or passed as
   ``S2SMiddleware(concurrency=...)``.
+* :class:`FleetConfig` — every knob of a sharded query fleet (worker
+  count, pool kind, supervision timings, admission quotas) in one
+  frozen object: ``ConcurrencyConfig.sharded(fleet=...)`` and
+  ``QueryShardCoordinator(fleet=...)``.
 * :class:`RefreshPolicy` — semantic-store freshness: TTL, stale-while-
   refresh grace, fingerprint polling (``S2SMiddleware(store=...)``).
 * :class:`ServerConfig` — the query server's listen address, admission
@@ -29,13 +33,14 @@ stable import path.  The historical spellings —
 from __future__ import annotations
 
 from .core.resilience.config import (DEFAULT_WORKER_CAP, ConcurrencyConfig,
-                                     ResilienceConfig)
+                                     FleetConfig, ResilienceConfig)
 from .core.store.refresh import RefreshPolicy
 from .server.config import ServerConfig
 
 __all__ = [
     "DEFAULT_WORKER_CAP",
     "ConcurrencyConfig",
+    "FleetConfig",
     "RefreshPolicy",
     "ResilienceConfig",
     "ServerConfig",

@@ -13,8 +13,9 @@ now share:
   and jittered restart backoff (:class:`WorkerSupervisor`), extracted
   from the ingest coordinator;
 * :mod:`~repro.core.cluster.coordinator` — the
-  :class:`QueryShardCoordinator`: per-query sub-plan dispatch, drain
-  and re-dispatch over a fleet;
+  :class:`QueryShardCoordinator`: interleaved multi-query sub-plan
+  scheduling (fair-share ready queue, per-tenant quotas, death
+  re-dispatch) over one shared fleet;
 * :mod:`~repro.core.cluster.manager` — the
   :class:`ShardedExtractorManager` engine selected by
   ``ConcurrencyConfig(mode="sharded")``.
@@ -23,9 +24,11 @@ See ``docs/cluster.md`` for shard routing, merge semantics and the
 failure model.
 """
 
-from .coordinator import (QUERY_POOL_KINDS, QueryShardCoordinator,
-                          QueryWorkerContext, QueryWorkItem, ShardRunResult,
-                          query_worker_loop, run_query_item, subschema_for)
+from ..resilience.config import FleetConfig
+from .coordinator import (QUERY_POOL_KINDS, FleetWorkerContext,
+                          QueryShardCoordinator, QueryWorkerContext,
+                          QueryWorkItem, ShardRunResult, query_worker_loop,
+                          run_query_item, subschema_for)
 from .manager import ShardedExtractorManager, merge_partials
 from .pool import (KILL_EXIT_CODE, SubprocessWorkerPool, ThreadWorkerPool,
                    WorkerPool)
@@ -35,6 +38,7 @@ from .supervision import (SupervisionVerdict, WorkerSupervisor,
 
 __all__ = [
     "KILL_EXIT_CODE", "QUERY_POOL_KINDS",
+    "FleetConfig", "FleetWorkerContext",
     "QueryShardCoordinator", "QueryWorkItem", "QueryWorkerContext",
     "ShardRunResult", "ShardedExtractorManager", "SubprocessWorkerPool",
     "SupervisionVerdict", "ThreadWorkerPool", "WorkerPool",

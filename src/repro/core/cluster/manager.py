@@ -105,20 +105,42 @@ class ShardedExtractorManager(ExtractorManager):
     Construction is cheap: the fleet starts lazily on the first
     extraction and persists across queries until :meth:`close` (the
     middleware calls it on teardown and mapping reloads).  The
-    coordinator serializes extractions — one query's fan-out owns the
-    fleet at a time — and callers queue on it, which upstream admission
-    control should bound."""
+    coordinator *interleaves* extractions — concurrent callers' shard
+    items share the workers under a fair-share scheduler — so
+    ``query_many`` and concurrent server requests overlap on one fleet;
+    admission quotas (:class:`~repro.core.resilience.config.FleetConfig.
+    max_inflight_requests` / ``tenant_quota``) bound the backlog.
+
+    By default each manager owns its coordinator.  :meth:`attach_fleet`
+    instead binds the manager to a *shared* fleet (the server's
+    ``--fleet N:pool:shared`` mode) as one registered tenant; a shared
+    fleet's lifecycle belongs to whoever built it, so :meth:`close`
+    leaves it running."""
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         concurrency = self.config.concurrency
+        self._tenant = "default"
+        self._fleet_shared = False
         self.fleet = QueryShardCoordinator(
-            n_workers=concurrency.workers,
-            pool=concurrency.pool,
+            fleet=concurrency.fleet_config(),
             clock=self.config.clock,
             context_factory=self._worker_context,
             metrics=self.metrics,
             source_version=lambda: self.sources.version)
+
+    def attach_fleet(self, fleet: QueryShardCoordinator, *,
+                     tenant: str) -> None:
+        """Route this manager's extractions through a shared fleet.
+
+        Replaces the manager-owned coordinator: this manager's world is
+        registered (or re-registered, after a mapping reload) under
+        ``tenant``, and :meth:`close` no longer shuts the fleet down."""
+        fleet.register_tenant(tenant, self._worker_context,
+                              source_version=lambda: self.sources.version)
+        self.fleet = fleet
+        self._tenant = tenant
+        self._fleet_shared = True
 
     def _worker_context(self) -> QueryWorkerContext:
         """The per-fleet worker context (shared live for thread pools,
@@ -156,7 +178,8 @@ class ShardedExtractorManager(ExtractorManager):
                       engine="sharded", workers=self.fleet.n_workers,
                       pool=self.fleet.pool_kind)
         if source_ids:
-            run = self.fleet.execute(schema, deadline=deadline, span=span)
+            run = self.fleet.execute(schema, deadline=deadline, span=span,
+                                     tenant=self._tenant)
             if self.strict and run.failures:
                 raise S2SError(next(iter(run.failures.values())))
             merge_started = time.perf_counter()
@@ -180,5 +203,9 @@ class ShardedExtractorManager(ExtractorManager):
         return outcome
 
     def close(self) -> None:
-        """Stop the fleet; the manager stays usable (lazy restart)."""
-        self.fleet.shutdown()
+        """Stop the fleet; the manager stays usable (lazy restart).
+
+        A shared fleet is left running — its owner (the server) shuts
+        it down once, after every tenant middleware has closed."""
+        if not self._fleet_shared:
+            self.fleet.shutdown()

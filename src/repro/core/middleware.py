@@ -181,6 +181,13 @@ class S2SMiddleware:
             self.attribute_repository, self.source_repository,
             self.extractors, strict=self.strict_extraction, cache=self.cache,
             resilience=self.resilience, metrics=self._metrics)
+        binding = getattr(self, "_fleet_binding", None)
+        if binding is not None and mode == "sharded":
+            # Re-attach to the shared fleet: re-registering the tenant
+            # hands the fleet a context factory over the *new*
+            # repositories, and the fleet rebuilds its workers at the
+            # next idle moment.
+            self.manager.attach_fleet(binding[0], tenant=binding[1])
         if previous is not None:
             self.manager.health.merge_from(previous.health)
             self.manager.retry_count = previous.retry_count
@@ -497,6 +504,20 @@ class S2SMiddleware:
         self._rebuild()
 
     # -- lifecycle --------------------------------------------------------------
+
+    def attach_fleet(self, fleet, *, tenant: str = "default") -> None:
+        """Serve this middleware's sharded queries from a shared fleet.
+
+        Only meaningful with ``concurrency="sharded"``: the manager
+        registers itself as ``tenant`` on the given
+        :class:`~repro.core.cluster.QueryShardCoordinator` instead of
+        owning a private one.  The binding survives mapping reloads
+        (each ``_rebuild`` re-registers the tenant over the new
+        repositories).  The fleet's lifecycle belongs to its owner —
+        ``close()`` here never shuts a shared fleet down."""
+        self._fleet_binding = (fleet, tenant)
+        if self.resilience.concurrency.mode == "sharded":
+            self.manager.attach_fleet(fleet, tenant=tenant)
 
     def close(self) -> None:
         """Release every background resource this middleware owns.

@@ -39,6 +39,74 @@ DEFAULT_WORKER_CAP = 16
 
 
 @dataclass(frozen=True)
+class FleetConfig:
+    """Every knob of one sharded query fleet, in one frozen value.
+
+    PR 9 scattered the fleet's shape across ``ConcurrencyConfig``
+    fields (``workers``, ``pool``) and ``QueryShardCoordinator``
+    kwargs (``heartbeat_timeout``, ``poll_seconds``,
+    ``max_worker_restarts``); this dataclass gathers them, plus the
+    interleaving scheduler's admission quotas:
+
+    * ``n_workers`` / ``pool`` — fleet width and worker flavour
+      (``"thread"`` shares process state and the injectable clock,
+      ``"spawn"`` pickles the world across a real process boundary);
+    * ``heartbeat_timeout`` — seconds of silence *while holding work*
+      before a worker is declared dead;
+    * ``max_worker_restarts`` — per-query restart budget per worker;
+      a worker that exceeds it is abandoned and its in-flight item
+      degrades into reported problems;
+    * ``poll_seconds`` / ``real_poll_seconds`` — the dispatcher's idle
+      beat on the injectable clock (drives FakeClock determinism) and
+      the real-time block on the pool's event queue;
+    * ``max_inflight_requests`` — fleet-wide admission cap on
+      concurrently interleaved queries; ``None`` is unbounded.  An
+      admission past the cap raises
+      :class:`~repro.errors.FleetQuotaExceeded`, which the server
+      answers with RETRY_AFTER pushback;
+    * ``tenant_quota`` — per-tenant cap on in-flight *shard items*
+      (running + queued).  A tenant at its quota is skipped by the
+      fair-share dispatcher (its backlog waits; other tenants keep
+      streaming) and further admissions for it are refused, so a
+      greedy tenant can never starve the rest of a shared fleet.
+      ``None`` disables the quota.
+
+    Accepted by ``ConcurrencyConfig.sharded(fleet=...)`` and
+    ``QueryShardCoordinator(fleet=...)``; importable from
+    ``repro.config``.
+    """
+
+    n_workers: int = 2
+    pool: str = "thread"
+    heartbeat_timeout: float = 30.0
+    max_worker_restarts: int = 3
+    poll_seconds: float = 0.05
+    real_poll_seconds: float = 0.02
+    max_inflight_requests: int | None = None
+    tenant_quota: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.pool not in SHARDED_POOL_KINDS:
+            raise ValueError(
+                f"pool must be one of {SHARDED_POOL_KINDS}, "
+                f"not {self.pool!r}")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.poll_seconds <= 0 or self.real_poll_seconds <= 0:
+            raise ValueError("poll intervals must be positive")
+        if (self.max_inflight_requests is not None
+                and self.max_inflight_requests < 1):
+            raise ValueError(
+                "max_inflight_requests must be >= 1 or None (unbounded)")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 or None (disabled)")
+
+
+@dataclass(frozen=True)
 class ConcurrencyConfig:
     """How the Extractor Manager fans extraction out across sources.
 
@@ -65,12 +133,19 @@ class ConcurrencyConfig:
     fleet width and the worker flavour (``"thread"`` shares process
     state and the injectable clock; ``"spawn"`` pickles everything
     across a real process boundary).  The other engines ignore them.
+
+    ``fleet`` carries the full :class:`FleetConfig` for the sharded
+    engine — supervision timings and admission quotas included.  When
+    set, ``workers`` and ``pool`` become read-only mirrors of it (the
+    same discipline as :class:`ResilienceConfig`'s legacy mirrors, so
+    ``dataclasses.replace`` round-trips stay consistent).
     """
 
     mode: str = "serial"
     max_workers: int | None = None
     workers: int = 2
     pool: str = "thread"
+    fleet: FleetConfig | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in CONCURRENCY_MODES:
@@ -81,6 +156,12 @@ class ConcurrencyConfig:
             raise ValueError(
                 "max_workers must be None (adaptive), 0 (unbounded) or "
                 "positive")
+        if self.fleet is not None:
+            # The fleet config is the source of truth; the flat fields
+            # become mirrors of it (replace() re-passes stale mirrors,
+            # and they must never override the fleet).
+            object.__setattr__(self, "workers", self.fleet.n_workers)
+            object.__setattr__(self, "pool", self.fleet.pool)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.pool not in SHARDED_POOL_KINDS:
@@ -99,10 +180,32 @@ class ConcurrencyConfig:
         return cls(mode="asyncio")
 
     @classmethod
-    def sharded(cls, workers: int = 2, *,
-                pool: str = "thread") -> "ConcurrencyConfig":
-        """Fleet fan-out: sources sharded across supervised workers."""
-        return cls(mode="sharded", workers=workers, pool=pool)
+    def sharded(cls, workers: int | None = None, *,
+                pool: str | None = None,
+                fleet: FleetConfig | None = None) -> "ConcurrencyConfig":
+        """Fleet fan-out: sources sharded across supervised workers.
+
+        ``sharded(4, pool="spawn")`` is sugar for the common case;
+        pass ``fleet=FleetConfig(...)`` for the full knob set
+        (supervision timings, admission quotas)."""
+        if fleet is None:
+            fleet = FleetConfig(n_workers=2 if workers is None else workers,
+                                pool=pool or "thread")
+        elif workers is not None or pool is not None:
+            raise ValueError(
+                "pass either fleet=FleetConfig(...) or the workers/pool "
+                "shorthand, not both")
+        return cls(mode="sharded", fleet=fleet)
+
+    def fleet_config(self) -> FleetConfig:
+        """The sharded engine's fleet knobs, derived when unset.
+
+        A config built without ``fleet=`` (legacy flat ``workers`` /
+        ``pool`` fields) still yields a complete :class:`FleetConfig`
+        with default supervision timings and no quotas."""
+        if self.fleet is not None:
+            return self.fleet
+        return FleetConfig(n_workers=self.workers, pool=self.pool)
 
     @property
     def parallel(self) -> bool:

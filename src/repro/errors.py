@@ -186,6 +186,25 @@ class CircuitOpenError(S2SError):
         self.retry_after = retry_after
 
 
+class FleetQuotaExceeded(S2SError):
+    """A sharded query fleet refused admission at one of its quotas.
+
+    Raised by ``QueryShardCoordinator`` when a new query would exceed
+    the fleet-wide ``max_inflight_requests`` cap (``scope="fleet"``) or
+    the submitting tenant's ``tenant_quota`` of in-flight shard items
+    (``scope="tenant"``).  The query server maps it onto the same
+    RETRY_AFTER pushback frame its own admission control uses, so
+    clients see one uniform "come back later" signal."""
+
+    def __init__(self, message: str, *, tenant: str = "default",
+                 scope: str = "fleet",
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.scope = scope
+        self.retry_after = retry_after
+
+
 class QueryError(S2SError):
     """Errors from the S2SQL query handler."""
 

@@ -24,6 +24,10 @@ class ServerConfig:
       A request arriving with the queue full is refused immediately with
       a RETRY_AFTER frame instead of growing an unbounded backlog.
     * ``retry_after_seconds`` — the pushback hint carried on RETRY_AFTER.
+      Quota rejections from a shared sharded query fleet
+      (:class:`~repro.errors.FleetQuotaExceeded`) reuse the same frame
+      and, unless the fleet supplies its own hint, the same delay —
+      fleet backpressure is admission control by another door.
     * ``request_deadline_seconds`` — how long a request may sit queued
       (measured on the injectable clock) before it is answered with a
       DEADLINE_EXCEEDED error instead of executing; ``None`` disables.

@@ -36,7 +36,7 @@ import time
 
 from ..clock import Clock, SystemClock
 from ..core.query.parser import parse_s2sql
-from ..errors import QueryError, S2SError
+from ..errors import FleetQuotaExceeded, QueryError, S2SError
 from ..obs import DEFAULT_REGISTRY, MetricsRegistry, Tracer
 from . import protocol
 from .codec import result_to_wire, sparql_to_wire
@@ -335,6 +335,22 @@ class S2SServer:
         try:
             await handler(self, connection, session, frame)
             status = "ok"
+        except FleetQuotaExceeded as exc:
+            # A shared query fleet refused the fan-out at one of its
+            # quotas: same pushback shape as the server's own admission
+            # control, so clients reuse their RETRY_AFTER handling.
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "server_rejected_total",
+                    "requests refused by admission control").inc(
+                        reason="fleet_quota")
+            await self._try_send(connection, {
+                "kind": protocol.RETRY_AFTER, "id": frame.get("id"),
+                "retry_after": (exc.retry_after
+                                or self.config.retry_after_seconds),
+                "scope": exc.scope,
+            })
+            status = "rejected"
         except QueryError as exc:
             await self._respond_error(connection, frame,
                                       protocol.CODE_QUERY, str(exc))
@@ -571,6 +587,9 @@ class S2SServer:
         if concurrency.mode == "sharded":
             engine["workers"] = concurrency.workers
             engine["pool"] = concurrency.pool
+            fleet = getattr(middleware.manager, "fleet", None)
+            if fleet is not None and hasattr(fleet, "snapshot"):
+                engine["fleet"] = fleet.snapshot()
         await self._respond(connection, {
             "kind": protocol.STATUS_OK, "id": frame.get("id"),
             "tenant": session.tenant.name,

@@ -13,7 +13,8 @@ import pytest
 
 from repro.clock import FakeClock
 from repro.config import ConcurrencyConfig
-from repro.core.cluster import (QueryShardCoordinator, QueryWorkerContext,
+from repro.core.cluster import (FleetConfig, QueryShardCoordinator,
+                                QueryWorkerContext,
                                 ShardRunResult, SupervisionVerdict,
                                 ThreadWorkerPool, WorkerSupervisor,
                                 default_restart_policy, merge_partials,
@@ -326,7 +327,7 @@ class TestFleetLifecycle:
             return QueryWorkerContext(attributes=None, sources=repository,
                                       resilience=None)
         return QueryShardCoordinator(
-            n_workers=2, pool="thread", clock=clock,
+            fleet=FleetConfig(n_workers=2), clock=clock,
             context_factory=context,
             source_version=lambda: repository.version, **kwargs)
 
@@ -355,7 +356,8 @@ class TestFleetLifecycle:
 
     def test_invalid_pool_kind_rejected(self):
         with pytest.raises(ValueError, match="pool"):
-            QueryShardCoordinator(pool="fork", clock=FakeClock(),
+            QueryShardCoordinator(fleet=FleetConfig(pool="fork"),
+                                  clock=FakeClock(),
                                   context_factory=lambda: None)
 
 

@@ -244,6 +244,34 @@ class TestServe:
         assert code == 1
         assert "at least one tenant" in err
 
+    def test_serve_shared_fleet(self, capsys):
+        code, out, _err = run_cli(capsys, "serve", "--duration", "0",
+                                  "--fleet", "2:thread:shared",
+                                  "--tenants", "acme,globex",
+                                  "--sources", "2", "--products", "4")
+        assert code == 0
+        assert "shared fleet: 2 thread worker(s)" in out
+
+    def test_serve_fleet_spec_validated(self, capsys):
+        code, _out, err = run_cli(capsys, "serve", "--duration", "0",
+                                  "--fleet", "2:fork")
+        assert code == 1
+        assert "unknown --fleet token" in err
+
+    def test_serve_legacy_fleet_flags_warn(self, capsys):
+        code, out, err = run_cli(capsys, "serve", "--duration", "0",
+                                 "--query-workers", "2",
+                                 "--sources", "2", "--products", "4")
+        assert code == 0
+        assert "fleet per tenant: 2 thread worker(s)" in out
+        assert "deprecated" in err
+
+    def test_serve_rejects_mixed_fleet_spellings(self, capsys):
+        code, _out, err = run_cli(capsys, "serve", "--duration", "0",
+                                  "--fleet", "2", "--query-workers", "2")
+        assert code == 1
+        assert "not both" in err
+
 
 class TestClient:
     @pytest.fixture(scope="class")
